@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Ablation studies for the design choices the paper calls out:
+ *
+ *  1. rotating targets before XOR (Section 3.3) vs plain XOR;
+ *  2. storing return targets in the THB (Section 3.2; the paper found
+ *     accuracy "does not strongly depend" on it and left them out);
+ *  3. the number of profiling candidates per branch (the paper uses 3)
+ *     and step-2 iterations (the paper uses 7);
+ *  4. implementing only a subset of hash functions
+ *     {1,2,4,8,16,32} (Section 3.1's cost-reduction note);
+ *  5. HFNT accuracy: how often the pipelined predictor would have to
+ *     re-predict (Section 4.3).
+ */
+
+#include "bench_common.h"
+
+#include "core/hfnt.h"
+#include "core/path_predictor.h"
+#include "core/profiler.h"
+#include "predictors/budget.h"
+
+namespace {
+
+using namespace vlp;
+
+constexpr std::size_t budgetBytes = 16384;
+
+/** Evaluate a conditional VLP configuration on gcc's test input. */
+double
+evaluateVlp(trace::VectorTraceSource &profile_trace,
+            trace::VectorTraceSource &test_trace,
+            core::ProfileOptions options,
+            const std::vector<unsigned> *allowed_lengths = nullptr)
+{
+    core::ConditionalProfiler profiler(options);
+    profile_trace.reset();
+    core::HashAssignment assignment = profiler.profile(profile_trace);
+
+    if (allowed_lengths != nullptr) {
+        // Clamp every assignment down to the nearest implemented hash
+        // function (Section 3.1: a subset may be implemented at
+        // reduced benefit).
+        auto clamp = [&](unsigned length) {
+            unsigned best = allowed_lengths->front();
+            for (unsigned candidate : *allowed_lengths) {
+                if (candidate <= length)
+                    best = candidate;
+            }
+            return best;
+        };
+        core::HashAssignment clamped(clamp(assignment.defaultLength()));
+        for (const auto &[pc, length] : assignment.table())
+            clamped.assign(pc, clamp(length));
+        assignment = clamped;
+    }
+
+    core::PathConditionalPredictor vlp(options.indexBits, assignment,
+                                       options.history);
+    test_trace.reset();
+    trace::BranchRecord record;
+    std::uint64_t branches = 0, misses = 0;
+    while (test_trace.next(record)) {
+        if (record.isConditional()) {
+            ++branches;
+            if (vlp.predict(record) != record.taken)
+                ++misses;
+            vlp.update(record);
+        }
+        vlp.observe(record);
+    }
+    return util::percent(misses, branches);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablations: rotation, returns-in-THB, profiling "
+                  "parameters, hash-function subset, HFNT",
+                  "gcc, 16K byte conditional predictor, test input");
+
+    const auto &spec = workload::findBenchmark("gcc");
+    auto profile_trace =
+        workload::generateTrace(spec, workload::InputKind::Profile);
+    auto test_trace =
+        workload::generateTrace(spec, workload::InputKind::Test);
+
+    core::ProfileOptions base;
+    base.indexBits = pred::conditionalIndexBits(budgetBytes);
+
+    util::TablePrinter table({"configuration", "VLP mispredict (%)"});
+
+    table.addRow({"baseline (rotate, no returns, 3 candidates, "
+                  "7 iterations, 32 hash functions)",
+                  bench::rate(evaluateVlp(profile_trace, test_trace,
+                                          base))});
+
+    {
+        core::ProfileOptions options = base;
+        options.history.rotateTargets = false;
+        table.addRow({"no target rotation (plain XOR)",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, options))});
+    }
+    {
+        core::ProfileOptions options = base;
+        options.history.includeReturns = true;
+        table.addRow({"return targets stored in THB",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, options))});
+    }
+    for (const unsigned candidates : {1u, 2u, 5u}) {
+        core::ProfileOptions options = base;
+        options.candidates = candidates;
+        options.iterations = std::max(7u, candidates);
+        table.addRow({std::to_string(candidates)
+                          + " candidate(s) per branch",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, options))});
+    }
+    for (const unsigned iterations : {1u, 3u}) {
+        core::ProfileOptions options = base;
+        options.iterations = iterations;
+        table.addRow({std::to_string(iterations)
+                          + " step-2 iteration(s)",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, options))});
+    }
+    {
+        const std::vector<unsigned> subset = {1, 2, 4, 8, 16, 32};
+        table.addRow({"hash functions restricted to {1,2,4,8,16,32}",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, base,
+                                              &subset))});
+    }
+    {
+        // Section 6 future-work idea: save/restore history across
+        // subroutine calls (after Jacobson et al.).
+        core::ProfileOptions options = base;
+        options.history.historyStack = true;
+        table.addRow({"history stack across calls (Section 6 "
+                      "extension)",
+                      bench::rate(evaluateVlp(profile_trace,
+                                              test_trace, options))});
+    }
+    {
+        // Oracle profiling: select lengths on the *test* input itself.
+        // The gap to the baseline row is the cost of profile-to-test
+        // generalization (the paper's §3.4 motivation for resampling
+        // user data à la ProfileMe).
+        table.addRow({"oracle: profiled on the test input itself",
+                      bench::rate(evaluateVlp(test_trace, test_trace,
+                                              base))});
+    }
+    table.print(std::cout);
+
+    // --- HFNT re-predict rate (Section 4.3) --------------------------
+    {
+        core::ConditionalProfiler profiler(base);
+        profile_trace.reset();
+        const core::HashAssignment assignment =
+            profiler.profile(profile_trace);
+
+        std::cout << "\nHFNT re-predict rates (prediction uses the "
+                     "table's number; decode reveals the actual):\n";
+        util::TablePrinter hfnt_table(
+            {"HFNT entries", "size (bytes)", "mismatch rate (%)"});
+        for (const unsigned bits : {6u, 8u, 10u, 12u}) {
+            core::HashFunctionNumberTable hfnt(bits);
+            test_trace.reset();
+            trace::BranchRecord record;
+            while (test_trace.next(record)) {
+                if (!record.isConditional())
+                    continue;
+                hfnt.predictNumber(record.pc);
+                hfnt.update(record.pc, assignment.lookup(record.pc));
+            }
+            hfnt_table.addRow({
+                std::to_string(1u << bits),
+                std::to_string(hfnt.sizeBytes()),
+                bench::rate(hfnt.mismatchRate()),
+            });
+        }
+        hfnt_table.print(std::cout);
+    }
+    return 0;
+}

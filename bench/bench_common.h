@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef VLPSIM_BENCH_BENCH_COMMON_H
+#define VLPSIM_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "predictors/budget.h"
+#include "sim/experiment.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace bench {
+
+/** Format a misprediction rate like the paper ("4.3" percent). */
+inline std::string
+rate(double value)
+{
+    return vlp::util::formatDouble(value, 2);
+}
+
+/** Banner identifying which paper artifact a binary regenerates. */
+inline void
+banner(const std::string &what, const std::string &configuration)
+{
+    std::cout << "==================================================="
+                 "=========\n"
+              << what << "\n"
+              << configuration << "\n"
+              << "(synthetic workloads; compare shapes, not absolute "
+                 "values — see EXPERIMENTS.md)\n"
+              << "==================================================="
+                 "=========\n";
+    const double scale = vlp::util::workloadScale();
+    if (scale != 1.0)
+        std::cout << "note: VLPSIM_SCALE=" << scale << "\n";
+}
+
+/** Percentage reduction in mispredictions of @p better vs @p base. */
+inline double
+reduction(const vlp::sim::RateEntry &base,
+          const vlp::sim::RateEntry &better)
+{
+    if (base.mispredictions == 0)
+        return 0.0;
+    return 100.0
+        * (static_cast<double>(base.mispredictions)
+           - static_cast<double>(better.mispredictions))
+        / static_cast<double>(base.mispredictions);
+}
+
+} // namespace bench
+
+#endif // VLPSIM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Figure 10: indirect branch misprediction rates for gcc
+ * over a range of predictor sizes (0.5K to 32K bytes) — the
+ * Chang-Hao-Patt path and pattern target caches, fixed length path,
+ * fixed length path (tuned), and variable length path.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    bench::banner("Figure 10: Indirect Misprediction Rates for Gcc",
+                  "predictor sizes 0.5K to 32K bytes, test input");
+
+    sim::ExperimentContext context;
+    const auto &spec = workload::findBenchmark("gcc");
+
+    util::TablePrinter table({"Size (KB)", "path CHP (%)",
+                              "pattern CHP (%)",
+                              "fixed length path (%)",
+                              "fixed length path (tuned) (%)",
+                              "variable length path (%)",
+                              "global len", "tuned len"});
+
+    double flp_cut_at_32k = 0.0, vlp_cut_at_32k = 0.0;
+    for (const std::size_t bytes :
+         {std::size_t{512}, std::size_t{2048}, std::size_t{8192},
+          std::size_t{32768}}) {
+        const unsigned global_length =
+            context.globalIndirectLength(bytes);
+        const unsigned tuned_length =
+            context.indirectSweep(spec, pred::indirectIndexBits(bytes))
+                .bestLength();
+        const auto row = sim::compareIndirect(context, spec, bytes,
+                                              global_length, true);
+        table.addRow({
+            util::formatDouble(bytes / 1024.0, 1),
+            bench::rate(row.entry(sim::names::chpPath).rate),
+            bench::rate(row.entry(sim::names::chpPattern).rate),
+            bench::rate(row.entry(sim::names::flp).rate),
+            bench::rate(row.entry(sim::names::flpTuned).rate),
+            bench::rate(row.entry(sim::names::vlp).rate),
+            std::to_string(global_length),
+            std::to_string(tuned_length),
+        });
+        if (bytes == 32768) {
+            const auto &path = row.entry(sim::names::chpPath);
+            const auto &pattern = row.entry(sim::names::chpPattern);
+            const auto &best_competing =
+                path.mispredictions < pattern.mispredictions ? path
+                                                             : pattern;
+            flp_cut_at_32k = bench::reduction(
+                best_competing, row.entry(sim::names::flp));
+            vlp_cut_at_32k = bench::reduction(
+                best_competing, row.entry(sim::names::vlp));
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nat 32K bytes, reduction vs best competing "
+                 "predictor: FLP "
+              << bench::rate(flp_cut_at_32k) << "% (paper 29%), VLP "
+              << bench::rate(vlp_cut_at_32k) << "% (paper 51%)\n";
+    return 0;
+}

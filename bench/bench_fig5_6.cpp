@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figures 5 and 6: conditional branch misprediction rates
+ * with a 16K byte predictor — gshare vs fixed length path vs variable
+ * length path — for the SPEC (Fig. 5) and non-SPEC (Fig. 6)
+ * benchmarks, plus the average reduction in mispredictions the paper
+ * quotes (28.6% fewer than gshare on average).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    constexpr std::size_t bytes = 16384;
+    bench::banner("Figures 5 & 6: Conditional Misprediction Rates",
+                  "16K byte predictor, test inputs");
+
+    sim::ExperimentContext context;
+    const unsigned global_length =
+        context.globalConditionalLength(bytes);
+    std::cout << "global fixed path length: " << global_length << "\n";
+
+    double total_reduction = 0.0;
+    double worst_reduction = 1e9, best_reduction = -1e9;
+    std::string worst_name, best_name;
+    unsigned count = 0;
+
+    for (const bool spec_group : {true, false}) {
+        util::TablePrinter table({"Benchmark", "gshare (%)",
+                                  "fixed length path (%)",
+                                  "variable length path (%)",
+                                  "reduction vs gshare (%)"});
+        for (const auto &spec : workload::benchmarkSuite()) {
+            if (spec.isSpec != spec_group)
+                continue;
+            const auto row = sim::compareConditional(
+                context, spec, bytes, global_length);
+            const auto &gshare = row.entry(sim::names::gshare);
+            const auto &flp = row.entry(sim::names::flp);
+            const auto &vlp = row.entry(sim::names::vlp);
+            const double cut = bench::reduction(gshare, vlp);
+            table.addRow({
+                spec.name,
+                bench::rate(gshare.rate),
+                bench::rate(flp.rate),
+                bench::rate(vlp.rate),
+                bench::rate(cut),
+            });
+            total_reduction += cut;
+            ++count;
+            if (cut < worst_reduction) {
+                worst_reduction = cut;
+                worst_name = spec.name;
+            }
+            if (cut > best_reduction) {
+                best_reduction = cut;
+                best_name = spec.name;
+            }
+        }
+        std::cout << (spec_group ? "\nFigure 5 (SPECint95)\n"
+                                 : "\nFigure 6 (non-SPEC)\n");
+        table.print(std::cout);
+    }
+
+    std::cout << "\naverage reduction in mispredictions vs gshare: "
+              << bench::rate(total_reduction / count)
+              << "%  (paper: 28.6%)\n"
+              << "largest reduction: " << bench::rate(best_reduction)
+              << "% for " << best_name << "  (paper: 68.6% for perl)\n"
+              << "smallest reduction: " << bench::rate(worst_reduction)
+              << "% for " << worst_name << "  (paper: 7.4% for pgp)\n";
+    return 0;
+}

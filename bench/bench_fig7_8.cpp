@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Figures 7 and 8: indirect branch misprediction rates
+ * with a 2K byte predictor — the Chang-Hao-Patt path and pattern
+ * target caches vs fixed and variable length path — for the SPEC
+ * (Fig. 7) and non-SPEC (Fig. 8) benchmarks. The paper marks the 8
+ * benchmarks with the highest indirect branch frequencies in bold; we
+ * mark them with '*'.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    constexpr std::size_t bytes = 2048;
+    bench::banner("Figures 7 & 8: Indirect Misprediction Rates",
+                  "2K byte predictor, test inputs; '*' marks the 8 "
+                  "indirect-heavy benchmarks of Table 3");
+
+    sim::ExperimentContext context;
+    const unsigned global_length = context.globalIndirectLength(bytes);
+    std::cout << "global fixed path length: " << global_length << "\n";
+
+    for (const bool spec_group : {true, false}) {
+        util::TablePrinter table({"Benchmark", "path CHP (%)",
+                                  "pattern CHP (%)",
+                                  "fixed length path (%)",
+                                  "variable length path (%)",
+                                  "ind branches"});
+        for (const auto &spec : workload::benchmarkSuite()) {
+            if (spec.isSpec != spec_group)
+                continue;
+            const auto row = sim::compareIndirect(context, spec, bytes,
+                                                  global_length);
+            table.addRow({
+                spec.name + (spec.indirectHeavy ? " *" : ""),
+                bench::rate(row.entry(sim::names::chpPath).rate),
+                bench::rate(row.entry(sim::names::chpPattern).rate),
+                bench::rate(row.entry(sim::names::flp).rate),
+                bench::rate(row.entry(sim::names::vlp).rate),
+                util::formatScaled(
+                    row.entry(sim::names::vlp).branches),
+            });
+        }
+        std::cout << (spec_group ? "\nFigure 7 (SPECint95)\n"
+                                 : "\nFigure 8 (non-SPEC)\n");
+        table.print(std::cout);
+    }
+    return 0;
+}

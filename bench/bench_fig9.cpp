@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 9: conditional branch misprediction rates for gcc
+ * over a range of predictor sizes (1K to 256K bytes) — gshare, fixed
+ * length path, fixed length path (tuned), and variable length path.
+ * The global fixed length at each size is derived from profile-input
+ * sweeps over the whole suite, exactly as in the paper's methodology.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    bench::banner("Figure 9: Conditional Misprediction Rates for Gcc",
+                  "predictor sizes 1K to 256K bytes, test input");
+
+    sim::ExperimentContext context;
+    const auto &spec = workload::findBenchmark("gcc");
+
+    util::TablePrinter table({"Size (KB)", "gshare (%)",
+                              "fixed length path (%)",
+                              "fixed length path (tuned) (%)",
+                              "variable length path (%)",
+                              "global len", "tuned len"});
+
+    for (const std::size_t bytes :
+         {std::size_t{1024}, std::size_t{4096}, std::size_t{16384},
+          std::size_t{65536}, std::size_t{262144}}) {
+        const unsigned global_length =
+            context.globalConditionalLength(bytes);
+        const unsigned tuned_length =
+            context
+                .conditionalSweep(spec,
+                                  pred::conditionalIndexBits(bytes))
+                .bestLength();
+        const auto row = sim::compareConditional(context, spec, bytes,
+                                                 global_length, true);
+        table.addRow({
+            util::formatDouble(bytes / 1024.0, 0),
+            bench::rate(row.entry(sim::names::gshare).rate),
+            bench::rate(row.entry(sim::names::flp).rate),
+            bench::rate(row.entry(sim::names::flpTuned).rate),
+            bench::rate(row.entry(sim::names::vlp).rate),
+            std::to_string(global_length),
+            std::to_string(tuned_length),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\npaper series (approx.): gshare 13/8.8/7.5/6.5/6, "
+                 "VLP 6.5/4.3/3.6/3.2/3 — the paper's gcc headline is "
+                 "VLP 4.3% vs gshare 8.8% at 4K bytes\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates the abstract's headline numbers:
+ *  - gcc conditional branches, 4K byte budget: VLP 4.3% vs gshare 8.8%
+ *  - gcc indirect branches, 512 byte budget: VLP 27.7% vs 44.2% for
+ *    the best competing predictor.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    bench::banner("Abstract headline: gcc at 4K bytes (conditional) "
+                  "and 512 bytes (indirect)",
+                  "test input");
+
+    sim::ExperimentContext context;
+    const auto &spec = workload::findBenchmark("gcc");
+
+    {
+        const unsigned global_length =
+            context.globalConditionalLength(4096);
+        const auto row =
+            sim::compareConditional(context, spec, 4096, global_length);
+        std::cout << "\nconditional, 4K bytes:\n"
+                  << "  gshare:               "
+                  << bench::rate(row.entry(sim::names::gshare).rate)
+                  << "%   (paper: 8.8%)\n"
+                  << "  variable length path: "
+                  << bench::rate(row.entry(sim::names::vlp).rate)
+                  << "%   (paper: 4.3%)\n";
+    }
+
+    {
+        const unsigned global_length =
+            context.globalIndirectLength(512);
+        const auto row =
+            sim::compareIndirect(context, spec, 512, global_length);
+        const auto &path = row.entry(sim::names::chpPath);
+        const auto &pattern = row.entry(sim::names::chpPattern);
+        const auto &best =
+            path.mispredictions < pattern.mispredictions ? path
+                                                         : pattern;
+        std::cout << "\nindirect, 512 bytes:\n"
+                  << "  best competing (" << best.predictor
+                  << "): " << bench::rate(best.rate)
+                  << "%   (paper: 44.2%)\n"
+                  << "  variable length path: "
+                  << bench::rate(row.entry(sim::names::vlp).rate)
+                  << "%   (paper: 27.7%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Related-work shootout (ours — beyond the paper's own tables):
+ * positions the variable length path predictor against the rest of
+ * the 1997/98 design space the paper cites.
+ *
+ * Conditional @ 16 KB: bimodal, GAs, gselect, gshare, agree, bi-mode,
+ * DHLF-gshare, elastic gshare (profiled pattern lengths — Tarlescu et
+ * al.), hybrid, FLP, VLP.
+ * Indirect @ 2 KB: BTB, CHP pattern, CHP path, cascaded, dual-length
+ * path hybrid (Driesen & Hölzle), FLP, VLP.
+ *
+ * The elastic-vs-VLP column answers the paper's implicit question: how
+ * much of the win is per-branch length selection (elastic has it too)
+ * and how much is *path* versus *pattern* history (only VLP has
+ * paths).
+ */
+
+#include <memory>
+
+#include "bench_common.h"
+
+#include "core/dynamic_path.h"
+#include "core/path_predictor.h"
+#include "core/profiler.h"
+#include "predictors/agree.h"
+#include "predictors/bimodal.h"
+#include "predictors/bimode.h"
+#include "predictors/btb.h"
+#include "predictors/cascaded.h"
+#include "predictors/dhlf.h"
+#include "predictors/dual_length.h"
+#include "predictors/elastic.h"
+#include "predictors/gselect.h"
+#include "predictors/gshare.h"
+#include "predictors/hybrid.h"
+#include "predictors/target_cache.h"
+#include "predictors/two_level.h"
+
+namespace {
+
+using namespace vlp;
+
+const char *const condBenchmarks[] = {"gcc", "go", "perl", "vortex"};
+const char *const indBenchmarks[] = {"gcc", "perl", "li", "gs"};
+
+void
+conditionalShootout()
+{
+    constexpr std::size_t bytes = 16384;
+    const unsigned k = pred::conditionalIndexBits(bytes);
+
+    util::TablePrinter table({"predictor", "gcc", "go", "perl",
+                              "vortex"});
+    std::vector<std::vector<std::string>> rows;
+
+    bool first_bench = true;
+    for (const char *name : condBenchmarks) {
+        const auto &spec = workload::findBenchmark(name);
+        auto profile_trace = workload::generateTrace(
+            spec, workload::InputKind::Profile);
+        auto test_trace =
+            workload::generateTrace(spec, workload::InputKind::Test);
+
+        // Profiled artifacts for the two profile-driven predictors.
+        core::ProfileOptions options;
+        options.indexBits = k;
+        core::ConditionalProfiler vlp_profiler(options);
+        const core::HashAssignment assignment =
+            vlp_profiler.profile(profile_trace);
+        pred::ElasticProfiler elastic_profiler(k);
+        profile_trace.reset();
+        const pred::PatternLengthAssignment pattern_lengths =
+            elastic_profiler.profile(profile_trace);
+
+        pred::BimodalPredictor bimodal(k);
+        pred::TwoLevelPredictor gas(pred::HistoryScope::Global, k - 2,
+                                    2);
+        pred::GselectPredictor gselect(k);
+        pred::GsharePredictor gshare(k);
+        pred::AgreePredictor agree(k);
+        pred::BiModePredictor bimode(k - 1); // 3 banks ≈ same budget
+        pred::DhlfGsharePredictor dhlf(k);
+        pred::ElasticGsharePredictor elastic(k, pattern_lengths);
+        pred::HybridPredictor hybrid(
+            std::make_unique<pred::GsharePredictor>(k - 1),
+            std::make_unique<pred::BimodalPredictor>(k - 1), k - 1);
+        core::PathConditionalPredictor flp(k, 5);
+        core::DynamicPathConditionalPredictor dynamic_vlp(k);
+        core::PathConditionalPredictor vlp(k, assignment);
+
+        sim::Simulator simulator;
+        for (pred::ConditionalPredictor *predictor :
+             {static_cast<pred::ConditionalPredictor *>(&bimodal),
+              static_cast<pred::ConditionalPredictor *>(&gas),
+              static_cast<pred::ConditionalPredictor *>(&gselect),
+              static_cast<pred::ConditionalPredictor *>(&gshare),
+              static_cast<pred::ConditionalPredictor *>(&agree),
+              static_cast<pred::ConditionalPredictor *>(&bimode),
+              static_cast<pred::ConditionalPredictor *>(&dhlf),
+              static_cast<pred::ConditionalPredictor *>(&elastic),
+              static_cast<pred::ConditionalPredictor *>(&hybrid),
+              static_cast<pred::ConditionalPredictor *>(&flp),
+              static_cast<pred::ConditionalPredictor *>(&dynamic_vlp),
+              static_cast<pred::ConditionalPredictor *>(&vlp)}) {
+            simulator.addConditional(predictor);
+        }
+        test_trace.reset();
+        simulator.run(test_trace);
+
+        const auto results = simulator.conditionalResults();
+        if (first_bench) {
+            for (const auto &result : results) {
+                rows.push_back(
+                    {result.name == "fixed length path"
+                         ? "fixed length path (len 5)"
+                         : result.name});
+            }
+            first_bench = false;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i)
+            rows[i].push_back(bench::rate(results[i].rate()));
+    }
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    std::cout << "\nConditional predictors @ 16 KB (mispredict %):\n";
+    table.print(std::cout);
+}
+
+void
+indirectShootout()
+{
+    constexpr std::size_t bytes = 2048;
+    const unsigned k = pred::indirectIndexBits(bytes);
+
+    util::TablePrinter table({"predictor", "gcc", "perl", "li", "gs"});
+    std::vector<std::vector<std::string>> rows;
+
+    bool first_bench = true;
+    for (const char *name : indBenchmarks) {
+        const auto &spec = workload::findBenchmark(name);
+        auto profile_trace = workload::generateTrace(
+            spec, workload::InputKind::Profile);
+        auto test_trace =
+            workload::generateTrace(spec, workload::InputKind::Test);
+
+        core::ProfileOptions options;
+        options.indexBits = k;
+        core::IndirectProfiler profiler(options);
+        const core::HashAssignment assignment =
+            profiler.profile(profile_trace);
+
+        pred::BtbPredictor btb(k);
+        pred::PatternTargetCache chp_pattern(k);
+        pred::PathTargetCache chp_path(k);
+        pred::CascadedPredictor cascaded(k - 1, k - 1);
+        // Two half-size tables + selector ≈ the same budget.
+        pred::DualLengthIndirectPredictor dual(k - 1);
+        core::PathIndirectPredictor flp(k, 5);
+        core::DynamicPathIndirectPredictor dynamic_vlp(k);
+        core::PathIndirectPredictor vlp(k, assignment);
+
+        sim::Simulator simulator;
+        for (pred::IndirectPredictor *predictor :
+             {static_cast<pred::IndirectPredictor *>(&btb),
+              static_cast<pred::IndirectPredictor *>(&chp_pattern),
+              static_cast<pred::IndirectPredictor *>(&chp_path),
+              static_cast<pred::IndirectPredictor *>(&cascaded),
+              static_cast<pred::IndirectPredictor *>(&dual),
+              static_cast<pred::IndirectPredictor *>(&flp),
+              static_cast<pred::IndirectPredictor *>(&dynamic_vlp),
+              static_cast<pred::IndirectPredictor *>(&vlp)}) {
+            simulator.addIndirect(predictor);
+        }
+        test_trace.reset();
+        simulator.run(test_trace);
+
+        const auto results = simulator.indirectResults();
+        if (first_bench) {
+            for (const auto &result : results) {
+                rows.push_back(
+                    {result.name == "fixed length path"
+                         ? "fixed length path (len 5)"
+                         : result.name});
+            }
+            first_bench = false;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i)
+            rows[i].push_back(bench::rate(results[i].rate()));
+    }
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    std::cout << "\nIndirect predictors @ 2 KB (mispredict %):\n";
+    table.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Related-work shootout (extension, not a paper "
+                  "table)",
+                  "VLP vs the cited 1997/98 design space; elastic "
+                  "gshare isolates per-branch length selection from "
+                  "path-vs-pattern history");
+    conditionalShootout();
+    indirectShootout();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates Table 1 (benchmark summary): static and dynamic counts
+ * of conditional and indirect branches on the test input of every
+ * benchmark, with the paper's numbers alongside for comparison.
+ */
+
+#include "bench_common.h"
+
+#include "trace/trace_stats.h"
+#include "workload/benchmarks.h"
+
+int
+main()
+{
+    using namespace vlp;
+
+    bench::banner("Table 1: Benchmark Summary",
+                  "test inputs; paper dynamic counts scaled by 1/20, "
+                  "paper static counts by ~1/3 (DESIGN.md §3)");
+
+    util::TablePrinter table({
+        "Benchmark", "cond dynamic", "cond static", "ind dynamic",
+        "ind static", "paper cond dyn", "paper cond st",
+        "paper ind dyn", "paper ind st",
+    });
+
+    for (const auto &spec : workload::benchmarkSuite()) {
+        auto trace =
+            workload::generateTrace(spec, workload::InputKind::Test);
+        trace::TraceStats stats;
+        stats.observeAll(trace);
+        table.addRow({
+            spec.name,
+            util::formatScaled(stats.dynamicConditional()),
+            std::to_string(stats.staticConditional()),
+            util::formatScaled(stats.dynamicIndirect()),
+            std::to_string(stats.staticIndirect()),
+            util::formatScaled(spec.paperDynamicCond),
+            std::to_string(spec.paperStaticCond),
+            util::formatScaled(spec.paperDynamicIndirect),
+            std::to_string(spec.paperStaticInd),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * predictor lookup/update, the incremental path-index bank, trace
+ * generation, and one full profiling step. These quantify simulation
+ * throughput, not prediction accuracy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/path_history.h"
+#include "core/path_predictor.h"
+#include "core/profiler.h"
+#include "predictors/gshare.h"
+#include "predictors/target_cache.h"
+#include "util/rng.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace vlp;
+
+trace::VectorTraceSource &
+sharedTrace()
+{
+    static trace::VectorTraceSource trace = workload::generateTrace(
+        workload::findBenchmark("li"), workload::InputKind::Test, 0.1);
+    return trace;
+}
+
+void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    pred::GsharePredictor gshare(14);
+    auto &trace = sharedTrace();
+    const auto &records = trace.records();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &record = records[i];
+        if (record.isConditional()) {
+            benchmark::DoNotOptimize(gshare.predict(record));
+            gshare.update(record);
+        }
+        gshare.observe(record);
+        i = (i + 1) % records.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+void
+BM_VlpPredictUpdate(benchmark::State &state)
+{
+    core::HashAssignment assignment(8);
+    core::PathConditionalPredictor vlp(14, assignment);
+    auto &trace = sharedTrace();
+    const auto &records = trace.records();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &record = records[i];
+        if (record.isConditional()) {
+            benchmark::DoNotOptimize(vlp.predict(record));
+            vlp.update(record);
+        }
+        vlp.observe(record);
+        i = (i + 1) % records.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VlpPredictUpdate);
+
+void
+BM_TargetCachePredictUpdate(benchmark::State &state)
+{
+    pred::PatternTargetCache cache(9);
+    auto &trace = sharedTrace();
+    const auto &records = trace.records();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &record = records[i];
+        if (record.isIndirect()) {
+            benchmark::DoNotOptimize(cache.predict(record));
+            cache.update(record);
+        }
+        cache.observe(record);
+        i = (i + 1) % records.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TargetCachePredictUpdate);
+
+void
+BM_PathIndexBankInsert(benchmark::State &state)
+{
+    core::PathHistoryOptions options;
+    options.depth = static_cast<unsigned>(state.range(0));
+    core::PathIndexBank bank(14, options);
+    util::Rng rng(7);
+    for (auto _ : state)
+        bank.insert(rng.next() & 0xffffff);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathIndexBankInsert)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &spec = workload::findBenchmark("compress");
+    for (auto _ : state) {
+        auto trace =
+            workload::generateTrace(spec, workload::InputKind::Test,
+                                    0.02);
+        benchmark::DoNotOptimize(trace.size());
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(
+                                    trace.size()));
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfilerStep1(benchmark::State &state)
+{
+    auto trace = workload::generateTrace(
+        workload::findBenchmark("compress"),
+        workload::InputKind::Profile, 0.05);
+    core::ProfileOptions options;
+    options.indexBits = 14;
+    for (auto _ : state) {
+        core::ConditionalProfiler profiler(options);
+        trace.reset();
+        benchmark::DoNotOptimize(profiler.runStep1(trace).branches);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerStep1)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hardware-selected variable length path prediction — the paper's
+ * Section 3.4 alternative to profiling: "storage structures are added
+ * to the branch predictor that record how accurately the hash
+ * functions have predicted each past branch... the hardware uses the
+ * information to dynamically select the hash function that has
+ * provided the highest accuracy in the past."
+ *
+ * The paper only evaluates the profiled selector; this implementation
+ * lets the repository measure the trade the paper describes
+ * qualitatively: dynamic selection needs no ISA or profiling support
+ * but spends die area on score tables and trains more slowly.
+ *
+ * Organization: a per-branch-set score table (indexed by low PC bits)
+ * holds one small saturating score per candidate hash function.
+ * Predictions use the candidate with the highest score; at update,
+ * every candidate's would-be prediction is scored against the outcome,
+ * and only the selected candidate's predictor-table entry is trained
+ * (limiting cross-length table pollution).
+ */
+
+#ifndef VLPSIM_CORE_DYNAMIC_PATH_H
+#define VLPSIM_CORE_DYNAMIC_PATH_H
+
+#include <vector>
+
+#include "core/path_history.h"
+#include "predictors/predictor.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace core {
+
+/** Conditional VLP with hardware (score-table) length selection. */
+class DynamicPathConditionalPredictor
+    : public pred::ConditionalPredictor
+{
+  public:
+    /**
+     * @param index_bits       log2 of the counter-table size
+     * @param candidates       hash function numbers the hardware
+     *        implements and scores (default {1,2,4,8,16,32}, the
+     *        subset Section 3.1 suggests)
+     * @param score_index_bits log2 of the score-table size
+     * @param score_bits       width of each score counter
+     */
+    explicit DynamicPathConditionalPredictor(
+        unsigned index_bits,
+        std::vector<unsigned> candidates = {1, 2, 4, 8, 16, 32},
+        unsigned score_index_bits = 10, unsigned score_bits = 4);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override
+    {
+        return "dynamic variable length path";
+    }
+
+    std::size_t sizeBytes() const override;
+
+    /** Selected candidate index for @p pc (for tests). */
+    std::size_t selectedCandidate(std::uint64_t pc) const;
+
+    /** Candidate hash function numbers. */
+    const std::vector<unsigned> &candidates() const
+    {
+        return candidates_;
+    }
+
+  private:
+    std::size_t scoreIndex(std::uint64_t pc) const;
+
+    PathIndexBank bank_;
+    std::vector<unsigned> candidates_;
+    unsigned scoreIndexBits_;
+    std::vector<util::SaturatingCounter> table_;
+    /** scores_[slot * candidates + c]: accuracy score of candidate
+     *  c for branch set slot. */
+    std::vector<util::SaturatingCounter> scores_;
+};
+
+/** Indirect VLP with hardware (score-table) length selection. */
+class DynamicPathIndirectPredictor : public pred::IndirectPredictor
+{
+  public:
+    /** @copydoc DynamicPathConditionalPredictor */
+    explicit DynamicPathIndirectPredictor(
+        unsigned index_bits,
+        std::vector<unsigned> candidates = {1, 2, 4, 8, 16, 32},
+        unsigned score_index_bits = 8, unsigned score_bits = 4);
+
+    std::uint64_t predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override
+    {
+        return "dynamic variable length path";
+    }
+
+    std::size_t sizeBytes() const override;
+
+    /** Selected candidate index for @p pc (for tests). */
+    std::size_t selectedCandidate(std::uint64_t pc) const;
+
+  private:
+    std::size_t scoreIndex(std::uint64_t pc) const;
+
+    PathIndexBank bank_;
+    std::vector<unsigned> candidates_;
+    unsigned scoreIndexBits_;
+    std::vector<std::uint32_t> table_;
+    std::vector<util::SaturatingCounter> scores_;
+};
+
+} // namespace core
+} // namespace vlp
+
+#endif // VLPSIM_CORE_DYNAMIC_PATH_H

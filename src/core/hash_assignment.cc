@@ -1,0 +1,98 @@
+/**
+ * @file
+ * HashAssignment implementation.
+ */
+
+#include "core/hash_assignment.h"
+
+#include <cstdio>
+#include <cinttypes>
+
+#include "core/path_history.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace core {
+
+HashAssignment::HashAssignment(unsigned default_length)
+    : defaultLength_(default_length)
+{
+    setDefaultLength(default_length);
+}
+
+unsigned
+HashAssignment::lookup(std::uint64_t pc) const
+{
+    const auto it = table_.find(pc);
+    return it == table_.end() ? defaultLength_ : it->second;
+}
+
+void
+HashAssignment::assign(std::uint64_t pc, unsigned length)
+{
+    if (length < 1 || length > maxPathLength)
+        util::fatal("hash function number out of range");
+    table_[pc] = length;
+}
+
+bool
+HashAssignment::contains(std::uint64_t pc) const
+{
+    return table_.find(pc) != table_.end();
+}
+
+void
+HashAssignment::setDefaultLength(unsigned length)
+{
+    if (length < 1 || length > maxPathLength)
+        util::fatal("default hash function number out of range");
+    defaultLength_ = length;
+}
+
+util::Histogram
+HashAssignment::lengthHistogram() const
+{
+    util::Histogram histogram(maxPathLength + 1);
+    for (const auto &[pc, length] : table_) {
+        (void)pc;
+        histogram.add(length);
+    }
+    return histogram;
+}
+
+void
+HashAssignment::save(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        util::fatal("cannot create assignment file: " + path);
+    std::fprintf(file, "default %u\n", defaultLength_);
+    for (const auto &[pc, length] : table_)
+        std::fprintf(file, "%" PRIx64 " %u\n", pc, length);
+    std::fclose(file);
+}
+
+HashAssignment
+HashAssignment::load(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (file == nullptr)
+        util::fatal("cannot open assignment file: " + path);
+
+    unsigned default_length = 0;
+    if (std::fscanf(file, "default %u\n", &default_length) != 1) {
+        std::fclose(file);
+        util::fatal("malformed assignment file header: " + path);
+    }
+    HashAssignment assignment(default_length);
+
+    std::uint64_t pc = 0;
+    unsigned length = 0;
+    while (std::fscanf(file, "%" SCNx64 " %u\n", &pc, &length) == 2)
+        assignment.assign(pc, length);
+    std::fclose(file);
+    return assignment;
+}
+
+} // namespace core
+} // namespace vlp

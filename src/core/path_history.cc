@@ -1,0 +1,132 @@
+/**
+ * @file
+ * PathIndexBank implementation.
+ */
+
+#include "core/path_history.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace core {
+
+PathIndexBank::PathIndexBank(unsigned index_bits,
+                             PathHistoryOptions options)
+    : indexBits_(index_bits), options_(options)
+{
+    if (index_bits < 1 || index_bits > 32)
+        util::fatal("path index width must be 1..32 bits");
+    if (options_.depth < 1 || options_.depth > maxPathLength)
+        util::fatal("THB depth must be 1..32");
+    thb_.assign(options_.depth, 0);
+    indices_.assign(options_.depth, 0);
+}
+
+std::uint64_t
+PathIndexBank::compress(std::uint64_t target) const
+{
+    // Drop the word-alignment bits, then the high-order bits
+    // ("we compressed the target addresses by simply discarding the
+    // higher order bits", Section 3.1).
+    return util::truncate(target >> 2, indexBits_);
+}
+
+void
+PathIndexBank::observe(const trace::BranchRecord &record)
+{
+    if (options_.historyStack) {
+        if (record.isCall()) {
+            // Save the caller's history; the indirect-call target (if
+            // any) is inserted below, *after* the snapshot, so the
+            // callee still sees which call site it came from.
+            if (snapshots_.size() >= options_.historyStackDepth)
+                snapshots_.erase(snapshots_.begin());
+            snapshots_.push_back(
+                Snapshot{thb_, indices_, occupancy_});
+        } else if (record.isReturn() && !snapshots_.empty()) {
+            Snapshot &saved = snapshots_.back();
+            thb_ = std::move(saved.thb);
+            indices_ = std::move(saved.indices);
+            occupancy_ = saved.occupancy;
+            snapshots_.pop_back();
+            return;
+        }
+    }
+    if (record.entersPathHistory(options_.includeReturns))
+        insert(record.nextPc);
+}
+
+void
+PathIndexBank::insert(std::uint64_t target)
+{
+    const std::uint64_t compressed = compress(target);
+
+    // Update the partial-sum registers, longest first so each reads
+    // its predecessor's pre-insertion value:
+    //   I_X(new) = rotl(I_{X-1}(old), 1) XOR T_new.
+    // Without rotation the ordering information is lost (ablation).
+    for (unsigned x = options_.depth; x-- > 1;) {
+        const std::uint64_t prev = indices_[x - 1];
+        indices_[x] = options_.rotateTargets
+            ? util::rotl(prev, 1, indexBits_) ^ compressed
+            : prev ^ compressed;
+    }
+    indices_[0] = compressed;
+
+    // Shift the THB itself.
+    for (unsigned i = options_.depth; i-- > 1;)
+        thb_[i] = thb_[i - 1];
+    thb_[0] = compressed;
+
+    if (occupancy_ < options_.depth)
+        ++occupancy_;
+}
+
+std::uint64_t
+PathIndexBank::index(unsigned length) const
+{
+    assert(length >= 1 && length <= options_.depth);
+    return indices_[length - 1];
+}
+
+std::uint64_t
+PathIndexBank::directIndex(unsigned length) const
+{
+    assert(length >= 1 && length <= options_.depth);
+    std::uint64_t result = 0;
+    for (unsigned i = 0; i < length; ++i) {
+        result ^= options_.rotateTargets
+            ? util::rotl(thb_[i], i, indexBits_)
+            : thb_[i];
+    }
+    return result;
+}
+
+std::uint64_t
+PathIndexBank::target(unsigned i) const
+{
+    assert(i >= 1 && i <= options_.depth);
+    return thb_[i - 1];
+}
+
+void
+PathIndexBank::clear()
+{
+    thb_.assign(options_.depth, 0);
+    indices_.assign(options_.depth, 0);
+    occupancy_ = 0;
+    snapshots_.clear();
+}
+
+std::size_t
+PathIndexBank::historyBytes() const
+{
+    // N k-bit targets plus N k-bit partial-sum registers.
+    return (2 * options_.depth * indexBits_ + 7) / 8;
+}
+
+} // namespace core
+} // namespace vlp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The Target History Buffer (THB) and the incremental hash-index bank —
+ * the first-level history of the paper's path predictors (Sections 3.1
+ * through 3.3 and 4.1).
+ *
+ * The THB records the k-bit-compressed executed destinations of the
+ * most recent history-eligible branches (conditional and indirect; not
+ * unconditional; returns optional and off by default, as in the paper's
+ * experiments). For every path length X in 1..N, hash function HF_X
+ * XORs the X most recent compressed targets, each target T_i rotated
+ * left by i-1 bits as a k-bit number, producing index I_X.
+ *
+ * Evaluating HF_X from scratch needs X rotators and an XOR tree; the
+ * paper's hardware solution (Section 4.1) keeps a "partial sum"
+ * register per hash function and updates all of them with a single
+ * rotate-by-one and XOR per inserted target:
+ *
+ *     I_X(new) = rotl(I_{X-1}(old), 1) XOR T_new
+ *
+ * PathIndexBank implements exactly this recurrence; directIndex()
+ * recomputes an index from the buffered targets the slow way so tests
+ * can prove the two always agree.
+ */
+
+#ifndef VLPSIM_CORE_PATH_HISTORY_H
+#define VLPSIM_CORE_PATH_HISTORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/branch_record.h"
+
+namespace vlp {
+namespace core {
+
+/** Maximum THB depth / number of hash functions (as in the paper). */
+constexpr unsigned maxPathLength = 32;
+
+/** Options controlling path-history construction. */
+struct PathHistoryOptions
+{
+    /** THB depth N / number of hash functions implemented. */
+    unsigned depth = maxPathLength;
+    /**
+     * Rotate T_i by i-1 bits before XORing (Section 3.3). Turning
+     * this off loses the ordering information — an ablation knob.
+     */
+    bool rotateTargets = true;
+    /** Also insert return targets (Section 3.2 ablation; paper: no). */
+    bool includeReturns = false;
+    /**
+     * The paper's Section 6 extension idea (after Jacobson et al.):
+     * snapshot the history on every subroutine call and restore it on
+     * the matching return, so branches after a call see the same path
+     * regardless of what the callee did. Off in the paper's
+     * experiments; measured by bench_ablation.
+     */
+    bool historyStack = false;
+    /** Snapshot stack depth when historyStack is on. */
+    unsigned historyStackDepth = 64;
+};
+
+/**
+ * THB plus the bank of N incrementally-maintained hash indices, all
+ * compressed to @c indexBits() bits.
+ */
+class PathIndexBank
+{
+  public:
+    /**
+     * @param index_bits k: predictor-table index width the targets are
+     *        compressed to
+     * @param options    history construction options
+     */
+    explicit PathIndexBank(unsigned index_bits,
+                           PathHistoryOptions options = {});
+
+    /**
+     * Compress a target address to k bits by discarding high-order
+     * bits (after dropping the always-zero word-alignment bits).
+     */
+    std::uint64_t compress(std::uint64_t target) const;
+
+    /**
+     * Insert the destination of a retired branch if the paper's THB
+     * policy admits it (conditional/indirect; optionally returns).
+     */
+    void observe(const trace::BranchRecord &record);
+
+    /** Unconditionally insert a (pre-compression) target address. */
+    void insert(std::uint64_t target);
+
+    /**
+     * Index produced by hash function HF_length.
+     * @param length path length, 1..depth()
+     */
+    std::uint64_t index(unsigned length) const;
+
+    /**
+     * Reference recomputation of HF_length directly from the buffered
+     * targets (rotate-and-XOR tree). Used by tests to validate the
+     * incremental "partial sum" maintenance; O(length).
+     */
+    std::uint64_t directIndex(unsigned length) const;
+
+    /** The i-th most recent compressed target, i in 1..depth(). */
+    std::uint64_t target(unsigned i) const;
+
+    /** Number of targets inserted so far (saturating at depth). */
+    unsigned occupancy() const { return occupancy_; }
+
+    /** Index width k in bits. */
+    unsigned indexBits() const { return indexBits_; }
+
+    /** THB depth N. */
+    unsigned depth() const { return options_.depth; }
+
+    /** History construction options. */
+    const PathHistoryOptions &options() const { return options_; }
+
+    /** Clear all history. */
+    void clear();
+
+    /**
+     * Hardware cost of the first-level history: the THB (N targets of
+     * k bits) plus the N partial-sum registers of k bits. Reported
+     * separately from predictor-table budgets, as the paper does.
+     */
+    std::size_t historyBytes() const;
+
+  private:
+    /** One saved history snapshot (historyStack extension). */
+    struct Snapshot
+    {
+        std::vector<std::uint64_t> thb;
+        std::vector<std::uint64_t> indices;
+        unsigned occupancy = 0;
+    };
+
+    unsigned indexBits_;
+    PathHistoryOptions options_;
+    /** thb_[0] is the most recent compressed target. */
+    std::vector<std::uint64_t> thb_;
+    /** indices_[x] holds I_{x+1}. */
+    std::vector<std::uint64_t> indices_;
+    unsigned occupancy_ = 0;
+    /** Saved snapshots, newest last (historyStack extension). */
+    std::vector<Snapshot> snapshots_;
+};
+
+} // namespace core
+} // namespace vlp
+
+#endif // VLPSIM_CORE_PATH_HISTORY_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * FLP/VLP predictor implementations.
+ */
+
+#include "core/path_predictor.h"
+
+namespace vlp {
+namespace core {
+
+PathConditionalPredictor::PathConditionalPredictor(
+        unsigned index_bits, unsigned fixed_length,
+        PathHistoryOptions options)
+    : bank_(index_bits, options),
+      assignment_(fixed_length),
+      variable_(false),
+      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+{
+}
+
+PathConditionalPredictor::PathConditionalPredictor(
+        unsigned index_bits, HashAssignment assignment,
+        PathHistoryOptions options)
+    : bank_(index_bits, options),
+      assignment_(std::move(assignment)),
+      variable_(true),
+      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+{
+}
+
+std::size_t
+PathConditionalPredictor::tableIndex(std::uint64_t pc) const
+{
+    unsigned length = assignment_.lookup(pc);
+    if (length > bank_.depth())
+        length = bank_.depth();
+    return static_cast<std::size_t>(bank_.index(length));
+}
+
+bool
+PathConditionalPredictor::predict(const trace::BranchRecord &branch)
+{
+    return table_[tableIndex(branch.pc)].predictTaken();
+}
+
+void
+PathConditionalPredictor::update(const trace::BranchRecord &branch)
+{
+    table_[tableIndex(branch.pc)].update(branch.taken);
+}
+
+void
+PathConditionalPredictor::observe(const trace::BranchRecord &record)
+{
+    bank_.observe(record);
+}
+
+std::string
+PathConditionalPredictor::name() const
+{
+    return variable_ ? "variable length path" : "fixed length path";
+}
+
+std::size_t
+PathConditionalPredictor::sizeBytes() const
+{
+    return table_.size() / 4;
+}
+
+PathIndirectPredictor::PathIndirectPredictor(unsigned index_bits,
+                                             unsigned fixed_length,
+                                             PathHistoryOptions options)
+    : bank_(index_bits, options),
+      assignment_(fixed_length),
+      variable_(false),
+      table_(std::size_t{1} << index_bits, 0)
+{
+}
+
+PathIndirectPredictor::PathIndirectPredictor(unsigned index_bits,
+                                             HashAssignment assignment,
+                                             PathHistoryOptions options)
+    : bank_(index_bits, options),
+      assignment_(std::move(assignment)),
+      variable_(true),
+      table_(std::size_t{1} << index_bits, 0)
+{
+}
+
+std::size_t
+PathIndirectPredictor::tableIndex(std::uint64_t pc) const
+{
+    unsigned length = assignment_.lookup(pc);
+    if (length > bank_.depth())
+        length = bank_.depth();
+    return static_cast<std::size_t>(bank_.index(length));
+}
+
+std::uint64_t
+PathIndirectPredictor::predict(const trace::BranchRecord &branch)
+{
+    return pred::widenTarget(table_[tableIndex(branch.pc)], branch.pc);
+}
+
+void
+PathIndirectPredictor::update(const trace::BranchRecord &branch)
+{
+    table_[tableIndex(branch.pc)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+}
+
+void
+PathIndirectPredictor::observe(const trace::BranchRecord &record)
+{
+    bank_.observe(record);
+}
+
+std::string
+PathIndirectPredictor::name() const
+{
+    return variable_ ? "variable length path" : "fixed length path";
+}
+
+std::size_t
+PathIndirectPredictor::sizeBytes() const
+{
+    return table_.size() * sizeof(std::uint32_t);
+}
+
+} // namespace core
+} // namespace vlp

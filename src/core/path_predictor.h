@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The paper's predictors: fixed length path (FLP) and variable length
+ * path (VLP), for conditional and for indirect branches.
+ *
+ * Both share the same machinery — a PathIndexBank producing indices
+ * I_1..I_N and one predictor table — and differ only in how the hash
+ * function number is chosen per branch: a single global number for FLP
+ * (the "default value" of Section 3.4), a profiled per-branch number
+ * (a HashAssignment) for VLP.
+ */
+
+#ifndef VLPSIM_CORE_PATH_PREDICTOR_H
+#define VLPSIM_CORE_PATH_PREDICTOR_H
+
+#include <vector>
+
+#include "core/hash_assignment.h"
+#include "core/path_history.h"
+#include "predictors/predictor.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace core {
+
+/**
+ * Path-based conditional branch predictor: the selected hash index
+ * addresses a table of 2-bit saturating up/down counters.
+ */
+class PathConditionalPredictor : public pred::ConditionalPredictor
+{
+  public:
+    /**
+     * Fixed length path predictor: every branch uses @p fixed_length.
+     */
+    PathConditionalPredictor(unsigned index_bits, unsigned fixed_length,
+                             PathHistoryOptions options = {});
+
+    /**
+     * Variable length path predictor: per-branch lengths from
+     * @p assignment (profiled), default for unassigned branches.
+     */
+    PathConditionalPredictor(unsigned index_bits,
+                             HashAssignment assignment,
+                             PathHistoryOptions options = {});
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override;
+
+    std::size_t sizeBytes() const override;
+
+    /** The hash-number assignment in force. */
+    const HashAssignment &assignment() const { return assignment_; }
+
+    /** The shared first-level history (exposed for tests/profiling). */
+    const PathIndexBank &bank() const { return bank_; }
+
+    /** First-level history hardware cost (reported separately). */
+    std::size_t historyBytes() const { return bank_.historyBytes(); }
+
+  private:
+    std::size_t tableIndex(std::uint64_t pc) const;
+
+    PathIndexBank bank_;
+    HashAssignment assignment_;
+    bool variable_;
+    std::vector<util::SaturatingCounter> table_;
+};
+
+/**
+ * Path-based indirect branch predictor: the selected hash index
+ * addresses a table of target registers holding the 32 low-order bits
+ * of the last target written (Section 3.1 and the footnote in 5.2.2).
+ */
+class PathIndirectPredictor : public pred::IndirectPredictor
+{
+  public:
+    /** Fixed length path predictor for indirect branches. */
+    PathIndirectPredictor(unsigned index_bits, unsigned fixed_length,
+                          PathHistoryOptions options = {});
+
+    /** Variable length path predictor for indirect branches. */
+    PathIndirectPredictor(unsigned index_bits,
+                          HashAssignment assignment,
+                          PathHistoryOptions options = {});
+
+    std::uint64_t predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override;
+
+    std::size_t sizeBytes() const override;
+
+    /** The hash-number assignment in force. */
+    const HashAssignment &assignment() const { return assignment_; }
+
+    /** The shared first-level history (exposed for tests/profiling). */
+    const PathIndexBank &bank() const { return bank_; }
+
+    /** First-level history hardware cost (reported separately). */
+    std::size_t historyBytes() const { return bank_.historyBytes(); }
+
+  private:
+    std::size_t tableIndex(std::uint64_t pc) const;
+
+    PathIndexBank bank_;
+    HashAssignment assignment_;
+    bool variable_;
+    std::vector<std::uint32_t> table_;
+};
+
+} // namespace core
+} // namespace vlp
+
+#endif // VLPSIM_CORE_PATH_PREDICTOR_H

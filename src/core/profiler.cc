@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Profiling heuristic implementation.
+ */
+
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/path_predictor.h"
+#include "predictors/predictor.h"
+#include "util/logging.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace core {
+
+double
+FixedLengthSweep::rate(unsigned length) const
+{
+    assert(length >= 1 && length <= mispredictions.size());
+    if (branches == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(mispredictions[length - 1])
+         / static_cast<double>(branches);
+}
+
+unsigned
+FixedLengthSweep::bestLength() const
+{
+    assert(!mispredictions.empty());
+    unsigned best = 1;
+    for (unsigned length = 2; length <= mispredictions.size();
+         ++length) {
+        if (mispredictions[length - 1] < mispredictions[best - 1])
+            best = length;
+    }
+    return best;
+}
+
+namespace {
+
+void
+validateOptions(const ProfileOptions &options)
+{
+    if (options.maxLength < 1 || options.maxLength > maxPathLength)
+        util::fatal("profile maxLength must be 1..32");
+    if (options.candidates < 1)
+        util::fatal("profile candidate count must be >= 1");
+    if (options.iterations < 1)
+        util::fatal("profile iteration count must be >= 1");
+}
+
+PathHistoryOptions
+historyFor(const ProfileOptions &options)
+{
+    PathHistoryOptions history = options.history;
+    history.depth = options.maxLength;
+    return history;
+}
+
+} // anonymous namespace
+
+ConditionalProfiler::ConditionalProfiler(ProfileOptions options)
+    : options_(options)
+{
+    validateOptions(options_);
+}
+
+const FixedLengthSweep &
+ConditionalProfiler::runStep1(trace::TraceSource &profile_trace)
+{
+    const unsigned num_lengths = options_.maxLength;
+    const std::size_t table_size = std::size_t{1} << options_.indexBits;
+
+    PathIndexBank bank(options_.indexBits, historyFor(options_));
+    // One private table per hash function (step 1 of Section 3.5).
+    std::vector<std::vector<util::SaturatingCounter>> tables(
+        num_lengths,
+        std::vector<util::SaturatingCounter>(
+            table_size, util::SaturatingCounter(2)));
+
+    FixedLengthSweep sweep;
+    sweep.mispredictions.assign(num_lengths, 0);
+    profiles_.clear();
+
+    profile_trace.reset();
+    trace::BranchRecord record;
+    while (profile_trace.next(record)) {
+        if (record.isConditional()) {
+            BranchProfile &profile = profiles_[record.pc];
+            ++profile.executions;
+            ++sweep.branches;
+            for (unsigned length = 1; length <= num_lengths; ++length) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(bank.index(length));
+                util::SaturatingCounter &counter =
+                    tables[length - 1][idx];
+                if (counter.predictTaken() == record.taken)
+                    ++profile.correct[length - 1];
+                else
+                    ++sweep.mispredictions[length - 1];
+                counter.update(record.taken);
+            }
+        }
+        bank.observe(record);
+    }
+    sweep_ = std::move(sweep);
+    step1Done_ = true;
+    return sweep_;
+}
+
+HashAssignment
+ConditionalProfiler::runStep2(trace::TraceSource &profile_trace)
+{
+    if (!step1Done_)
+        util::fatal("profiler step 2 requires step 1 to have run");
+    CandidateSelector selector(profiles_, sweep_, options_.candidates,
+                               options_.maxLength);
+
+    for (unsigned iteration = 0; iteration < options_.iterations;
+         ++iteration) {
+        const HashAssignment assignment = selector.nextAssignment();
+        PathConditionalPredictor predictor(options_.indexBits,
+                                           assignment,
+                                           historyFor(options_));
+        std::unordered_map<std::uint64_t, std::uint64_t> misses;
+
+        profile_trace.reset();
+        trace::BranchRecord record;
+        while (profile_trace.next(record)) {
+            if (record.isConditional()) {
+                if (predictor.predict(record) != record.taken)
+                    ++misses[record.pc];
+                predictor.update(record);
+            }
+            predictor.observe(record);
+        }
+        selector.recordResults(assignment, misses);
+    }
+    return selector.finalAssignment();
+}
+
+HashAssignment
+ConditionalProfiler::profile(trace::TraceSource &profile_trace)
+{
+    runStep1(profile_trace);
+    return runStep2(profile_trace);
+}
+
+IndirectProfiler::IndirectProfiler(ProfileOptions options)
+    : options_(options)
+{
+    validateOptions(options_);
+}
+
+const FixedLengthSweep &
+IndirectProfiler::runStep1(trace::TraceSource &profile_trace)
+{
+    const unsigned num_lengths = options_.maxLength;
+    const std::size_t table_size = std::size_t{1} << options_.indexBits;
+
+    PathIndexBank bank(options_.indexBits, historyFor(options_));
+    std::vector<std::vector<std::uint32_t>> tables(
+        num_lengths, std::vector<std::uint32_t>(table_size, 0));
+
+    FixedLengthSweep sweep;
+    sweep.mispredictions.assign(num_lengths, 0);
+    profiles_.clear();
+
+    profile_trace.reset();
+    trace::BranchRecord record;
+    while (profile_trace.next(record)) {
+        if (record.isIndirect()) {
+            BranchProfile &profile = profiles_[record.pc];
+            ++profile.executions;
+            ++sweep.branches;
+            const std::uint32_t actual =
+                static_cast<std::uint32_t>(record.nextPc);
+            for (unsigned length = 1; length <= num_lengths; ++length) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(bank.index(length));
+                std::uint32_t &entry = tables[length - 1][idx];
+                if (pred::widenTarget(entry, record.pc)
+                    == record.nextPc) {
+                    ++profile.correct[length - 1];
+                } else {
+                    ++sweep.mispredictions[length - 1];
+                }
+                entry = actual;
+            }
+        }
+        bank.observe(record);
+    }
+    sweep_ = std::move(sweep);
+    step1Done_ = true;
+    return sweep_;
+}
+
+HashAssignment
+IndirectProfiler::runStep2(trace::TraceSource &profile_trace)
+{
+    if (!step1Done_)
+        util::fatal("profiler step 2 requires step 1 to have run");
+    CandidateSelector selector(profiles_, sweep_, options_.candidates,
+                               options_.maxLength);
+
+    for (unsigned iteration = 0; iteration < options_.iterations;
+         ++iteration) {
+        const HashAssignment assignment = selector.nextAssignment();
+        PathIndirectPredictor predictor(options_.indexBits, assignment,
+                                        historyFor(options_));
+        std::unordered_map<std::uint64_t, std::uint64_t> misses;
+
+        profile_trace.reset();
+        trace::BranchRecord record;
+        while (profile_trace.next(record)) {
+            if (record.isIndirect()) {
+                if (predictor.predict(record) != record.nextPc)
+                    ++misses[record.pc];
+                predictor.update(record);
+            }
+            predictor.observe(record);
+        }
+        selector.recordResults(assignment, misses);
+    }
+    return selector.finalAssignment();
+}
+
+HashAssignment
+IndirectProfiler::profile(trace::TraceSource &profile_trace)
+{
+    runStep1(profile_trace);
+    return runStep2(profile_trace);
+}
+
+CandidateSelector::CandidateSelector(
+        const std::unordered_map<std::uint64_t, BranchProfile> &profiles,
+        const FixedLengthSweep &sweep, unsigned candidates,
+        unsigned max_length)
+    : defaultLength_(sweep.bestLength())
+{
+    for (const auto &[pc, profile] : profiles) {
+        // Rank lengths by step-1 correct count, descending; ties go to
+        // the shorter (cheaper-to-train) length.
+        std::vector<unsigned> order(max_length);
+        for (unsigned length = 1; length <= max_length; ++length)
+            order[length - 1] = length;
+        std::stable_sort(order.begin(), order.end(),
+            [&profile](unsigned a, unsigned b) {
+                if (profile.correct[a - 1] != profile.correct[b - 1])
+                    return profile.correct[a - 1]
+                         > profile.correct[b - 1];
+                return a < b;
+            });
+
+        Entry entry;
+        const unsigned keep =
+            std::min<unsigned>(candidates, max_length);
+        entry.lengths.assign(order.begin(), order.begin() + keep);
+        entry.recorded.assign(keep, untested);
+        entries_.emplace(pc, std::move(entry));
+    }
+}
+
+std::size_t
+CandidateSelector::chooseCandidate(const Entry &entry) const
+{
+    // Untested candidates (recorded as "never mispredicted") are
+    // always chosen before tested ones; among tested ones, take the
+    // fewest mispredictions.
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < entry.recorded.size(); ++i) {
+        if (entry.recorded[i] == untested)
+            return i;
+        if (entry.recorded[i] < entry.recorded[best])
+            best = i;
+    }
+    return best;
+}
+
+HashAssignment
+CandidateSelector::nextAssignment() const
+{
+    HashAssignment assignment(defaultLength_);
+    for (const auto &[pc, entry] : entries_)
+        assignment.assign(pc, entry.lengths[chooseCandidate(entry)]);
+    return assignment;
+}
+
+void
+CandidateSelector::recordResults(
+        const HashAssignment &tested,
+        const std::unordered_map<std::uint64_t, std::uint64_t>
+            &mispredictions)
+{
+    for (auto &[pc, entry] : entries_) {
+        const unsigned used = tested.lookup(pc);
+        const auto pos = std::find(entry.lengths.begin(),
+                                   entry.lengths.end(), used);
+        if (pos == entry.lengths.end())
+            continue; // not one of this branch's candidates
+        const std::size_t idx =
+            static_cast<std::size_t>(pos - entry.lengths.begin());
+        const auto it = mispredictions.find(pc);
+        entry.recorded[idx] =
+            it == mispredictions.end() ? 0 : it->second;
+    }
+}
+
+HashAssignment
+CandidateSelector::finalAssignment() const
+{
+    HashAssignment assignment(defaultLength_);
+    for (const auto &[pc, entry] : entries_) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < entry.recorded.size(); ++i) {
+            const std::uint64_t a = entry.recorded[i];
+            const std::uint64_t b = entry.recorded[best];
+            // An untested candidate (possible when iterations <
+            // candidates) never wins over a tested one.
+            if (a != untested && (b == untested || a < b))
+                best = i;
+        }
+        assignment.assign(pc, entry.lengths[best]);
+    }
+    return assignment;
+}
+
+} // namespace core
+} // namespace vlp

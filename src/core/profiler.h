@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The paper's profiling heuristic (Section 3.5) and fixed-length
+ * sweeps.
+ *
+ * Step 1 simulates N fixed length path predictors — one per hash
+ * function, each with a private predictor table but all sharing one
+ * THB — on the profile input, recording per static branch how many
+ * times each predictor was correct. The top C (default 3) hash numbers
+ * per branch become its candidates.
+ *
+ * Step 2 simulates one variable length path predictor (N hash
+ * functions, one shared table) for a fixed number of iterations
+ * (default 7). Each iteration selects, per branch, the candidate with
+ * the fewest recorded mispredictions so far — untested candidates
+ * count as zero so they are tried first — and then records the chosen
+ * candidate's actual misprediction count. The final assignment takes,
+ * per branch, the candidate with the fewest recorded mispredictions.
+ * Step 2 exists to reduce the branch interference that appears when
+ * all hash functions share one table.
+ *
+ * Branches not exercised during profiling get the default number: the
+ * hash function with the highest overall accuracy on the profiled
+ * branches. The same sweep machinery also yields the global fixed
+ * length (Table 2) and the per-benchmark "tuned" fixed length of
+ * Figures 9 and 10.
+ */
+
+#ifndef VLPSIM_CORE_PROFILER_H
+#define VLPSIM_CORE_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hash_assignment.h"
+#include "core/path_history.h"
+#include "trace/trace_source.h"
+
+namespace vlp {
+namespace core {
+
+/** Profiling parameters. */
+struct ProfileOptions
+{
+    /** Predictor-table index width k. */
+    unsigned indexBits = 14;
+    /** Number of hash functions N (1..32). */
+    unsigned maxLength = maxPathLength;
+    /** Candidates kept per static branch after step 1. */
+    unsigned candidates = 3;
+    /** Step-2 iterations (must be >= 1; the paper uses 7). */
+    unsigned iterations = 7;
+    /** Path history construction options (depth is forced to
+     *  maxLength). */
+    PathHistoryOptions history = {};
+};
+
+/** Result of simulating all N fixed-length predictors over a trace. */
+struct FixedLengthSweep
+{
+    /** mispredictions[L-1]: total mispredictions at path length L. */
+    std::vector<std::uint64_t> mispredictions;
+    /** Dynamic branches of the profiled class seen. */
+    std::uint64_t branches = 0;
+
+    /** Misprediction rate (%) at path length @p length. */
+    double rate(unsigned length) const;
+
+    /** Path length with the fewest mispredictions (ties: shortest). */
+    unsigned bestLength() const;
+};
+
+/** Per-static-branch step-1 profile record. */
+struct BranchProfile
+{
+    /** correct[L-1]: correct predictions at path length L. */
+    std::array<std::uint32_t, maxPathLength> correct{};
+    /** Dynamic executions seen while profiling. */
+    std::uint32_t executions = 0;
+};
+
+/**
+ * Profiles conditional branches and produces a HashAssignment.
+ */
+class ConditionalProfiler
+{
+  public:
+    explicit ConditionalProfiler(ProfileOptions options);
+
+    /**
+     * Step 1: simulate the N fixed-length predictors, populating the
+     * per-branch records and the aggregate sweep (also retrievable
+     * later via step1Sweep()).
+     */
+    const FixedLengthSweep &runStep1(trace::TraceSource &profile_trace);
+
+    /**
+     * Step 2: iterate candidate selection. Requires runStep1() first.
+     * @return the final per-branch assignment
+     */
+    HashAssignment runStep2(trace::TraceSource &profile_trace);
+
+    /**
+     * Run both steps over @p profile_trace (reset before each pass)
+     * and return the per-branch hash-number assignment.
+     */
+    HashAssignment profile(trace::TraceSource &profile_trace);
+
+    /** Aggregate sweep from the last runStep1(). */
+    const FixedLengthSweep &step1Sweep() const { return sweep_; }
+
+    /** Per-branch step-1 records from the last runStep1(). */
+    const std::unordered_map<std::uint64_t, BranchProfile> &
+    branchProfiles() const
+    {
+        return profiles_;
+    }
+
+  private:
+    ProfileOptions options_;
+    std::unordered_map<std::uint64_t, BranchProfile> profiles_;
+    FixedLengthSweep sweep_;
+    bool step1Done_ = false;
+};
+
+/**
+ * Profiles indirect branches (jumps and calls; returns excluded) and
+ * produces a HashAssignment.
+ */
+class IndirectProfiler
+{
+  public:
+    explicit IndirectProfiler(ProfileOptions options);
+
+    /** Step 1: simulate the N fixed-length predictors. */
+    const FixedLengthSweep &runStep1(trace::TraceSource &profile_trace);
+
+    /** Step 2: iterate candidate selection (requires runStep1()). */
+    HashAssignment runStep2(trace::TraceSource &profile_trace);
+
+    /** Run both steps and return the assignment. */
+    HashAssignment profile(trace::TraceSource &profile_trace);
+
+    /** Aggregate sweep from the last runStep1(). */
+    const FixedLengthSweep &step1Sweep() const { return sweep_; }
+
+    /** Per-branch step-1 records from the last runStep1(). */
+    const std::unordered_map<std::uint64_t, BranchProfile> &
+    branchProfiles() const
+    {
+        return profiles_;
+    }
+
+  private:
+    ProfileOptions options_;
+    std::unordered_map<std::uint64_t, BranchProfile> profiles_;
+    FixedLengthSweep sweep_;
+    bool step1Done_ = false;
+};
+
+/**
+ * Shared by both profilers: turn step-1 per-branch records into
+ * candidate lists, run step 2 with the given simulation callback, and
+ * assemble the final assignment.
+ *
+ * Exposed for white-box testing; regular users call
+ * ConditionalProfiler::profile() / IndirectProfiler::profile().
+ */
+class CandidateSelector
+{
+  public:
+    /**
+     * @param profiles   step-1 per-branch records
+     * @param sweep      step-1 aggregate (defines the default length)
+     * @param candidates candidates kept per branch
+     * @param max_length number of hash functions N
+     */
+    CandidateSelector(
+        const std::unordered_map<std::uint64_t, BranchProfile> &profiles,
+        const FixedLengthSweep &sweep, unsigned candidates,
+        unsigned max_length);
+
+    /**
+     * The assignment to test in the next step-2 iteration: per branch
+     * the candidate with the fewest recorded mispredictions, untested
+     * candidates first.
+     */
+    HashAssignment nextAssignment() const;
+
+    /**
+     * Record the result of testing @p tested: per-branch misprediction
+     * counts observed with that assignment.
+     */
+    void recordResults(
+        const HashAssignment &tested,
+        const std::unordered_map<std::uint64_t, std::uint64_t>
+            &mispredictions);
+
+    /** Final assignment after all iterations. */
+    HashAssignment finalAssignment() const;
+
+    /** Default (global best) hash number. */
+    unsigned defaultLength() const { return defaultLength_; }
+
+  private:
+    static constexpr std::uint64_t untested =
+        ~std::uint64_t{0};
+
+    struct Entry
+    {
+        /** Candidate hash numbers, best step-1 accuracy first. */
+        std::vector<unsigned> lengths;
+        /** Recorded mispredictions per candidate (untested marker). */
+        std::vector<std::uint64_t> recorded;
+    };
+
+    /** Index of the candidate nextAssignment() picks for @p entry. */
+    std::size_t chooseCandidate(const Entry &entry) const;
+
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    unsigned defaultLength_;
+};
+
+} // namespace core
+} // namespace vlp
+
+#endif // VLPSIM_CORE_PROFILER_H

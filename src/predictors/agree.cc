@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Agree predictor implementation.
+ */
+
+#include "predictors/agree.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+AgreePredictor::AgreePredictor(unsigned index_bits,
+                               unsigned bias_index_bits)
+    : indexBits_(index_bits),
+      biasIndexBits_(bias_index_bits),
+      history_(index_bits),
+      agree_(std::size_t{1} << index_bits,
+             util::SaturatingCounter(2, 3)), // start strongly agreeing
+      bias_(std::size_t{1} << bias_index_bits, 1),
+      biasSet_(std::size_t{1} << bias_index_bits, false)
+{
+}
+
+std::size_t
+AgreePredictor::counterIndex(std::uint64_t pc) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), indexBits_));
+}
+
+std::size_t
+AgreePredictor::biasIndex(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, biasIndexBits_));
+}
+
+bool
+AgreePredictor::predict(const trace::BranchRecord &branch)
+{
+    const bool bias = bias_[biasIndex(branch.pc)] != 0;
+    const bool agrees = agree_[counterIndex(branch.pc)].predictTaken();
+    return agrees ? bias : !bias;
+}
+
+void
+AgreePredictor::update(const trace::BranchRecord &branch)
+{
+    const std::size_t slot = biasIndex(branch.pc);
+    if (!biasSet_[slot]) {
+        // The biasing bit is set to the first observed outcome (the
+        // paper's "first time" policy, a stand-in for a compiler hint).
+        bias_[slot] = branch.taken ? 1 : 0;
+        biasSet_[slot] = true;
+    }
+    const bool bias = bias_[slot] != 0;
+    agree_[counterIndex(branch.pc)].update(branch.taken == bias);
+}
+
+void
+AgreePredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isConditional())
+        history_.push(record.taken);
+}
+
+std::size_t
+AgreePredictor::sizeBytes() const
+{
+    // 2-bit agree counters plus 1-bit biasing entries.
+    return agree_.size() / 4 + bias_.size() / 8;
+}
+
+} // namespace pred
+} // namespace vlp

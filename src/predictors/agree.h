@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The agree predictor (Sprangle, Chappell, Alsup & Patt, ISCA'97),
+ * cited by the paper as a mechanism for reducing negative history
+ * interference. Instead of predicting taken/not-taken, the history
+ * indexed counters predict whether the branch *agrees* with a
+ * per-branch biasing bit, so two branches aliasing to the same counter
+ * usually push it the same way.
+ */
+
+#ifndef VLPSIM_PREDICTORS_AGREE_H
+#define VLPSIM_PREDICTORS_AGREE_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/history_register.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace pred {
+
+/** gshare-indexed agree/disagree counters + PC-indexed biasing bits. */
+class AgreePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param index_bits      log2 of the agree-counter table size
+     * @param bias_index_bits log2 of the biasing-bit table size
+     */
+    explicit AgreePredictor(unsigned index_bits,
+                            unsigned bias_index_bits = 12);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override { return "agree"; }
+
+    std::size_t sizeBytes() const override;
+
+  private:
+    std::size_t counterIndex(std::uint64_t pc) const;
+    std::size_t biasIndex(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    unsigned biasIndexBits_;
+    util::BitHistoryRegister history_;
+    std::vector<util::SaturatingCounter> agree_;
+    /** Biasing bit per entry: the first-seen direction. */
+    std::vector<std::uint8_t> bias_;
+    std::vector<bool> biasSet_;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_AGREE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bimodal predictor implementation.
+ */
+
+#include "predictors/bimodal.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : indexBits_(index_bits),
+      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+{
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, indexBits_));
+}
+
+bool
+BimodalPredictor::predict(const trace::BranchRecord &branch)
+{
+    return table_[index(branch.pc)].predictTaken();
+}
+
+void
+BimodalPredictor::update(const trace::BranchRecord &branch)
+{
+    table_[index(branch.pc)].update(branch.taken);
+}
+
+std::size_t
+BimodalPredictor::sizeBytes() const
+{
+    return table_.size() / 4;
+}
+
+} // namespace pred
+} // namespace vlp

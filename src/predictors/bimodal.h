@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bimodal conditional predictor: one 2-bit counter per branch-address
+ * index, no history. The simplest dynamic predictor; used as a hybrid
+ * component and as a sanity baseline.
+ */
+
+#ifndef VLPSIM_PREDICTORS_BIMODAL_H
+#define VLPSIM_PREDICTORS_BIMODAL_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace pred {
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public ConditionalPredictor
+{
+  public:
+    /** @param index_bits log2 of the counter-table size */
+    explicit BimodalPredictor(unsigned index_bits);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    std::string name() const override { return "bimodal"; }
+
+    std::size_t sizeBytes() const override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    std::vector<util::SaturatingCounter> table_;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_BIMODAL_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bi-mode predictor implementation.
+ */
+
+#include "predictors/bimode.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+BiModePredictor::BiModePredictor(unsigned index_bits,
+                                 unsigned choice_index_bits)
+    : indexBits_(index_bits),
+      choiceIndexBits_(choice_index_bits == 0 ? index_bits
+                                              : choice_index_bits),
+      history_(index_bits),
+      takenBank_(std::size_t{1} << index_bits,
+                 util::SaturatingCounter(2, 2)),
+      notTakenBank_(std::size_t{1} << index_bits,
+                    util::SaturatingCounter(2, 1)),
+      choice_(std::size_t{1} << choiceIndexBits_,
+              util::SaturatingCounter(2))
+{
+}
+
+std::size_t
+BiModePredictor::directionIndex(std::uint64_t pc) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), indexBits_));
+}
+
+std::size_t
+BiModePredictor::choiceIndex(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, choiceIndexBits_));
+}
+
+bool
+BiModePredictor::predict(const trace::BranchRecord &branch)
+{
+    const bool use_taken_bank =
+        choice_[choiceIndex(branch.pc)].predictTaken();
+    const auto &bank = use_taken_bank ? takenBank_ : notTakenBank_;
+    return bank[directionIndex(branch.pc)].predictTaken();
+}
+
+void
+BiModePredictor::update(const trace::BranchRecord &branch)
+{
+    util::SaturatingCounter &chooser = choice_[choiceIndex(branch.pc)];
+    const bool use_taken_bank = chooser.predictTaken();
+    auto &bank = use_taken_bank ? takenBank_ : notTakenBank_;
+    util::SaturatingCounter &counter = bank[directionIndex(branch.pc)];
+
+    // The choice PHT is not updated when it selected the bank whose
+    // prediction was correct but disagrees with the outcome direction
+    // (the bi-mode partial-update rule).
+    const bool bank_correct = counter.predictTaken() == branch.taken;
+    if (!(bank_correct && use_taken_bank != branch.taken))
+        chooser.update(branch.taken);
+    counter.update(branch.taken);
+}
+
+void
+BiModePredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isConditional())
+        history_.push(record.taken);
+}
+
+std::size_t
+BiModePredictor::sizeBytes() const
+{
+    return (takenBank_.size() + notTakenBank_.size() + choice_.size())
+         / 4;
+}
+
+} // namespace pred
+} // namespace vlp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The bi-mode predictor (Lee, Chen & Mudge, MICRO'97), cited by the
+ * paper's related work. Two gshare-indexed direction PHTs — a "taken"
+ * bank and a "not-taken" bank — plus a PC-indexed choice PHT that
+ * selects the bank, separating branches of opposite bias so they stop
+ * destructively aliasing.
+ */
+
+#ifndef VLPSIM_PREDICTORS_BIMODE_H
+#define VLPSIM_PREDICTORS_BIMODE_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/history_register.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace pred {
+
+/** Choice PHT + two direction PHTs. */
+class BiModePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param index_bits        log2 of each direction bank's size
+     * @param choice_index_bits log2 of the choice PHT size
+     */
+    explicit BiModePredictor(unsigned index_bits,
+                             unsigned choice_index_bits = 0);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override { return "bi-mode"; }
+
+    std::size_t sizeBytes() const override;
+
+  private:
+    std::size_t directionIndex(std::uint64_t pc) const;
+    std::size_t choiceIndex(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    unsigned choiceIndexBits_;
+    util::BitHistoryRegister history_;
+    std::vector<util::SaturatingCounter> takenBank_;
+    std::vector<util::SaturatingCounter> notTakenBank_;
+    std::vector<util::SaturatingCounter> choice_;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_BIMODE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * BTB implementation.
+ */
+
+#include "predictors/btb.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+BtbPredictor::BtbPredictor(unsigned index_bits)
+    : indexBits_(index_bits),
+      table_(std::size_t{1} << index_bits, 0)
+{
+}
+
+std::size_t
+BtbPredictor::index(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, indexBits_));
+}
+
+std::uint64_t
+BtbPredictor::predict(const trace::BranchRecord &branch)
+{
+    return widenTarget(table_[index(branch.pc)], branch.pc);
+}
+
+void
+BtbPredictor::update(const trace::BranchRecord &branch)
+{
+    table_[index(branch.pc)] = static_cast<std::uint32_t>(branch.nextPc);
+}
+
+std::size_t
+BtbPredictor::sizeBytes() const
+{
+    return table_.size() * sizeof(std::uint32_t);
+}
+
+} // namespace pred
+} // namespace vlp

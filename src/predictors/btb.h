@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A tagless branch target buffer used as an indirect predictor: each
+ * entry remembers the last target of the branches mapping to it. This
+ * is the history-less baseline that Chang, Hao & Patt showed history
+ * based target caches dramatically improve upon.
+ */
+
+#ifndef VLPSIM_PREDICTORS_BTB_H
+#define VLPSIM_PREDICTORS_BTB_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+
+namespace vlp {
+namespace pred {
+
+/** PC-indexed last-target predictor. */
+class BtbPredictor : public IndirectPredictor
+{
+  public:
+    /** @param index_bits log2 of the target-table size */
+    explicit BtbPredictor(unsigned index_bits);
+
+    std::uint64_t predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    std::string name() const override { return "BTB"; }
+
+    std::size_t sizeBytes() const override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    std::vector<std::uint32_t> table_;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_BTB_H

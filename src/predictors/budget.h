@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware-budget arithmetic: converting between table sizes in bytes
+ * (how the paper states budgets) and index widths in bits (how the
+ * structures are built).
+ *
+ * Conditional predictor tables hold 2-bit saturating counters, so a
+ * table of B bytes has 4*B entries. Indirect predictor tables hold
+ * 32-bit target registers (the paper stores the lower 32 bits of the
+ * 64-bit Alpha target), so a table of B bytes has B/4 entries.
+ */
+
+#ifndef VLPSIM_PREDICTORS_BUDGET_H
+#define VLPSIM_PREDICTORS_BUDGET_H
+
+#include <cstddef>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace pred {
+
+/** Bytes per indirect predictor table entry (a 32-bit target). */
+constexpr std::size_t indirectEntryBytes = 4;
+
+/**
+ * Index bits of a conditional predictor table of @p bytes.
+ * @throws std::runtime_error unless bytes is a power of two >= 1
+ */
+inline unsigned
+conditionalIndexBits(std::size_t bytes)
+{
+    if (bytes == 0 || !util::isPowerOf2(bytes))
+        util::fatal("conditional table size must be a power of two");
+    return util::floorLog2(bytes) + 2; // 4 two-bit counters per byte
+}
+
+/** Bytes of a conditional predictor table with @p index_bits. */
+inline std::size_t
+conditionalTableBytes(unsigned index_bits)
+{
+    return index_bits >= 2 ? (std::size_t{1} << (index_bits - 2)) : 1;
+}
+
+/**
+ * Index bits of an indirect predictor table of @p bytes.
+ * @throws std::runtime_error unless bytes is a power of two >= 4
+ */
+inline unsigned
+indirectIndexBits(std::size_t bytes)
+{
+    if (bytes < indirectEntryBytes || !util::isPowerOf2(bytes))
+        util::fatal("indirect table size must be a power of two >= 4");
+    return util::floorLog2(bytes / indirectEntryBytes);
+}
+
+/** Bytes of an indirect predictor table with @p index_bits. */
+inline std::size_t
+indirectTableBytes(unsigned index_bits)
+{
+    return (std::size_t{1} << index_bits) * indirectEntryBytes;
+}
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_BUDGET_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cascaded indirect predictor implementation.
+ */
+
+#include "predictors/cascaded.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+CascadedPredictor::CascadedPredictor(unsigned stage1_index_bits,
+                                     unsigned stage2_index_bits,
+                                     unsigned chunk_bits,
+                                     unsigned tag_bits)
+    : stage1IndexBits_(stage1_index_bits),
+      stage2IndexBits_(stage2_index_bits),
+      tagBits_(tag_bits),
+      history_(stage2_index_bits, chunk_bits),
+      stage1_(std::size_t{1} << stage1_index_bits, 0),
+      stage2_(std::size_t{1} << stage2_index_bits)
+{
+}
+
+std::size_t
+CascadedPredictor::stage1Index(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, stage1IndexBits_));
+}
+
+std::size_t
+CascadedPredictor::stage2Index(std::uint64_t pc) const
+{
+    const std::uint64_t address =
+        util::xorFold(pc >> 2, stage2IndexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), stage2IndexBits_));
+}
+
+std::uint16_t
+CascadedPredictor::stage2Tag(std::uint64_t pc) const
+{
+    return static_cast<std::uint16_t>(
+        util::truncate(util::xorFold((pc >> 2) ^ history_.value(),
+                                     tagBits_), tagBits_));
+}
+
+std::uint64_t
+CascadedPredictor::predict(const trace::BranchRecord &branch)
+{
+    const Stage2Entry &entry = stage2_[stage2Index(branch.pc)];
+    if (entry.valid && entry.tag == stage2Tag(branch.pc)) {
+        lastFromStage2_ = true;
+        lastPrediction_ = widenTarget(entry.target, branch.pc);
+    } else {
+        lastFromStage2_ = false;
+        lastPrediction_ =
+            widenTarget(stage1_[stage1Index(branch.pc)], branch.pc);
+    }
+    return lastPrediction_;
+}
+
+void
+CascadedPredictor::update(const trace::BranchRecord &branch)
+{
+    const bool correct = lastPrediction_ == branch.nextPc;
+    stage1_[stage1Index(branch.pc)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+    Stage2Entry &entry = stage2_[stage2Index(branch.pc)];
+    if (lastFromStage2_ || !correct) {
+        // Allocate/overwrite the history entry only for branches the
+        // filter stage got wrong (or that already live in stage 2).
+        entry.valid = true;
+        entry.tag = stage2Tag(branch.pc);
+        entry.target = static_cast<std::uint32_t>(branch.nextPc);
+    }
+}
+
+void
+CascadedPredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isIndirect())
+        history_.push(record.nextPc >> 2);
+}
+
+std::size_t
+CascadedPredictor::sizeBytes() const
+{
+    // 4-byte targets in both stages plus tag bits in stage 2.
+    const std::size_t stage2_entry =
+        sizeof(std::uint32_t) + (tagBits_ + 7) / 8;
+    return stage1_.size() * sizeof(std::uint32_t)
+         + stage2_.size() * stage2_entry;
+}
+
+} // namespace pred
+} // namespace vlp

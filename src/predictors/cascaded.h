@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A two-stage cascaded indirect predictor in the style of Driesen &
+ * Hölzle (TRCS98-07), which the paper mentions as contemporaneous
+ * related work. Provided as an extension baseline.
+ *
+ * Stage 1 is a PC-indexed BTB; stage 2 is a history-indexed table with
+ * short tags. Easy (monomorphic) branches are filtered by stage 1 and
+ * never pollute stage 2; stage 2 entries are allocated only when stage
+ * 1 mispredicts, and are used only on a tag hit.
+ */
+
+#ifndef VLPSIM_PREDICTORS_CASCADED_H
+#define VLPSIM_PREDICTORS_CASCADED_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/history_register.h"
+
+namespace vlp {
+namespace pred {
+
+/** Two-stage cascaded indirect predictor with a leaky filter. */
+class CascadedPredictor : public IndirectPredictor
+{
+  public:
+    /**
+     * @param stage1_index_bits log2 of the BTB stage size
+     * @param stage2_index_bits log2 of the history stage size
+     * @param chunk_bits        target bits per branch in the history
+     * @param tag_bits          tag width in the history stage
+     */
+    CascadedPredictor(unsigned stage1_index_bits,
+                      unsigned stage2_index_bits,
+                      unsigned chunk_bits = 3, unsigned tag_bits = 8);
+
+    std::uint64_t predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override { return "cascaded"; }
+
+    std::size_t sizeBytes() const override;
+
+  private:
+    struct Stage2Entry
+    {
+        std::uint32_t target = 0;
+        std::uint16_t tag = 0;
+        bool valid = false;
+    };
+
+    std::size_t stage1Index(std::uint64_t pc) const;
+    std::size_t stage2Index(std::uint64_t pc) const;
+    std::uint16_t stage2Tag(std::uint64_t pc) const;
+
+    unsigned stage1IndexBits_;
+    unsigned stage2IndexBits_;
+    unsigned tagBits_;
+    util::ChunkHistoryRegister history_;
+    std::vector<std::uint32_t> stage1_;
+    std::vector<Stage2Entry> stage2_;
+
+    /** Whether the last prediction came from stage 2 (for update). */
+    bool lastFromStage2_ = false;
+    std::uint64_t lastPrediction_ = 0;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_CASCADED_H

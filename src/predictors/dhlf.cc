@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DHLF-gshare implementation.
+ */
+
+#include "predictors/dhlf.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+DhlfGsharePredictor::DhlfGsharePredictor(unsigned index_bits,
+                                         std::uint64_t interval)
+    : indexBits_(index_bits),
+      interval_(interval),
+      history_(index_bits),
+      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2)),
+      length_(index_bits / 2)
+{
+}
+
+std::size_t
+DhlfGsharePredictor::index(std::uint64_t pc) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    const std::uint64_t used =
+        util::truncate(history_.value(), length_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ used, indexBits_));
+}
+
+bool
+DhlfGsharePredictor::predict(const trace::BranchRecord &branch)
+{
+    return table_[index(branch.pc)].predictTaken();
+}
+
+void
+DhlfGsharePredictor::update(const trace::BranchRecord &branch)
+{
+    util::SaturatingCounter &counter = table_[index(branch.pc)];
+    if (counter.predictTaken() != branch.taken)
+        ++intervalMispredictions_;
+    counter.update(branch.taken);
+    if (++intervalPredictions_ >= interval_)
+        endInterval();
+}
+
+void
+DhlfGsharePredictor::endInterval()
+{
+    if (haveBest_ && intervalMispredictions_ > bestMispredictions_) {
+        // Got worse: reverse the search direction.
+        direction_ = -direction_;
+    }
+    bestMispredictions_ = intervalMispredictions_;
+    haveBest_ = true;
+
+    const int proposed = static_cast<int>(length_) + direction_;
+    if (proposed < 0) {
+        length_ = 0;
+        direction_ = 1;
+    } else if (proposed > static_cast<int>(indexBits_)) {
+        length_ = indexBits_;
+        direction_ = -1;
+    } else {
+        length_ = static_cast<unsigned>(proposed);
+    }
+
+    intervalPredictions_ = 0;
+    intervalMispredictions_ = 0;
+}
+
+void
+DhlfGsharePredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isConditional())
+        history_.push(record.taken);
+}
+
+std::size_t
+DhlfGsharePredictor::sizeBytes() const
+{
+    return table_.size() / 4;
+}
+
+} // namespace pred
+} // namespace vlp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic history-length fitting (Juan, Sanjeevan & Navarro, ISCA'98),
+ * which the paper discusses as the hardware-adaptive alternative to its
+ * profile-selected path lengths. Provided as an extension baseline: a
+ * gshare whose global-history length is re-selected by hardware at
+ * fixed intervals.
+ */
+
+#ifndef VLPSIM_PREDICTORS_DHLF_H
+#define VLPSIM_PREDICTORS_DHLF_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/history_register.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace pred {
+
+/**
+ * gshare with interval-based history-length adaptation.
+ *
+ * During each interval the predictor uses one history length for all
+ * predictions and counts its mispredictions. At interval boundaries it
+ * compares the count against the best seen so far and steps the length
+ * (hill climbing with occasional exploration resets, following the
+ * spirit of the DHLF paper).
+ */
+class DhlfGsharePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 of the counter-table size
+     * @param interval   predictions per adaptation interval
+     */
+    explicit DhlfGsharePredictor(unsigned index_bits,
+                                 std::uint64_t interval = 16384);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override { return "DHLF-gshare"; }
+
+    std::size_t sizeBytes() const override;
+
+    /** History length currently in use (for tests/diagnostics). */
+    unsigned currentLength() const { return length_; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    void endInterval();
+
+    unsigned indexBits_;
+    std::uint64_t interval_;
+    util::BitHistoryRegister history_;
+    std::vector<util::SaturatingCounter> table_;
+
+    unsigned length_;
+    int direction_ = 1;
+    std::uint64_t intervalPredictions_ = 0;
+    std::uint64_t intervalMispredictions_ = 0;
+    std::uint64_t bestMispredictions_ = 0;
+    bool haveBest_ = false;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_DHLF_H

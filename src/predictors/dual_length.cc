@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dual-length hybrid indirect predictor implementation.
+ */
+
+#include "predictors/dual_length.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+DualLengthIndirectPredictor::DualLengthIndirectPredictor(
+        unsigned index_bits, unsigned short_depth, unsigned long_depth,
+        unsigned chunk_bits)
+    : indexBits_(index_bits),
+      shortHistory_(std::max(1u, short_depth * chunk_bits),
+                    chunk_bits),
+      longHistory_(std::max(1u, long_depth * chunk_bits), chunk_bits),
+      shortTable_(std::size_t{1} << index_bits, 0),
+      longTable_(std::size_t{1} << index_bits, 0),
+      selector_(std::size_t{1} << index_bits,
+                util::SaturatingCounter(2))
+{
+}
+
+std::size_t
+DualLengthIndirectPredictor::indexFor(
+        std::uint64_t pc,
+        const util::ChunkHistoryRegister &history) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    const std::uint64_t folded =
+        util::xorFold(history.value(),
+                      indexBits_ == 0 ? 1 : indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ folded, indexBits_));
+}
+
+std::size_t
+DualLengthIndirectPredictor::selectorIndex(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        util::truncate(pc >> 2, indexBits_));
+}
+
+std::uint64_t
+DualLengthIndirectPredictor::predict(const trace::BranchRecord &branch)
+{
+    lastShort_ = widenTarget(
+        shortTable_[indexFor(branch.pc, shortHistory_)], branch.pc);
+    lastLong_ = widenTarget(
+        longTable_[indexFor(branch.pc, longHistory_)], branch.pc);
+    const bool use_long =
+        selector_[selectorIndex(branch.pc)].predictTaken();
+    return use_long ? lastLong_ : lastShort_;
+}
+
+void
+DualLengthIndirectPredictor::update(const trace::BranchRecord &branch)
+{
+    const bool short_correct = lastShort_ == branch.nextPc;
+    const bool long_correct = lastLong_ == branch.nextPc;
+    if (short_correct != long_correct) {
+        selector_[selectorIndex(branch.pc)].update(long_correct);
+    }
+    shortTable_[indexFor(branch.pc, shortHistory_)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+    longTable_[indexFor(branch.pc, longHistory_)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+}
+
+void
+DualLengthIndirectPredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isIndirect()) {
+        shortHistory_.push(record.nextPc >> 2);
+        longHistory_.push(record.nextPc >> 2);
+    }
+}
+
+std::size_t
+DualLengthIndirectPredictor::sizeBytes() const
+{
+    return (shortTable_.size() + longTable_.size())
+             * sizeof(std::uint32_t)
+         + selector_.size() / 4;
+}
+
+} // namespace pred
+} // namespace vlp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * gshare implementation.
+ */
+
+#include "predictors/gshare.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+GsharePredictor::GsharePredictor(unsigned index_bits,
+                                 unsigned history_bits)
+    : indexBits_(index_bits),
+      history_(history_bits == 0 ? index_bits : history_bits),
+      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+{
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    // Branch addresses are word aligned; drop the always-zero bits
+    // before folding so they don't waste index entropy.
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), indexBits_));
+}
+
+bool
+GsharePredictor::predict(const trace::BranchRecord &branch)
+{
+    return table_[index(branch.pc)].predictTaken();
+}
+
+void
+GsharePredictor::update(const trace::BranchRecord &branch)
+{
+    table_[index(branch.pc)].update(branch.taken);
+}
+
+void
+GsharePredictor::observe(const trace::BranchRecord &record)
+{
+    if (record.isConditional())
+        history_.push(record.taken);
+}
+
+std::size_t
+GsharePredictor::sizeBytes() const
+{
+    return table_.size() / 4; // 2-bit counters
+}
+
+} // namespace pred
+} // namespace vlp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The gshare conditional branch predictor (McFarling, WRL TN-36) — the
+ * paper's baseline for conditional branch prediction.
+ */
+
+#ifndef VLPSIM_PREDICTORS_GSHARE_H
+#define VLPSIM_PREDICTORS_GSHARE_H
+
+#include <vector>
+
+#include "predictors/predictor.h"
+#include "util/history_register.h"
+#include "util/saturating_counter.h"
+
+namespace vlp {
+namespace pred {
+
+/**
+ * gshare: a global branch-outcome history register XORed with the
+ * branch address to index one table of 2-bit saturating counters.
+ *
+ * The history length defaults to the index width, which maximizes the
+ * history captured for a given table budget (the classic
+ * configuration).
+ */
+class GsharePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param index_bits  log2 of the counter-table size
+     * @param history_bits global history length; 0 means index_bits
+     */
+    explicit GsharePredictor(unsigned index_bits,
+                             unsigned history_bits = 0);
+
+    bool predict(const trace::BranchRecord &branch) override;
+
+    void update(const trace::BranchRecord &branch) override;
+
+    void observe(const trace::BranchRecord &record) override;
+
+    std::string name() const override { return "gshare"; }
+
+    std::size_t sizeBytes() const override;
+
+    /** Index width in bits. */
+    unsigned indexBits() const { return indexBits_; }
+
+    /** Current global history pattern (for tests). */
+    std::uint64_t history() const { return history_.value(); }
+
+  private:
+    /** Table index for @p pc under the current history. */
+    std::size_t index(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    util::BitHistoryRegister history_;
+    std::vector<util::SaturatingCounter> table_;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_GSHARE_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Return address stack implementation.
+ */
+
+#include "predictors/ras.h"
+
+#include <cassert>
+
+namespace vlp {
+namespace pred {
+
+ReturnAddressStack::ReturnAddressStack(std::size_t depth)
+    : stack_(depth, 0)
+{
+    assert(depth >= 1);
+}
+
+void
+ReturnAddressStack::push(std::uint64_t return_address)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = return_address;
+    if (occupancy_ < stack_.size())
+        ++occupancy_;
+}
+
+std::uint64_t
+ReturnAddressStack::predictAndPop()
+{
+    if (occupancy_ == 0)
+        return 0;
+    const std::uint64_t prediction = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --occupancy_;
+    return prediction;
+}
+
+} // namespace pred
+} // namespace vlp

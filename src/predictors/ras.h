@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Return address stack. Returns are excluded from the paper's indirect
+ * branch statistics because a RAS predicts them; the simulator models
+ * one so return accuracy can still be reported.
+ */
+
+#ifndef VLPSIM_PREDICTORS_RAS_H
+#define VLPSIM_PREDICTORS_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/branch_record.h"
+
+namespace vlp {
+namespace pred {
+
+/**
+ * A fixed-depth circular return address stack.
+ *
+ * push() on calls, predictAndPop() on returns. Overflow silently wraps
+ * (overwriting the oldest entry), underflow predicts 0 — both as in
+ * real hardware.
+ */
+class ReturnAddressStack
+{
+  public:
+    /** @param depth number of entries (power of two recommended) */
+    explicit ReturnAddressStack(std::size_t depth = 32);
+
+    /** Record the return address of a call at @p pc. */
+    void push(std::uint64_t return_address);
+
+    /**
+     * Predict the target of a return and pop.
+     * @return predicted return address, or 0 if empty
+     */
+    std::uint64_t predictAndPop();
+
+    /** Entries currently live (0..depth). */
+    std::size_t occupancy() const { return occupancy_; }
+
+    /** Total capacity. */
+    std::size_t depth() const { return stack_.size(); }
+
+    /** Hardware cost: 8 bytes per entry. */
+    std::size_t sizeBytes() const { return stack_.size() * 8; }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::size_t top_ = 0;
+    std::size_t occupancy_ = 0;
+};
+
+} // namespace pred
+} // namespace vlp
+
+#endif // VLPSIM_PREDICTORS_RAS_H

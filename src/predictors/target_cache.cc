@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Target cache implementations.
+ */
+
+#include "predictors/target_cache.h"
+
+#include "util/bits.h"
+
+namespace vlp {
+namespace pred {
+
+PatternTargetCache::PatternTargetCache(unsigned index_bits,
+                                       unsigned history_bits)
+    : indexBits_(index_bits),
+      history_(history_bits == 0 ? index_bits : history_bits),
+      table_(std::size_t{1} << index_bits, 0)
+{
+}
+
+std::size_t
+PatternTargetCache::index(std::uint64_t pc) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), indexBits_));
+}
+
+std::uint64_t
+PatternTargetCache::predict(const trace::BranchRecord &branch)
+{
+    return widenTarget(table_[index(branch.pc)], branch.pc);
+}
+
+void
+PatternTargetCache::update(const trace::BranchRecord &branch)
+{
+    table_[index(branch.pc)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+}
+
+void
+PatternTargetCache::observe(const trace::BranchRecord &record)
+{
+    if (record.isConditional())
+        history_.push(record.taken);
+}
+
+std::size_t
+PatternTargetCache::sizeBytes() const
+{
+    return table_.size() * sizeof(std::uint32_t);
+}
+
+PathTargetCache::PathTargetCache(unsigned index_bits,
+                                 unsigned chunk_bits)
+    : indexBits_(index_bits),
+      history_(index_bits, chunk_bits),
+      table_(std::size_t{1} << index_bits, 0)
+{
+}
+
+std::size_t
+PathTargetCache::index(std::uint64_t pc) const
+{
+    const std::uint64_t address = util::xorFold(pc >> 2, indexBits_);
+    return static_cast<std::size_t>(
+        util::truncate(address ^ history_.value(), indexBits_));
+}
+
+std::uint64_t
+PathTargetCache::predict(const trace::BranchRecord &branch)
+{
+    return widenTarget(table_[index(branch.pc)], branch.pc);
+}
+
+void
+PathTargetCache::update(const trace::BranchRecord &branch)
+{
+    table_[index(branch.pc)] =
+        static_cast<std::uint32_t>(branch.nextPc);
+}
+
+void
+PathTargetCache::observe(const trace::BranchRecord &record)
+{
+    // The path history records targets of indirect branches (the
+    // "history of targets" organization of Chang, Hao & Patt). Word
+    // alignment is dropped so the chunk bits carry information.
+    if (record.isIndirect())
+        history_.push(record.nextPc >> 2);
+}
+
+std::size_t
+PathTargetCache::sizeBytes() const
+{
+    return table_.size() * sizeof(std::uint32_t);
+}
+
+} // namespace pred
+} // namespace vlp

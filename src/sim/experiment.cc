@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "sim/experiment.h"
+
+#include <algorithm>
+
+#include "core/path_predictor.h"
+#include "predictors/budget.h"
+#include "predictors/gshare.h"
+#include "predictors/target_cache.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace sim {
+
+const RateEntry &
+ComparisonRow::entry(const std::string &predictor) const
+{
+    for (const auto &candidate : entries) {
+        if (candidate.predictor == predictor)
+            return candidate;
+    }
+    util::fatal("no such predictor in comparison: " + predictor);
+}
+
+trace::VectorTraceSource &
+ExperimentContext::trace(const workload::BenchmarkSpec &spec,
+                         workload::InputKind kind)
+{
+    const std::string key = spec.name
+        + (kind == workload::InputKind::Profile ? "/profile" : "/test");
+    for (auto it = traces_.begin(); it != traces_.end(); ++it) {
+        if (it->key == key) {
+            traces_.splice(traces_.begin(), traces_, it);
+            return *traces_.front().source;
+        }
+    }
+    TraceEntry entry;
+    entry.key = key;
+    entry.source = std::make_unique<trace::VectorTraceSource>(
+        workload::generateTrace(spec, kind));
+    traces_.push_front(std::move(entry));
+    while (traces_.size() > traceCacheCapacity)
+        traces_.pop_back();
+    return *traces_.front().source;
+}
+
+ExperimentContext::Key
+ExperimentContext::makeKey(const std::string &name, unsigned index_bits,
+                           bool indirect,
+                           core::PathHistoryOptions history)
+{
+    return name + "/" + std::to_string(index_bits)
+         + (indirect ? "/i" : "/c")
+         + (history.rotateTargets ? "/r1" : "/r0")
+         + (history.includeReturns ? "/ret1" : "/ret0")
+         + (history.historyStack ? "/hs1" : "/hs0")
+         + "/d" + std::to_string(history.depth);
+}
+
+ExperimentContext::ProfilerEntry &
+ExperimentContext::profilerEntry(const workload::BenchmarkSpec &spec,
+                                 unsigned index_bits, bool indirect,
+                                 core::PathHistoryOptions history)
+{
+    const Key key = makeKey(spec.name, index_bits, indirect, history);
+    auto it = profilers_.find(key);
+    if (it == profilers_.end()) {
+        core::ProfileOptions options;
+        options.indexBits = index_bits;
+        options.history = history;
+        ProfilerEntry entry;
+        if (indirect) {
+            entry.indirect =
+                std::make_unique<core::IndirectProfiler>(options);
+        } else {
+            entry.conditional =
+                std::make_unique<core::ConditionalProfiler>(options);
+        }
+        it = profilers_.emplace(key, std::move(entry)).first;
+    }
+    return it->second;
+}
+
+void
+ExperimentContext::ensureStep1(ProfilerEntry &entry,
+                               const workload::BenchmarkSpec &spec)
+{
+    if (entry.step1Done)
+        return;
+    trace::VectorTraceSource &profile_trace =
+        trace(spec, workload::InputKind::Profile);
+    profile_trace.reset();
+    if (entry.conditional)
+        entry.conditional->runStep1(profile_trace);
+    else
+        entry.indirect->runStep1(profile_trace);
+    entry.step1Done = true;
+}
+
+const core::FixedLengthSweep &
+ExperimentContext::conditionalSweep(const workload::BenchmarkSpec &spec,
+                                    unsigned index_bits,
+                                    core::PathHistoryOptions history)
+{
+    ProfilerEntry &entry =
+        profilerEntry(spec, index_bits, false, history);
+    ensureStep1(entry, spec);
+    return entry.conditional->step1Sweep();
+}
+
+const core::FixedLengthSweep &
+ExperimentContext::indirectSweep(const workload::BenchmarkSpec &spec,
+                                 unsigned index_bits,
+                                 core::PathHistoryOptions history)
+{
+    ProfilerEntry &entry =
+        profilerEntry(spec, index_bits, true, history);
+    ensureStep1(entry, spec);
+    return entry.indirect->step1Sweep();
+}
+
+const core::HashAssignment &
+ExperimentContext::conditionalAssignment(
+        const workload::BenchmarkSpec &spec, unsigned index_bits,
+        core::PathHistoryOptions history)
+{
+    ProfilerEntry &entry =
+        profilerEntry(spec, index_bits, false, history);
+    ensureStep1(entry, spec);
+    if (!entry.assignment) {
+        trace::VectorTraceSource &profile_trace =
+            trace(spec, workload::InputKind::Profile);
+        profile_trace.reset();
+        entry.assignment = entry.conditional->runStep2(profile_trace);
+    }
+    return *entry.assignment;
+}
+
+const core::HashAssignment &
+ExperimentContext::indirectAssignment(const workload::BenchmarkSpec &spec,
+                                      unsigned index_bits,
+                                      core::PathHistoryOptions history)
+{
+    ProfilerEntry &entry =
+        profilerEntry(spec, index_bits, true, history);
+    ensureStep1(entry, spec);
+    if (!entry.assignment) {
+        trace::VectorTraceSource &profile_trace =
+            trace(spec, workload::InputKind::Profile);
+        profile_trace.reset();
+        entry.assignment = entry.indirect->runStep2(profile_trace);
+    }
+    return *entry.assignment;
+}
+
+std::vector<double>
+ExperimentContext::averageConditionalSweep(std::size_t bytes)
+{
+    const Key key = "avg/c/" + std::to_string(bytes);
+    auto it = averageSweeps_.find(key);
+    if (it != averageSweeps_.end())
+        return it->second;
+
+    const unsigned index_bits = pred::conditionalIndexBits(bytes);
+    std::vector<double> average(core::maxPathLength, 0.0);
+    const auto &suite = workload::benchmarkSuite();
+    for (const auto &spec : suite) {
+        const core::FixedLengthSweep &sweep =
+            conditionalSweep(spec, index_bits);
+        for (unsigned length = 1; length <= core::maxPathLength;
+             ++length) {
+            average[length - 1] += sweep.rate(length);
+        }
+    }
+    for (double &rate : average)
+        rate /= static_cast<double>(suite.size());
+    averageSweeps_[key] = average;
+    return average;
+}
+
+std::vector<double>
+ExperimentContext::averageIndirectSweep(std::size_t bytes)
+{
+    const Key key = "avg/i/" + std::to_string(bytes);
+    auto it = averageSweeps_.find(key);
+    if (it != averageSweeps_.end())
+        return it->second;
+
+    const unsigned index_bits = pred::indirectIndexBits(bytes);
+    std::vector<double> average(core::maxPathLength, 0.0);
+    // Average over the benchmarks that execute a meaningful number of
+    // indirect branches; a program with three indirect branch sites
+    // contributes noise, not signal, to the average.
+    unsigned counted = 0;
+    for (const auto &spec : workload::benchmarkSuite()) {
+        const core::FixedLengthSweep &sweep =
+            indirectSweep(spec, index_bits);
+        if (sweep.branches < 1000)
+            continue;
+        ++counted;
+        for (unsigned length = 1; length <= core::maxPathLength;
+             ++length) {
+            average[length - 1] += sweep.rate(length);
+        }
+    }
+    if (counted == 0)
+        util::fatal("no benchmark produced indirect branches");
+    for (double &rate : average)
+        rate /= static_cast<double>(counted);
+    averageSweeps_[key] = average;
+    return average;
+}
+
+namespace {
+
+unsigned
+argminLength(const std::vector<double> &rates)
+{
+    unsigned best = 1;
+    for (unsigned length = 2; length <= rates.size(); ++length) {
+        if (rates[length - 1] < rates[best - 1])
+            best = length;
+    }
+    return best;
+}
+
+} // anonymous namespace
+
+unsigned
+ExperimentContext::globalConditionalLength(std::size_t bytes)
+{
+    return argminLength(averageConditionalSweep(bytes));
+}
+
+unsigned
+ExperimentContext::globalIndirectLength(std::size_t bytes)
+{
+    return argminLength(averageIndirectSweep(bytes));
+}
+
+namespace {
+
+RateEntry
+toRateEntry(const PredictorResult &result)
+{
+    RateEntry entry;
+    entry.predictor = result.name;
+    entry.branches = result.branches;
+    entry.mispredictions = result.mispredictions;
+    entry.rate = result.rate();
+    return entry;
+}
+
+} // anonymous namespace
+
+ComparisonRow
+compareConditional(ExperimentContext &context,
+                   const workload::BenchmarkSpec &spec,
+                   std::size_t bytes, unsigned global_length,
+                   bool include_tuned)
+{
+    const unsigned index_bits = pred::conditionalIndexBits(bytes);
+
+    const unsigned tuned_length =
+        context.conditionalSweep(spec, index_bits).bestLength();
+    const core::HashAssignment &assignment =
+        context.conditionalAssignment(spec, index_bits);
+
+    pred::GsharePredictor gshare(index_bits);
+    core::PathConditionalPredictor flp(index_bits, global_length);
+    core::PathConditionalPredictor flp_tuned(index_bits, tuned_length);
+    core::PathConditionalPredictor vlp(index_bits, assignment);
+
+    Simulator simulator;
+    simulator.addConditional(&gshare);
+    simulator.addConditional(&flp);
+    if (include_tuned)
+        simulator.addConditional(&flp_tuned);
+    simulator.addConditional(&vlp);
+
+    trace::VectorTraceSource &test_trace =
+        context.trace(spec, workload::InputKind::Test);
+    test_trace.reset();
+    simulator.run(test_trace);
+
+    ComparisonRow row;
+    row.benchmark = spec.name;
+    for (const auto &result : simulator.conditionalResults())
+        row.entries.push_back(toRateEntry(result));
+    if (include_tuned)
+        row.entries[2].predictor = names::flpTuned;
+    return row;
+}
+
+ComparisonRow
+compareIndirect(ExperimentContext &context,
+                const workload::BenchmarkSpec &spec, std::size_t bytes,
+                unsigned global_length, bool include_tuned)
+{
+    const unsigned index_bits = pred::indirectIndexBits(bytes);
+
+    const unsigned tuned_length =
+        context.indirectSweep(spec, index_bits).bestLength();
+    const core::HashAssignment &assignment =
+        context.indirectAssignment(spec, index_bits);
+
+    pred::PathTargetCache chp_path(index_bits);
+    pred::PatternTargetCache chp_pattern(index_bits);
+    core::PathIndirectPredictor flp(index_bits, global_length);
+    core::PathIndirectPredictor flp_tuned(index_bits, tuned_length);
+    core::PathIndirectPredictor vlp(index_bits, assignment);
+
+    Simulator simulator;
+    simulator.addIndirect(&chp_path);
+    simulator.addIndirect(&chp_pattern);
+    simulator.addIndirect(&flp);
+    if (include_tuned)
+        simulator.addIndirect(&flp_tuned);
+    simulator.addIndirect(&vlp);
+
+    trace::VectorTraceSource &test_trace =
+        context.trace(spec, workload::InputKind::Test);
+    test_trace.reset();
+    simulator.run(test_trace);
+
+    ComparisonRow row;
+    row.benchmark = spec.name;
+    for (const auto &result : simulator.indirectResults())
+        row.entries.push_back(toRateEntry(result));
+    if (include_tuned)
+        row.entries[3].predictor = names::flpTuned;
+    return row;
+}
+
+} // namespace sim
+} // namespace vlp

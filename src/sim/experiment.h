@@ -1,0 +1,189 @@
+/**
+ * @file
+ * High-level experiment harness: everything the bench binaries need to
+ * regenerate the paper's tables and figures.
+ *
+ * ExperimentContext caches, within one process, the expensive
+ * artifacts: generated traces (a few at a time) and profiling results
+ * (step-1 sweeps and step-2 assignments per benchmark/size), so a
+ * bench that needs the global fixed length *and* per-benchmark VLP
+ * assignments profiles each benchmark exactly once.
+ */
+
+#ifndef VLPSIM_SIM_EXPERIMENT_H
+#define VLPSIM_SIM_EXPERIMENT_H
+
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path_history.h"
+#include "core/profiler.h"
+#include "sim/simulator.h"
+#include "workload/benchmarks.h"
+
+namespace vlp {
+namespace sim {
+
+/** One predictor's accuracy in a comparison. */
+struct RateEntry
+{
+    std::string predictor;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+    /** Misprediction rate in percent. */
+    double rate = 0.0;
+};
+
+/** All predictors' accuracies on one benchmark. */
+struct ComparisonRow
+{
+    std::string benchmark;
+    std::vector<RateEntry> entries;
+
+    /**
+     * Entry by predictor name.
+     * @throws std::runtime_error if absent
+     */
+    const RateEntry &entry(const std::string &predictor) const;
+};
+
+/**
+ * Process-level cache of traces and profiling artifacts.
+ */
+class ExperimentContext
+{
+  public:
+    ExperimentContext() = default;
+
+    ExperimentContext(const ExperimentContext &) = delete;
+    ExperimentContext &operator=(const ExperimentContext &) = delete;
+
+    /**
+     * The benchmark's trace on the given input, generated on first
+     * use. A small LRU keeps the working set bounded; the reference
+     * is valid until the next trace() call.
+     */
+    trace::VectorTraceSource &trace(const workload::BenchmarkSpec &spec,
+                                    workload::InputKind kind);
+
+    /**
+     * Step-1 sweep for conditional branches of @p spec at @p
+     * index_bits (profile input), cached.
+     */
+    const core::FixedLengthSweep &
+    conditionalSweep(const workload::BenchmarkSpec &spec,
+                     unsigned index_bits,
+                     core::PathHistoryOptions history = {});
+
+    /** Step-1 sweep for indirect branches, cached. */
+    const core::FixedLengthSweep &
+    indirectSweep(const workload::BenchmarkSpec &spec,
+                  unsigned index_bits,
+                  core::PathHistoryOptions history = {});
+
+    /** Full two-step conditional profiling result, cached. */
+    const core::HashAssignment &
+    conditionalAssignment(const workload::BenchmarkSpec &spec,
+                          unsigned index_bits,
+                          core::PathHistoryOptions history = {});
+
+    /** Full two-step indirect profiling result, cached. */
+    const core::HashAssignment &
+    indirectAssignment(const workload::BenchmarkSpec &spec,
+                       unsigned index_bits,
+                       core::PathHistoryOptions history = {});
+
+    /**
+     * Average conditional misprediction rate per path length over the
+     * whole suite at a table of @p bytes (profile inputs) — the curve
+     * whose minimum defines the paper's global fixed length (Table 2).
+     * @return rates[L-1] in percent for L = 1..32
+     */
+    std::vector<double> averageConditionalSweep(std::size_t bytes);
+
+    /** Indirect counterpart of averageConditionalSweep(). */
+    std::vector<double> averageIndirectSweep(std::size_t bytes);
+
+    /** The global fixed path length for conditional predictors. */
+    unsigned globalConditionalLength(std::size_t bytes);
+
+    /** The global fixed path length for indirect predictors. */
+    unsigned globalIndirectLength(std::size_t bytes);
+
+  private:
+    struct ProfilerEntry
+    {
+        std::unique_ptr<core::ConditionalProfiler> conditional;
+        std::unique_ptr<core::IndirectProfiler> indirect;
+        bool step1Done = false;
+        std::optional<core::HashAssignment> assignment;
+    };
+
+    using Key = std::string;
+
+    static Key makeKey(const std::string &name, unsigned index_bits,
+                       bool indirect, core::PathHistoryOptions history);
+
+    ProfilerEntry &profilerEntry(const workload::BenchmarkSpec &spec,
+                                 unsigned index_bits, bool indirect,
+                                 core::PathHistoryOptions history);
+
+    /** Ensure step 1 has run for @p entry. */
+    void ensureStep1(ProfilerEntry &entry,
+                     const workload::BenchmarkSpec &spec);
+
+    static constexpr std::size_t traceCacheCapacity = 4;
+
+    struct TraceEntry
+    {
+        std::string key;
+        std::unique_ptr<trace::VectorTraceSource> source;
+    };
+
+    std::list<TraceEntry> traces_;
+    std::map<Key, ProfilerEntry> profilers_;
+    std::map<Key, std::vector<double>> averageSweeps_;
+};
+
+/**
+ * Compare the paper's conditional predictors on one benchmark:
+ * gshare, fixed length path (at @p global_length), optionally "fixed
+ * length path (tuned)" (per-benchmark best profiled length), and the
+ * variable length path predictor, all with tables of @p bytes,
+ * evaluated on the test input.
+ */
+ComparisonRow compareConditional(ExperimentContext &context,
+                                 const workload::BenchmarkSpec &spec,
+                                 std::size_t bytes,
+                                 unsigned global_length,
+                                 bool include_tuned = false);
+
+/**
+ * Compare the paper's indirect predictors on one benchmark: the
+ * Chang-Hao-Patt path and pattern target caches, fixed length path,
+ * optionally tuned fixed length path, and variable length path.
+ */
+ComparisonRow compareIndirect(ExperimentContext &context,
+                              const workload::BenchmarkSpec &spec,
+                              std::size_t bytes,
+                              unsigned global_length,
+                              bool include_tuned = false);
+
+/** Canonical predictor display names used in comparison rows. */
+namespace names {
+inline constexpr const char *gshare = "gshare";
+inline constexpr const char *flp = "fixed length path";
+inline constexpr const char *flpTuned = "fixed length path (tuned)";
+inline constexpr const char *vlp = "variable length path";
+inline constexpr const char *chpPath = "path (Chang, Hao, and Patt)";
+inline constexpr const char *chpPattern = "pattern (Chang, Hao, and Patt)";
+} // namespace names
+
+} // namespace sim
+} // namespace vlp
+
+#endif // VLPSIM_SIM_EXPERIMENT_H

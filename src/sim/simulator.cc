@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulator implementation.
+ */
+
+#include "sim/simulator.h"
+
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace vlp {
+namespace sim {
+
+double
+PredictorResult::rate() const
+{
+    return util::percent(mispredictions, branches);
+}
+
+void
+Simulator::addConditional(pred::ConditionalPredictor *predictor)
+{
+    assert(predictor != nullptr);
+    conditional_.push_back(predictor);
+    conditionalSlots_.emplace_back();
+}
+
+void
+Simulator::addIndirect(pred::IndirectPredictor *predictor)
+{
+    assert(predictor != nullptr);
+    indirect_.push_back(predictor);
+    indirectSlots_.emplace_back();
+}
+
+void
+Simulator::run(trace::TraceSource &source)
+{
+    trace::BranchRecord record;
+    while (source.next(record)) {
+        if (record.isConditional()) {
+            for (std::size_t i = 0; i < conditional_.size(); ++i) {
+                pred::ConditionalPredictor *predictor = conditional_[i];
+                Slot &slot = conditionalSlots_[i];
+                const bool predicted = predictor->predict(record);
+                const bool miss = predicted != record.taken;
+                ++slot.branches;
+                slot.mispredictions += miss ? 1 : 0;
+                if (trackPerBranch_) {
+                    BranchAccuracy &accuracy = slot.perBranch[record.pc];
+                    ++accuracy.executions;
+                    accuracy.mispredictions += miss ? 1 : 0;
+                }
+                predictor->update(record);
+            }
+        } else if (record.isIndirect()) {
+            for (std::size_t i = 0; i < indirect_.size(); ++i) {
+                pred::IndirectPredictor *predictor = indirect_[i];
+                Slot &slot = indirectSlots_[i];
+                const std::uint64_t predicted =
+                    predictor->predict(record);
+                const bool miss = predicted != record.nextPc;
+                ++slot.branches;
+                slot.mispredictions += miss ? 1 : 0;
+                if (trackPerBranch_) {
+                    BranchAccuracy &accuracy = slot.perBranch[record.pc];
+                    ++accuracy.executions;
+                    accuracy.mispredictions += miss ? 1 : 0;
+                }
+                predictor->update(record);
+            }
+        } else if (record.isReturn()) {
+            ++returns_;
+            if (ras_.predictAndPop() != record.nextPc)
+                ++returnMisses_;
+        }
+
+        if (record.isCall())
+            ras_.push(record.pc + trace::instructionBytes);
+
+        for (pred::ConditionalPredictor *predictor : conditional_)
+            predictor->observe(record);
+        for (pred::IndirectPredictor *predictor : indirect_)
+            predictor->observe(record);
+    }
+}
+
+std::vector<PredictorResult>
+Simulator::conditionalResults() const
+{
+    std::vector<PredictorResult> results;
+    for (std::size_t i = 0; i < conditional_.size(); ++i) {
+        PredictorResult result;
+        result.name = conditional_[i]->name();
+        result.sizeBytes = conditional_[i]->sizeBytes();
+        result.branches = conditionalSlots_[i].branches;
+        result.mispredictions = conditionalSlots_[i].mispredictions;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::vector<PredictorResult>
+Simulator::indirectResults() const
+{
+    std::vector<PredictorResult> results;
+    for (std::size_t i = 0; i < indirect_.size(); ++i) {
+        PredictorResult result;
+        result.name = indirect_[i]->name();
+        result.sizeBytes = indirect_[i]->sizeBytes();
+        result.branches = indirectSlots_[i].branches;
+        result.mispredictions = indirectSlots_[i].mispredictions;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+PredictorResult
+Simulator::rasResult() const
+{
+    PredictorResult result;
+    result.name = "return address stack";
+    result.sizeBytes = ras_.sizeBytes();
+    result.branches = returns_;
+    result.mispredictions = returnMisses_;
+    return result;
+}
+
+const std::unordered_map<std::uint64_t, BranchAccuracy> &
+Simulator::conditionalPerBranch(std::size_t index) const
+{
+    assert(index < conditionalSlots_.size());
+    return conditionalSlots_[index].perBranch;
+}
+
+const std::unordered_map<std::uint64_t, BranchAccuracy> &
+Simulator::indirectPerBranch(std::size_t index) const
+{
+    assert(index < indirectSlots_.size());
+    return indirectSlots_[index].perBranch;
+}
+
+} // namespace sim
+} // namespace vlp

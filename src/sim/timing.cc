@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Timing model implementation.
+ */
+
+#include "sim/timing.h"
+
+#include <cassert>
+
+namespace vlp {
+namespace sim {
+
+double
+TimingEstimate::totalCycles() const
+{
+    return baseCycles + mispredictCycles + repredictCycles;
+}
+
+double
+TimingEstimate::ipc(double instructions) const
+{
+    const double cycles = totalCycles();
+    return cycles > 0.0 ? instructions / cycles : 0.0;
+}
+
+TimingEstimate
+estimateTiming(const TimingParameters &parameters,
+               std::uint64_t branches, std::uint64_t mispredictions,
+               std::uint64_t repredict_events)
+{
+    assert(parameters.fetchWidth > 0.0);
+    TimingEstimate estimate;
+    const double instructions =
+        static_cast<double>(branches) * parameters.instructionsPerBranch;
+    estimate.baseCycles = instructions / parameters.fetchWidth;
+    estimate.mispredictCycles = static_cast<double>(mispredictions)
+        * parameters.mispredictPenaltyCycles;
+    estimate.repredictCycles = static_cast<double>(repredict_events)
+        * parameters.repredictPenaltyCycles;
+    return estimate;
+}
+
+TimingEstimate
+estimateTiming(const TimingParameters &parameters,
+               const PredictorResult &result,
+               std::uint64_t repredict_events)
+{
+    return estimateTiming(parameters, result.branches,
+                          result.mispredictions, repredict_events);
+}
+
+double
+speedup(const TimingEstimate &slower, const TimingEstimate &faster)
+{
+    const double faster_cycles = faster.totalCycles();
+    return faster_cycles > 0.0 ? slower.totalCycles() / faster_cycles
+                               : 0.0;
+}
+
+} // namespace sim
+} // namespace vlp

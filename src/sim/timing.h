@@ -1,0 +1,89 @@
+/**
+ * @file
+ * First-order front-end timing model.
+ *
+ * The paper motivates accurate prediction with the speculative work a
+ * deeply pipelined, wide-issue processor throws away on each
+ * misprediction (Section 1), and its Section 4.3 pipelined predictor
+ * introduces a re-predict bubble whenever the HFNT guesses the wrong
+ * hash function number. This model turns the simulator's misprediction
+ * counts into estimated front-end cycles so those effects can be
+ * compared in one number. It is deliberately simple — a fetch-engine
+ * abstraction, not a microarchitectural simulator — and is used by
+ * bench_timing.
+ */
+
+#ifndef VLPSIM_SIM_TIMING_H
+#define VLPSIM_SIM_TIMING_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace vlp {
+namespace sim {
+
+/** Front-end parameters (defaults shaped after a late-90s design). */
+struct TimingParameters
+{
+    /** Average instructions fetched between branches. */
+    double instructionsPerBranch = 5.0;
+    /** Instructions fetched per cycle. */
+    double fetchWidth = 4.0;
+    /** Pipeline flush penalty per misprediction, in cycles. */
+    double mispredictPenaltyCycles = 10.0;
+    /**
+     * Bubble cycles when the pipelined predictor must re-predict
+     * because the HFNT's hash function number was wrong (§4.3).
+     */
+    double repredictPenaltyCycles = 1.0;
+};
+
+/** Estimated front-end cost for one predictor configuration. */
+struct TimingEstimate
+{
+    /** Cycles spent fetching useful instructions. */
+    double baseCycles = 0.0;
+    /** Cycles lost to branch mispredictions. */
+    double mispredictCycles = 0.0;
+    /** Cycles lost to HFNT re-predictions (VLP only; else 0). */
+    double repredictCycles = 0.0;
+
+    /** Total front-end cycles. */
+    double totalCycles() const;
+
+    /** Effective instructions per cycle. */
+    double ipc(double instructions) const;
+};
+
+/**
+ * Estimate the front-end cost of running @p branches dynamic branches
+ * with @p mispredictions of them mispredicted.
+ *
+ * @param parameters       front-end parameters
+ * @param branches         dynamic branch count
+ * @param mispredictions   mispredicted branches
+ * @param repredict_events HFNT mismatches (0 for non-VLP predictors)
+ */
+TimingEstimate estimateTiming(const TimingParameters &parameters,
+                              std::uint64_t branches,
+                              std::uint64_t mispredictions,
+                              std::uint64_t repredict_events = 0);
+
+/** Convenience over a simulator result row. */
+TimingEstimate estimateTiming(const TimingParameters &parameters,
+                              const PredictorResult &result,
+                              std::uint64_t repredict_events = 0);
+
+/**
+ * Speedup of @p faster over @p slower (ratio of total cycles; > 1
+ * means @p faster wins).
+ */
+double speedup(const TimingEstimate &slower,
+               const TimingEstimate &faster);
+
+} // namespace sim
+} // namespace vlp
+
+#endif // VLPSIM_SIM_TIMING_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * BranchRecord helpers.
+ */
+
+#include "trace/branch_record.h"
+
+#include <sstream>
+
+namespace vlp {
+namespace trace {
+
+const char *
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::Conditional:
+        return "cond";
+      case BranchKind::Unconditional:
+        return "jump";
+      case BranchKind::DirectCall:
+        return "call";
+      case BranchKind::IndirectJump:
+        return "ijump";
+      case BranchKind::IndirectCall:
+        return "icall";
+      case BranchKind::Return:
+        return "ret";
+    }
+    return "unknown";
+}
+
+std::string
+toString(const BranchRecord &record)
+{
+    std::ostringstream out;
+    out << std::hex << "0x" << record.pc << " -> 0x" << record.nextPc
+        << std::dec << ' ' << branchKindName(record.kind)
+        << (record.taken ? " taken" : " not-taken");
+    return out.str();
+}
+
+} // namespace trace
+} // namespace vlp

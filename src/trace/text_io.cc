@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Text trace format implementation.
+ */
+
+#include "trace/text_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace trace {
+
+BranchKind
+parseBranchKind(const std::string &name)
+{
+    for (unsigned kind = 0; kind < numBranchKinds; ++kind) {
+        if (name == branchKindName(static_cast<BranchKind>(kind)))
+            return static_cast<BranchKind>(kind);
+    }
+    util::fatal("unknown branch kind: " + name);
+}
+
+VectorTraceSource
+readTextTrace(std::istream &in)
+{
+    VectorTraceSource source;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+
+        std::istringstream fields(line);
+        std::string kind_name, pc_text, next_text, taken_text;
+        if (!(fields >> kind_name >> pc_text >> next_text
+                     >> taken_text)) {
+            util::fatal("malformed trace line "
+                        + std::to_string(line_number) + ": " + line);
+        }
+
+        BranchRecord record;
+        record.kind = parseBranchKind(kind_name);
+        char *end = nullptr;
+        record.pc = std::strtoull(pc_text.c_str(), &end, 16);
+        if (end == pc_text.c_str() || *end != '\0')
+            util::fatal("bad pc on trace line "
+                        + std::to_string(line_number));
+        record.nextPc = std::strtoull(next_text.c_str(), &end, 16);
+        if (end == next_text.c_str() || *end != '\0')
+            util::fatal("bad nextPc on trace line "
+                        + std::to_string(line_number));
+        if (taken_text == "T") {
+            record.taken = true;
+        } else if (taken_text == "N") {
+            record.taken = false;
+        } else {
+            util::fatal("bad direction on trace line "
+                        + std::to_string(line_number)
+                        + " (want T or N)");
+        }
+        if (!record.isConditional() && !record.taken)
+            util::fatal("non-conditional branch marked not-taken on "
+                        "line " + std::to_string(line_number));
+        source.append(record);
+    }
+    return source;
+}
+
+VectorTraceSource
+loadTextTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open text trace: " + path);
+    return readTextTrace(in);
+}
+
+void
+writeTextTrace(const VectorTraceSource &source, std::ostream &out)
+{
+    out << "# vlpsim text trace: kind pc nextpc T|N\n";
+    for (const auto &record : source.records()) {
+        out << branchKindName(record.kind) << ' ' << std::hex
+            << record.pc << ' ' << record.nextPc << std::dec << ' '
+            << (record.taken ? 'T' : 'N') << '\n';
+    }
+}
+
+void
+saveTextTrace(const VectorTraceSource &source, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        util::fatal("cannot create text trace: " + path);
+    writeTextTrace(source, out);
+    if (!out)
+        util::fatal("short write to text trace: " + path);
+}
+
+} // namespace trace
+} // namespace vlp

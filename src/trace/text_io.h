@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Human-readable text trace format — the import/export path for
+ * external tools. One record per line:
+ *
+ *     <kind> <pc-hex> <nextpc-hex> <T|N>
+ *
+ * where <kind> is one of cond, jump, call, ijump, icall, ret (the
+ * names branchKindName() prints). Lines starting with '#' and blank
+ * lines are ignored. Example:
+ *
+ *     # extracted from a ChampSim trace
+ *     cond  40001c 400080 T
+ *     ijump 400080 400200 T
+ *     ret   400200 400020 T
+ */
+
+#ifndef VLPSIM_TRACE_TEXT_IO_H
+#define VLPSIM_TRACE_TEXT_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_source.h"
+
+namespace vlp {
+namespace trace {
+
+/**
+ * Parse a text trace from @p in.
+ * @throws std::runtime_error on malformed lines (with line number)
+ */
+VectorTraceSource readTextTrace(std::istream &in);
+
+/**
+ * Parse a text trace file.
+ * @throws std::runtime_error on I/O or format errors
+ */
+VectorTraceSource loadTextTrace(const std::string &path);
+
+/** Write @p source as text to @p out. */
+void writeTextTrace(const VectorTraceSource &source, std::ostream &out);
+
+/**
+ * Write @p source as a text file.
+ * @throws std::runtime_error on I/O errors
+ */
+void saveTextTrace(const VectorTraceSource &source,
+                   const std::string &path);
+
+/**
+ * Parse a branch kind name ("cond", "jump", ...).
+ * @throws std::runtime_error for unknown names
+ */
+BranchKind parseBranchKind(const std::string &name);
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_TEXT_IO_H

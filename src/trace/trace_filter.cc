@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace filter implementations.
+ */
+
+#include "trace/trace_filter.h"
+
+namespace vlp {
+namespace trace {
+
+WindowTraceSource::WindowTraceSource(TraceSource &inner,
+                                     std::uint64_t skip,
+                                     std::uint64_t take)
+    : inner_(inner), skip_(skip), take_(take)
+{
+}
+
+void
+WindowTraceSource::fastForward()
+{
+    if (skipped_)
+        return;
+    BranchRecord discard;
+    for (std::uint64_t i = 0; i < skip_; ++i) {
+        if (!inner_.next(discard))
+            break;
+    }
+    skipped_ = true;
+}
+
+bool
+WindowTraceSource::next(BranchRecord &record)
+{
+    fastForward();
+    if (take_ != 0 && delivered_ >= take_)
+        return false;
+    if (!inner_.next(record))
+        return false;
+    ++delivered_;
+    return true;
+}
+
+void
+WindowTraceSource::reset()
+{
+    inner_.reset();
+    delivered_ = 0;
+    skipped_ = false;
+}
+
+FilterTraceSource::FilterTraceSource(TraceSource &inner,
+                                     Predicate predicate)
+    : inner_(inner), predicate_(std::move(predicate))
+{
+}
+
+bool
+FilterTraceSource::next(BranchRecord &record)
+{
+    while (inner_.next(record)) {
+        if (predicate_(record))
+            return true;
+    }
+    return false;
+}
+
+void
+FilterTraceSource::reset()
+{
+    inner_.reset();
+}
+
+} // namespace trace
+} // namespace vlp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace filters: windowing and class-filtering views over a trace
+ * source, for warmup skipping, sampled simulation, and class-specific
+ * analyses.
+ */
+
+#ifndef VLPSIM_TRACE_TRACE_FILTER_H
+#define VLPSIM_TRACE_TRACE_FILTER_H
+
+#include <functional>
+
+#include "trace/trace_source.h"
+
+namespace vlp {
+namespace trace {
+
+/**
+ * A [skip, skip+take) window over another source, counted in records.
+ * Useful to drop warmup or to simulate a sample of a long trace.
+ */
+class WindowTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param inner source to window (borrowed; must outlive this)
+     * @param skip  records to discard from the start
+     * @param take  records to pass through (0 = unlimited)
+     */
+    WindowTraceSource(TraceSource &inner, std::uint64_t skip,
+                      std::uint64_t take = 0);
+
+    bool next(BranchRecord &record) override;
+
+    void reset() override;
+
+  private:
+    void fastForward();
+
+    TraceSource &inner_;
+    std::uint64_t skip_;
+    std::uint64_t take_;
+    std::uint64_t delivered_ = 0;
+    bool skipped_ = false;
+};
+
+/**
+ * Passes through only records matching a predicate. Note that most
+ * predictor simulations must see the *whole* stream (history is built
+ * from every class); this filter is for analyses such as per-class
+ * statistics, not for driving Simulator.
+ */
+class FilterTraceSource : public TraceSource
+{
+  public:
+    using Predicate = std::function<bool(const BranchRecord &)>;
+
+    /** @param inner source to filter (borrowed) */
+    FilterTraceSource(TraceSource &inner, Predicate predicate);
+
+    bool next(BranchRecord &record) override;
+
+    void reset() override;
+
+  private:
+    TraceSource &inner_;
+    Predicate predicate_;
+};
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_TRACE_FILTER_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Binary trace reader/writer implementation.
+ */
+
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace trace {
+
+namespace {
+
+constexpr std::array<char, 4> traceMagic = {'V', 'B', 'T', '1'};
+constexpr std::size_t recordBytes = 1 + 1 + 8 + 8;
+
+void
+putU64(std::uint8_t *buffer, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *buffer)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        util::fatal("cannot create trace file: " + path);
+    std::uint8_t header[12];
+    std::memcpy(header, traceMagic.data(), 4);
+    putU64(header + 4, 0); // patched in close()
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        util::fatal("cannot write trace header: " + path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr)
+        close();
+}
+
+void
+TraceWriter::write(const BranchRecord &record)
+{
+    std::uint8_t buffer[recordBytes];
+    buffer[0] = static_cast<std::uint8_t>(record.kind);
+    buffer[1] = record.taken ? 1 : 0;
+    putU64(buffer + 2, record.pc);
+    putU64(buffer + 10, record.nextPc);
+    if (std::fwrite(buffer, 1, recordBytes, file_) != recordBytes)
+        util::fatal("short write to trace file");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    std::uint8_t counter[8];
+    putU64(counter, count_);
+    std::fseek(file_, 4, SEEK_SET);
+    if (std::fwrite(counter, 1, sizeof(counter), file_) != sizeof(counter))
+        util::warn("failed to finalize trace record count");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        util::fatal("cannot open trace file: " + path);
+    std::uint8_t header[12];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)
+        || std::memcmp(header, traceMagic.data(), 4) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        util::fatal("not a .vbt trace file: " + path);
+    }
+    count_ = getU64(header + 4);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(BranchRecord &record)
+{
+    if (read_ >= count_)
+        return false;
+    std::uint8_t buffer[recordBytes];
+    if (std::fread(buffer, 1, recordBytes, file_) != recordBytes)
+        util::fatal("truncated trace file");
+    if (buffer[0] >= numBranchKinds)
+        util::fatal("corrupt trace record: bad branch kind");
+    record.kind = static_cast<BranchKind>(buffer[0]);
+    record.taken = buffer[1] != 0;
+    record.pc = getU64(buffer + 2);
+    record.nextPc = getU64(buffer + 10);
+    ++read_;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    std::fseek(file_, 12, SEEK_SET);
+    read_ = 0;
+}
+
+VectorTraceSource
+loadTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<BranchRecord> records;
+    records.reserve(reader.count());
+    BranchRecord record;
+    while (reader.next(record))
+        records.push_back(record);
+    return VectorTraceSource(std::move(records));
+}
+
+void
+saveTrace(const VectorTraceSource &source, const std::string &path)
+{
+    TraceWriter writer(path);
+    for (const auto &record : source.records())
+        writer.write(record);
+    writer.close();
+}
+
+} // namespace trace
+} // namespace vlp

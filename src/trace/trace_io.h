@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Binary trace file format (.vbt — "vlpsim branch trace").
+ *
+ * Layout (little-endian):
+ *   bytes 0..3   magic "VBT1"
+ *   bytes 4..11  record count (uint64)
+ *   then, per record:
+ *     uint8  kind        (BranchKind)
+ *     uint8  taken       (0 or 1)
+ *     uint64 pc
+ *     uint64 nextPc
+ *
+ * The format is deliberately trivial so that external traces (e.g.
+ * branch streams extracted from ChampSim-style instruction traces) can
+ * be converted with a few lines of code; see examples/custom_trace.cpp.
+ */
+
+#ifndef VLPSIM_TRACE_TRACE_IO_H
+#define VLPSIM_TRACE_TRACE_IO_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "trace/branch_record.h"
+#include "trace/trace_source.h"
+
+namespace vlp {
+namespace trace {
+
+/** Writes .vbt trace files. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     * @throws std::runtime_error if the file cannot be created
+     */
+    explicit TraceWriter(const std::string &path);
+
+    /** Finalizes the record count in the header. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void write(const BranchRecord &record);
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Flush and close; called by the destructor if not done
+     * explicitly. */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Reads .vbt trace files as a TraceSource. */
+class TraceReader : public TraceSource
+{
+  public:
+    /**
+     * Open @p path and validate the header.
+     * @throws std::runtime_error on missing file or bad magic
+     */
+    explicit TraceReader(const std::string &path);
+
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(BranchRecord &record) override;
+
+    void reset() override;
+
+    /** Total records according to the header. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+/** Convenience: read an entire trace file into memory. */
+VectorTraceSource loadTrace(const std::string &path);
+
+/** Convenience: write an entire in-memory trace to @p path. */
+void saveTrace(const VectorTraceSource &source, const std::string &path);
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_TRACE_IO_H

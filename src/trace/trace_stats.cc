@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Trace statistics implementation.
+ */
+
+#include "trace/trace_stats.h"
+
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace vlp {
+namespace trace {
+
+TraceStats::TraceStats()
+{
+    dynamic_.fill(0);
+}
+
+void
+TraceStats::observe(const BranchRecord &record)
+{
+    const auto kind = static_cast<std::size_t>(record.kind);
+    ++dynamic_[kind];
+    pcs_[kind].insert(record.pc);
+    if (record.isConditional() && record.taken)
+        ++takenConditional_;
+}
+
+void
+TraceStats::observeAll(TraceSource &source)
+{
+    BranchRecord record;
+    while (source.next(record))
+        observe(record);
+}
+
+std::uint64_t
+TraceStats::dynamicCount(BranchKind kind) const
+{
+    return dynamic_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+TraceStats::staticCount(BranchKind kind) const
+{
+    return pcs_[static_cast<std::size_t>(kind)].size();
+}
+
+std::uint64_t
+TraceStats::dynamicConditional() const
+{
+    return dynamicCount(BranchKind::Conditional);
+}
+
+std::uint64_t
+TraceStats::staticConditional() const
+{
+    return staticCount(BranchKind::Conditional);
+}
+
+std::uint64_t
+TraceStats::dynamicIndirect() const
+{
+    return dynamicCount(BranchKind::IndirectJump)
+         + dynamicCount(BranchKind::IndirectCall);
+}
+
+std::uint64_t
+TraceStats::staticIndirect() const
+{
+    return staticCount(BranchKind::IndirectJump)
+         + staticCount(BranchKind::IndirectCall);
+}
+
+std::uint64_t
+TraceStats::dynamicTotal() const
+{
+    std::uint64_t total = 0;
+    for (auto count : dynamic_)
+        total += count;
+    return total;
+}
+
+double
+TraceStats::takenRate() const
+{
+    return util::percent(takenConditional_, dynamicConditional());
+}
+
+std::string
+TraceStats::summary() const
+{
+    std::ostringstream out;
+    out << "conditional: " << util::formatScaled(dynamicConditional())
+        << " dynamic / " << staticConditional() << " static"
+        << " (taken " << util::formatDouble(takenRate(), 1) << "%)\n"
+        << "indirect:    " << util::formatScaled(dynamicIndirect())
+        << " dynamic / " << staticIndirect() << " static\n"
+        << "returns:     "
+        << util::formatScaled(dynamicCount(BranchKind::Return))
+        << " dynamic / " << staticCount(BranchKind::Return) << " static\n"
+        << "calls:       "
+        << util::formatScaled(dynamicCount(BranchKind::DirectCall)
+                              + dynamicCount(BranchKind::IndirectCall))
+        << " dynamic\n"
+        << "total:       " << util::formatScaled(dynamicTotal())
+        << " records";
+    return out.str();
+}
+
+} // namespace trace
+} // namespace vlp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-level statistics: the static and dynamic branch counts the
+ * paper reports in Table 1.
+ */
+
+#ifndef VLPSIM_TRACE_TRACE_STATS_H
+#define VLPSIM_TRACE_TRACE_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "trace/branch_record.h"
+#include "trace/trace_source.h"
+
+namespace vlp {
+namespace trace {
+
+/**
+ * Accumulates per-kind static (distinct branch PCs) and dynamic
+ * (executed instances) counts over a branch stream.
+ */
+class TraceStats
+{
+  public:
+    TraceStats();
+
+    /** Account for one dynamic branch. */
+    void observe(const BranchRecord &record);
+
+    /** Consume an entire source (leaves it exhausted, not reset). */
+    void observeAll(TraceSource &source);
+
+    /** Dynamic count of branches of @p kind. */
+    std::uint64_t dynamicCount(BranchKind kind) const;
+
+    /** Static count (distinct PCs) of branches of @p kind. */
+    std::uint64_t staticCount(BranchKind kind) const;
+
+    /** Dynamic count of conditional branches. */
+    std::uint64_t dynamicConditional() const;
+
+    /** Static count of conditional branches. */
+    std::uint64_t staticConditional() const;
+
+    /**
+     * Dynamic count of indirect branches (indirect jumps + indirect
+     * calls; returns excluded, as in the paper's Table 1).
+     */
+    std::uint64_t dynamicIndirect() const;
+
+    /** Static count of indirect branches (returns excluded). */
+    std::uint64_t staticIndirect() const;
+
+    /** Dynamic count of all records of any kind. */
+    std::uint64_t dynamicTotal() const;
+
+    /** Taken fraction of conditional branches, in percent. */
+    double takenRate() const;
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    std::array<std::uint64_t, numBranchKinds> dynamic_;
+    std::array<std::unordered_set<std::uint64_t>, numBranchKinds> pcs_;
+    std::uint64_t takenConditional_ = 0;
+};
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_TRACE_STATS_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the simulator.
+ *
+ * The paper's hash functions operate on k-bit quantities (compressed
+ * target addresses and predictor-table indices), where k is the number
+ * of index bits of the predictor table. Everything here is expressed in
+ * terms of an explicit width so that rotations and masks behave like the
+ * k-bit hardware registers they model rather than like 64-bit host
+ * integers.
+ */
+
+#ifndef VLPSIM_UTIL_BITS_H
+#define VLPSIM_UTIL_BITS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vlp {
+namespace util {
+
+/** Return a mask with the low @p width bits set. @p width must be 0..64. */
+constexpr std::uint64_t
+mask(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1);
+}
+
+/** Keep only the low @p width bits of @p value. */
+constexpr std::uint64_t
+truncate(std::uint64_t value, unsigned width)
+{
+    return value & mask(width);
+}
+
+/** True iff @p value fits in @p width bits. */
+constexpr bool
+fits(std::uint64_t value, unsigned width)
+{
+    return truncate(value, width) == value;
+}
+
+/**
+ * Rotate a @p width-bit value left by @p amount bits.
+ *
+ * This models the k-bit rotator of Section 3.3 of the paper: each target
+ * address T_i is rotated, *as a k-bit number*, by i-1 bits before being
+ * XORed into the index.
+ *
+ * @param value  value to rotate; only the low @p width bits are used
+ * @param amount rotation amount; may exceed @p width (wraps around)
+ * @param width  register width in bits, 1..64
+ */
+constexpr std::uint64_t
+rotl(std::uint64_t value, unsigned amount, unsigned width)
+{
+    value = truncate(value, width);
+    amount %= width;
+    if (amount == 0)
+        return value;
+    return truncate((value << amount) | (value >> (width - amount)), width);
+}
+
+/** Rotate a @p width-bit value right by @p amount bits. */
+constexpr std::uint64_t
+rotr(std::uint64_t value, unsigned amount, unsigned width)
+{
+    amount %= width;
+    return rotl(value, width - amount, width);
+}
+
+/** True iff @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2(@p value); @p value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    assert(value != 0);
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of log2(@p value); @p value must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return floorLog2(value) + (isPowerOf2(value) ? 0 : 1);
+}
+
+/**
+ * XOR-fold a 64-bit value down to @p width bits.
+ *
+ * Used to mix a full branch address into a narrow index (gshare-style)
+ * without discarding the high-order bits entirely.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t value, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    std::uint64_t result = 0;
+    while (value != 0) {
+        result ^= truncate(value, width);
+        value >>= width;
+    }
+    return result;
+}
+
+/** Extract bits [@p first, @p last] (inclusive, last >= first). */
+constexpr std::uint64_t
+bitRange(std::uint64_t value, unsigned last, unsigned first)
+{
+    assert(last >= first);
+    return truncate(value >> first, last - first + 1);
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t value)
+{
+    unsigned count = 0;
+    while (value != 0) {
+        value &= value - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_BITS_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging and environment helper implementation.
+ */
+
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vlp {
+namespace util {
+
+void
+inform(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+fatal(const std::string &message)
+{
+    throw std::runtime_error(message);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+double
+workloadScale()
+{
+    const char *value = std::getenv("VLPSIM_SCALE");
+    if (value == nullptr)
+        return 1.0;
+    char *end = nullptr;
+    double scale = std::strtod(value, &end);
+    if (end == value || scale <= 0.0) {
+        warn("ignoring malformed VLPSIM_SCALE value");
+        return 1.0;
+    }
+    if (scale < 0.001)
+        scale = 0.001;
+    if (scale > 1000.0)
+        scale = 1000.0;
+    return scale;
+}
+
+} // namespace util
+} // namespace vlp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting and environment helpers.
+ *
+ * fatal() is for user-caused conditions (bad configuration, bad trace
+ * file): it throws a std::runtime_error so callers and tests can catch
+ * it. panic() is for internal invariant violations and aborts.
+ */
+
+#ifndef VLPSIM_UTIL_LOGGING_H
+#define VLPSIM_UTIL_LOGGING_H
+
+#include <stdexcept>
+#include <string>
+
+namespace vlp {
+namespace util {
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const std::string &message);
+
+/** Print a warning to stderr ("warn: ..."). */
+void warn(const std::string &message);
+
+/**
+ * Report an unrecoverable user error.
+ * @throws std::runtime_error always
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Abort on an internal invariant violation (a simulator bug). */
+[[noreturn]] void panic(const std::string &message);
+
+/**
+ * Read the global workload scale factor from the VLPSIM_SCALE
+ * environment variable. Defaults to 1.0; values are clamped to
+ * [0.001, 1000]. All synthetic dynamic trace lengths are multiplied by
+ * this factor, so the full experiment suite can be run quickly
+ * (VLPSIM_SCALE=0.1) or at near-paper lengths (VLPSIM_SCALE=20).
+ */
+double workloadScale();
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_LOGGING_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small statistics helpers: ratios, running statistics, histograms.
+ */
+
+#ifndef VLPSIM_UTIL_STATS_H
+#define VLPSIM_UTIL_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlp {
+namespace util {
+
+/** Percentage of @p numer over @p denom; 0 when the denominator is 0. */
+double percent(std::uint64_t numer, std::uint64_t denom);
+
+/** Format a double with @p decimals digits after the point. */
+std::string formatDouble(double value, int decimals);
+
+/** Format a count with thousands separators ("27,600,000"). */
+std::string formatCount(std::uint64_t value);
+
+/**
+ * Format a count the way the paper's Table 1 does: "17.6 M", "91.4 K",
+ * or the raw number below 1000.
+ */
+std::string formatScaled(std::uint64_t value);
+
+/** Online mean / min / max / count accumulator. */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over small unsigned values (e.g. selected hash
+ * function numbers 1..32, loop trip counts). Values beyond the last
+ * bucket are clamped into it.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of buckets; bucket i counts value i */
+    explicit Histogram(std::size_t buckets);
+
+    /** Record one sample of @p value. */
+    void add(std::size_t value, std::uint64_t weight = 1);
+
+    /** Count in bucket @p value. */
+    std::uint64_t bucket(std::size_t value) const;
+
+    /** Total weight recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Number of buckets. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Index of the most populated bucket (0 when empty). */
+    std::size_t argMax() const;
+
+    /** Render as "v0:c0 v1:c1 ..." skipping empty buckets. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_STATS_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table and CSV rendering for experiment output.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure
+ * it reproduces; this helper keeps that output aligned and also emits
+ * machine-readable CSV for plotting.
+ */
+
+#ifndef VLPSIM_UTIL_TABLE_H
+#define VLPSIM_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vlp {
+namespace util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter table({"Benchmark", "gshare", "VLP"});
+ *   table.addRow({"gcc", "8.8", "4.3"});
+ *   table.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** @param headers column headers, defining the column count */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are
+     * columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with a header separator to @p out. */
+    void print(std::ostream &out) const;
+
+    /** Render as CSV (no alignment padding) to @p out. */
+    void printCsv(std::ostream &out) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Access a cell of a data row (row/column bounds-checked). */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Quote a CSV field if it contains separators or quotes. */
+std::string csvEscape(const std::string &field);
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_TABLE_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Execution engine implementation.
+ */
+
+#include "workload/engine.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace workload {
+
+ExecutionEngine::ExecutionEngine(Program &program, const InputSet &input)
+    : program_(program), rng_(input.seed), input_(input)
+{
+    std::memset(path_, 0, sizeof(path_));
+}
+
+void
+ExecutionEngine::emit(std::uint64_t pc, std::uint64_t next_pc, bool taken,
+                      trace::BranchKind kind, const Sink &sink)
+{
+    trace::BranchRecord record;
+    record.pc = pc;
+    record.nextPc = next_pc;
+    record.taken = taken;
+    record.kind = kind;
+    sink(record);
+    ++recordCount_;
+
+    if (record.isConditional()) {
+        ++conditionalCount_;
+        outcomes_ = (outcomes_ << 1) | (taken ? 1 : 0);
+    }
+    // Histories visible to behaviours follow the THB insertion policy:
+    // conditional and indirect destinations only.
+    if (record.isConditional() || record.isIndirect()) {
+        for (unsigned i = pathHistoryDepth; i-- > 1;)
+            path_[i] = path_[i - 1];
+        path_[0] = next_pc;
+    }
+}
+
+std::uint64_t
+ExecutionEngine::run(const RunLimits &limits, const Sink &sink)
+{
+    program_.resetBehaviorState();
+    std::memset(path_, 0, sizeof(path_));
+    outcomes_ = 0;
+    callStack_.clear();
+    conditionalCount_ = 0;
+    recordCount_ = 0;
+
+    BehaviorContext context;
+    context.pathHistory = path_;
+    context.rng = &rng_;
+    context.noiseScale = input_.noiseScale;
+    context.tripScale = input_.tripScale;
+
+    BlockId current = program_.entryBlock(program_.mainFunction());
+
+    while (conditionalCount_ < limits.conditionalBudget
+           && recordCount_ < limits.recordBudget) {
+        Block &block = program_.block(current);
+        Terminator &term = block.term;
+        const std::uint64_t pc = block.addr;
+        context.outcomeHistory = outcomes_;
+
+        switch (term.kind) {
+          case TermKind::FallThrough:
+            current = current + 1;
+            break;
+
+          case TermKind::CondBranch: {
+            const bool taken = term.condBehavior->evaluate(context);
+            const BlockId destination =
+                taken ? term.target : current + 1;
+            emit(pc, program_.blockAddr(destination), taken,
+                 trace::BranchKind::Conditional, sink);
+            current = destination;
+            break;
+          }
+
+          case TermKind::Jump:
+            emit(pc, program_.blockAddr(term.target), true,
+                 trace::BranchKind::Unconditional, sink);
+            current = term.target;
+            break;
+
+          case TermKind::IndirectJump: {
+            const std::size_t choice =
+                term.indBehavior->evaluate(context, term.targets.size());
+            const BlockId destination = term.targets[choice];
+            emit(pc, program_.blockAddr(destination), true,
+                 trace::BranchKind::IndirectJump, sink);
+            current = destination;
+            break;
+          }
+
+          case TermKind::Call: {
+            if (callStack_.size() >= limits.maxCallDepth)
+                util::fatal("call stack overflow: recursive program?");
+            const BlockId entry = program_.entryBlock(term.callee);
+            emit(pc, program_.blockAddr(entry), true,
+                 trace::BranchKind::DirectCall, sink);
+            callStack_.push_back(current + 1);
+            current = entry;
+            break;
+          }
+
+          case TermKind::IndirectCall: {
+            if (callStack_.size() >= limits.maxCallDepth)
+                util::fatal("call stack overflow: recursive program?");
+            const std::size_t choice =
+                term.indBehavior->evaluate(context, term.callees.size());
+            const BlockId entry =
+                program_.entryBlock(term.callees[choice]);
+            emit(pc, program_.blockAddr(entry), true,
+                 trace::BranchKind::IndirectCall, sink);
+            callStack_.push_back(current + 1);
+            current = entry;
+            break;
+          }
+
+          case TermKind::Return: {
+            if (callStack_.empty()) {
+                // Returning from main: restart it, emulating an outer
+                // driver loop. No branch record is emitted (process
+                // re-entry is not a branch).
+                current = program_.entryBlock(program_.mainFunction());
+                break;
+            }
+            const BlockId resume = callStack_.back();
+            callStack_.pop_back();
+            emit(pc, program_.blockAddr(resume), true,
+                 trace::BranchKind::Return, sink);
+            current = resume;
+            break;
+          }
+        }
+    }
+
+    return recordCount_;
+}
+
+trace::VectorTraceSource
+ExecutionEngine::runToTrace(const RunLimits &limits)
+{
+    std::vector<trace::BranchRecord> records;
+    records.reserve(limits.conditionalBudget * 2);
+    run(limits, [&records](const trace::BranchRecord &record) {
+        records.push_back(record);
+    });
+    return trace::VectorTraceSource(std::move(records));
+}
+
+} // namespace workload
+} // namespace vlp

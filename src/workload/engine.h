@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The synthetic-program execution engine: turns a Program plus an input
+ * set into a branch trace.
+ *
+ * The engine models exactly what ATOM instrumentation gave the paper's
+ * authors: the dynamic stream of control-transfer instructions with
+ * their executed destinations. It maintains
+ *  - a call stack (so returns go to real return addresses),
+ *  - the path history behaviours condition on (destinations of
+ *    conditional and indirect branches — the THB insertion policy), and
+ *  - the global conditional-outcome history.
+ */
+
+#ifndef VLPSIM_WORKLOAD_ENGINE_H
+#define VLPSIM_WORKLOAD_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/branch_record.h"
+#include "trace/trace_source.h"
+#include "util/rng.h"
+#include "workload/program.h"
+
+namespace vlp {
+namespace workload {
+
+/**
+ * An input set: what the paper calls a "profile input" or "test input".
+ * Input sets with different seeds draw different data-dependent
+ * outcomes; the scale knobs shift the workload distribution so that
+ * profiling is evaluated on genuinely different (but similarly
+ * structured) behaviour.
+ */
+struct InputSet
+{
+    /** Seed of the data-dependent random stream. */
+    std::uint64_t seed = 1;
+    /** Multiplies behaviour noise probabilities. */
+    double noiseScale = 1.0;
+    /** Multiplies loop trip counts. */
+    double tripScale = 1.0;
+};
+
+/** Options controlling one engine run. */
+struct RunLimits
+{
+    /** Stop after this many dynamic conditional branches. */
+    std::uint64_t conditionalBudget = 1'000'000;
+    /** Hard cap on total emitted records (safety valve). */
+    std::uint64_t recordBudget = 100'000'000;
+    /** Call-stack depth limit (the generator builds DAG call graphs,
+     *  so hitting this indicates a malformed program). */
+    std::size_t maxCallDepth = 4096;
+};
+
+/**
+ * Executes a Program, delivering each dynamic branch to a sink.
+ */
+class ExecutionEngine
+{
+  public:
+    /** Sink invoked once per dynamic branch, in program order. */
+    using Sink = std::function<void(const trace::BranchRecord &)>;
+
+    /**
+     * @param program the program to execute (behaviour state is reset
+     *        at the start of each run)
+     * @param input   the input set
+     */
+    ExecutionEngine(Program &program, const InputSet &input);
+
+    /**
+     * Run until a limit is hit, delivering records to @p sink.
+     * @return number of records emitted
+     */
+    std::uint64_t run(const RunLimits &limits, const Sink &sink);
+
+    /**
+     * Convenience: run and materialize the trace in memory.
+     */
+    trace::VectorTraceSource runToTrace(const RunLimits &limits);
+
+  private:
+    /** Record a control transfer and update engine histories. */
+    void emit(std::uint64_t pc, std::uint64_t next_pc, bool taken,
+              trace::BranchKind kind, const Sink &sink);
+
+    Program &program_;
+    util::Rng rng_;
+    InputSet input_;
+
+    /** Path history ring; index 0 is most recent. */
+    std::uint64_t path_[pathHistoryDepth];
+    /** Global conditional-outcome history (bit 0 most recent). */
+    std::uint64_t outcomes_ = 0;
+    /** Return-address stack of resume blocks. */
+    std::vector<BlockId> callStack_;
+
+    std::uint64_t conditionalCount_ = 0;
+    std::uint64_t recordCount_ = 0;
+};
+
+} // namespace workload
+} // namespace vlp
+
+#endif // VLPSIM_WORKLOAD_ENGINE_H

@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Procedural program generator implementation.
+ *
+ * Construction order: shared utility functions, interpreter dispatch
+ * loops, work functions (until the static conditional target is met),
+ * phase functions (which call the work), and finally main (a driver
+ * loop selecting phases through an indirect jump).
+ */
+
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace workload {
+
+namespace {
+
+/** Stateful helper that owns the builder while generating. */
+class Generator
+{
+  public:
+    explicit Generator(const StructureParams &params)
+        : params_(params), rng_(params.structureSeed)
+    {
+        // One indirect branch is always spent on main's phase driver.
+        indBudget_ = params.targetStaticInd > 0
+                       ? params.targetStaticInd - 1 : 0;
+    }
+
+    Program build();
+
+  private:
+    /** @name Behaviour factories */
+    /// @{
+    double drawBias();
+    std::unique_ptr<ConditionalBehavior> makeBiased();
+    std::unique_ptr<ConditionalBehavior> drawCondBehavior();
+    std::unique_ptr<ConditionalBehavior> drawShallowPathBehavior();
+    std::unique_ptr<IndirectBehavior> drawSwitchBehavior();
+    /// @}
+
+    /** @name In-function motif emitters */
+    /// @{
+    void emitIfMotif(std::unique_ptr<ConditionalBehavior> behavior);
+    void emitLoopMotif(unsigned nesting);
+    void emitSwitchMotif();
+    void emitCallMotif();
+    /// @}
+
+    /** Pick a callee among utilities and earlier work functions. */
+    FuncId pickCallee();
+
+    void buildUtilFunction();
+    void buildDispatchFunction();
+    void buildWorkFunction();
+    FuncId buildPhaseFunction(const std::vector<FuncId> &funcs,
+                              unsigned ind_call_sites);
+    FuncId buildMain(const std::vector<FuncId> &phases);
+
+    const StructureParams &params_;
+    util::Rng rng_;
+    ProgramBuilder builder_;
+
+    unsigned indBudget_ = 0;
+    double switchProb_ = 0.1;
+    std::vector<FuncId> utils_;
+    std::vector<FuncId> workFuncs_;
+    std::vector<FuncId> dispatchFuncs_;
+};
+
+std::unique_ptr<ConditionalBehavior>
+Generator::drawCondBehavior()
+{
+    const std::vector<double> weights = {
+        params_.loopWeight, params_.pathWeight,
+        params_.patternWeight, params_.biasedWeight,
+    };
+    switch (rng_.nextWeighted(weights)) {
+      case 0: {
+        // A loop-like repetition condition outside a loop motif:
+        // model as a short regular loop branch.
+        const unsigned lo = params_.tripMin;
+        const unsigned hi = std::max(params_.tripMin, params_.tripMax);
+        return std::make_unique<LoopBehavior>(lo, hi,
+                                              rng_.nextBool(0.85));
+      }
+      case 1: {
+        // Skew the correlation distances toward short: real path
+        // correlation mostly comes from nearby context (call sites,
+        // recent decisions), with a tail of branches needing longer
+        // paths. The tail is also where intervening control flow adds
+        // path diversity, so deep branches are only partly learnable —
+        // as in real programs.
+        const unsigned depth = std::max(
+            params_.pathDepthMin,
+            rng_.nextGeometric(0.72, std::max(params_.pathDepthMin,
+                                              params_.pathDepthMax)));
+        return std::make_unique<PathCorrelatedBehavior>(
+            depth, rng_.nextBool(0.5), params_.condNoise, rng_.next());
+      }
+      case 2: {
+        const unsigned depth = std::max(
+            params_.patternDepthMin,
+            rng_.nextGeometric(0.65, std::max(params_.patternDepthMin,
+                                              params_.patternDepthMax)));
+        return std::make_unique<PatternCorrelatedBehavior>(
+            depth, params_.condNoise, rng_.next());
+      }
+      default:
+        return makeBiased();
+    }
+}
+
+double
+Generator::drawBias()
+{
+    // Cube the draw so most data-dependent branches are very strongly
+    // biased (margins of a percent or two) with a tail of genuinely
+    // unpredictable ones — matching measured branch-bias distributions,
+    // where the bulk of "random" branches rarely flip.
+    const double u = rng_.nextDouble();
+    double bias = params_.biasLow
+        + u * u * u * (params_.biasHigh - params_.biasLow);
+    if (rng_.nextBool(0.5))
+        bias = 1.0 - bias;
+    return bias;
+}
+
+std::unique_ptr<ConditionalBehavior>
+Generator::makeBiased()
+{
+    const double p = drawBias();
+    if (rng_.nextBool(params_.iidBiasFrac))
+        return std::make_unique<BiasedBehavior>(p, 1);
+    // Phase-invariant condition: hold the outcome for 32..256
+    // executions between re-draws.
+    const unsigned window = 32u << rng_.nextBelow(4);
+    return std::make_unique<BiasedBehavior>(p, window);
+}
+
+std::unique_ptr<ConditionalBehavior>
+Generator::drawShallowPathBehavior()
+{
+    // Branches inside utility functions and dispatch handlers: a mix
+    // in which path correlation (discriminating call sites / the
+    // previous dispatch target — invisible to outcome histories) is
+    // prominent but not dominant; most helper-function branches in
+    // real code are still data- or pattern-driven.
+    const double draw = rng_.nextDouble();
+    if (draw < 0.35) {
+        const unsigned depth =
+            static_cast<unsigned>(rng_.nextInRange(2, 8));
+        return std::make_unique<PathCorrelatedBehavior>(
+            depth, rng_.nextBool(0.3), params_.condNoise, rng_.next());
+    }
+    if (draw < 0.60) {
+        const unsigned depth =
+            static_cast<unsigned>(rng_.nextInRange(2, 6));
+        return std::make_unique<PatternCorrelatedBehavior>(
+            depth, params_.condNoise, rng_.next());
+    }
+    if (draw < 0.85)
+        return makeBiased();
+    return std::make_unique<LoopBehavior>(
+        params_.tripMin,
+        std::max(params_.tripMin, params_.tripMax / 4),
+        rng_.nextBool(0.85));
+}
+
+std::unique_ptr<IndirectBehavior>
+Generator::drawSwitchBehavior()
+{
+    const double draw = rng_.nextDouble();
+    if (draw < params_.switchPathFrac) {
+        const unsigned depth =
+            static_cast<unsigned>(rng_.nextInRange(1, 6));
+        return std::make_unique<PathDispatchBehavior>(
+            depth, params_.indNoise, rng_.next());
+    }
+    if (draw < params_.switchPathFrac + params_.switchMarkovFrac) {
+        const unsigned order = static_cast<unsigned>(rng_.nextInRange(
+            params_.markovOrderMin,
+            std::max(params_.markovOrderMin, params_.markovOrderMax)));
+        return std::make_unique<MarkovBehavior>(order, params_.indNoise,
+                                                rng_.next());
+    }
+    return std::make_unique<RandomDispatchBehavior>(1.2);
+}
+
+void
+Generator::emitIfMotif(std::unique_ptr<ConditionalBehavior> behavior)
+{
+    // C: cond, taken skips the then-block; T: then-side work; J: join.
+    const BlockId cond = builder_.addBlock();
+    const BlockId then_block = builder_.addBlock();
+    const BlockId join = builder_.addBlock();
+    builder_.setCond(cond, join, std::move(behavior));
+    // Then-sides only ever call cheap utilities: if-motifs appear
+    // inside loop bodies, where a call to an arbitrary work function
+    // would multiply its cost by the trip count.
+    if (!utils_.empty() && rng_.nextBool(params_.callProb))
+        builder_.setCall(then_block,
+                         utils_[rng_.nextBelow(utils_.size())]);
+    (void)join; // join falls through to whatever comes next
+}
+
+void
+Generator::emitLoopMotif(unsigned nesting)
+{
+    // Do-while: body motifs first, back-edge conditional at the end.
+    const BlockId body_first = builder_.addBlock();
+
+    // Track whether the body multiplies work (nested loop or call):
+    // such loops get short trip counts so per-invocation cost stays
+    // bounded, while simple bodies iterate a lot — matching the hot
+    // inner loops that dominate real dynamic profiles.
+    bool heavy = false;
+    const unsigned inner_motifs =
+        static_cast<unsigned>(rng_.nextInRange(2, 4));
+    for (unsigned i = 0; i < inner_motifs; ++i) {
+        const double draw = rng_.nextDouble();
+        if (nesting > 0 && draw < 0.20) {
+            emitLoopMotif(nesting - 1);
+            heavy = true;
+        } else if (draw < 0.75) {
+            emitIfMotif(drawCondBehavior());
+        } else if (draw < 0.81 && !utils_.empty()) {
+            // Loop bodies call only cheap utilities.
+            const BlockId call = builder_.addBlock();
+            builder_.setCall(call,
+                             utils_[rng_.nextBelow(utils_.size())]);
+            heavy = true;
+        } else {
+            builder_.addBlock(); // straight-line work
+        }
+    }
+
+    const BlockId backedge = builder_.addBlock();
+    unsigned lo = params_.tripMin;
+    unsigned hi = std::max(params_.tripMin, params_.tripMax);
+    if (heavy) {
+        // Keep work-multiplying loops bounded, but never so short that
+        // the 1/trip exit cost dominates.
+        lo = std::min(lo, 8u);
+        hi = std::max({lo, 8u, hi / 8});
+    }
+    if (nesting == 0)
+        hi = std::max({lo, 10u, hi / 4});
+    builder_.setCond(backedge, body_first,
+                     std::make_unique<LoopBehavior>(lo, hi,
+                                                    rng_.nextBool(0.92)));
+}
+
+void
+Generator::emitSwitchMotif()
+{
+    assert(indBudget_ > 0);
+    --indBudget_;
+
+    const unsigned fan = static_cast<unsigned>(rng_.nextInRange(
+        params_.switchFanMin,
+        std::max(params_.switchFanMin, params_.switchFanMax)));
+
+    const BlockId switch_block = builder_.addBlock();
+    std::vector<BlockId> handlers;
+    std::vector<BlockId> handler_jumps;
+    handlers.reserve(fan);
+    for (unsigned i = 0; i < fan; ++i) {
+        const BlockId handler = builder_.addBlock();
+        handlers.push_back(handler);
+        if (rng_.nextBool(0.4))
+            emitIfMotif(drawShallowPathBehavior());
+        else if (!utils_.empty() && rng_.nextBool(0.3))
+            builder_.setCall(handler, pickCallee());
+        handler_jumps.push_back(builder_.addBlock());
+    }
+    const BlockId join = builder_.addBlock();
+    for (BlockId jump : handler_jumps)
+        builder_.setJump(jump, join);
+    builder_.setIndirectJump(switch_block, std::move(handlers),
+                             drawSwitchBehavior());
+}
+
+void
+Generator::emitCallMotif()
+{
+    const BlockId call = builder_.addBlock();
+    builder_.setCall(call, pickCallee());
+}
+
+FuncId
+Generator::pickCallee()
+{
+    assert(!utils_.empty());
+    // Mostly utilities; occasionally an earlier work function, capped
+    // at a window of 24 so dynamic call chains stay shallow.
+    if (!workFuncs_.empty() && rng_.nextBool(0.25)) {
+        const std::size_t window = std::min<std::size_t>(
+            workFuncs_.size(), 24);
+        const std::size_t offset = rng_.nextBelow(window);
+        return workFuncs_[workFuncs_.size() - 1 - offset];
+    }
+    return utils_[rng_.nextBelow(utils_.size())];
+}
+
+void
+Generator::buildUtilFunction()
+{
+    const FuncId func = builder_.beginFunction();
+    builder_.addBlock(); // entry
+    const unsigned motifs = static_cast<unsigned>(rng_.nextInRange(1, 3));
+    for (unsigned i = 0; i < motifs; ++i) {
+        if (rng_.nextBool(0.5))
+            emitIfMotif(drawShallowPathBehavior());
+        else
+            emitIfMotif(drawCondBehavior());
+    }
+    const BlockId ret = builder_.addBlock();
+    builder_.setReturn(ret);
+    builder_.endFunction();
+    utils_.push_back(func);
+}
+
+void
+Generator::buildDispatchFunction()
+{
+    assert(indBudget_ > 0);
+    --indBudget_;
+
+    const FuncId func = builder_.beginFunction();
+    builder_.addBlock(); // entry, falls through to the dispatch block
+
+    const unsigned fan = static_cast<unsigned>(rng_.nextInRange(
+        params_.dispatchFanMin,
+        std::max(params_.dispatchFanMin, params_.dispatchFanMax)));
+    const unsigned order = static_cast<unsigned>(rng_.nextInRange(
+        params_.markovOrderMin,
+        std::max(params_.markovOrderMin, params_.markovOrderMax)));
+
+    const BlockId dispatch = builder_.addBlock();
+    std::vector<BlockId> handlers;
+    std::vector<BlockId> handler_jumps;
+    handlers.reserve(fan);
+    for (unsigned i = 0; i < fan; ++i) {
+        const BlockId handler = builder_.addBlock();
+        handlers.push_back(handler);
+        // Handler bodies: a shallow path-correlated conditional and/or
+        // a call to a small utility.
+        if (rng_.nextBool(0.5))
+            emitIfMotif(drawShallowPathBehavior());
+        if (!utils_.empty() && rng_.nextBool(0.25))
+            builder_.setCall(handler, pickCallee());
+        handler_jumps.push_back(builder_.addBlock());
+    }
+
+    const BlockId backedge = builder_.addBlock();
+    const BlockId ret = builder_.addBlock();
+    builder_.setReturn(ret);
+    for (BlockId jump : handler_jumps)
+        builder_.setJump(jump, backedge);
+    builder_.setCond(backedge, dispatch,
+                     std::make_unique<LoopBehavior>(
+                         params_.dispatchTripMin,
+                         std::max(params_.dispatchTripMin,
+                                  params_.dispatchTripMax),
+                         false));
+    builder_.setIndirectJump(dispatch, std::move(handlers),
+                             std::make_unique<MarkovBehavior>(
+                                 order, params_.indNoise, rng_.next()));
+    builder_.endFunction();
+    dispatchFuncs_.push_back(func);
+}
+
+void
+Generator::buildWorkFunction()
+{
+    const FuncId func = builder_.beginFunction();
+    builder_.addBlock(); // entry
+
+    const unsigned motifs = static_cast<unsigned>(rng_.nextInRange(2, 5));
+    for (unsigned i = 0; i < motifs; ++i) {
+        const double draw = rng_.nextDouble();
+        if (draw < 0.40) {
+            emitLoopMotif(1);
+        } else if (draw < 0.80) {
+            const unsigned chain =
+                static_cast<unsigned>(rng_.nextInRange(1, 3));
+            for (unsigned j = 0; j < chain; ++j)
+                emitIfMotif(drawCondBehavior());
+        } else if (indBudget_ > 0 && rng_.nextBool(switchProb_)) {
+            emitSwitchMotif();
+        } else {
+            emitCallMotif();
+        }
+    }
+
+    const BlockId ret = builder_.addBlock();
+    builder_.setReturn(ret);
+    builder_.endFunction();
+    workFuncs_.push_back(func);
+}
+
+FuncId
+Generator::buildPhaseFunction(const std::vector<FuncId> &funcs,
+                              unsigned ind_call_sites)
+{
+    const FuncId func = builder_.beginFunction();
+    builder_.addBlock(); // entry
+
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        const BlockId call = builder_.addBlock();
+        builder_.setCall(call, funcs[i]);
+        if (rng_.nextBool(0.3))
+            emitIfMotif(drawCondBehavior());
+    }
+
+    for (unsigned i = 0; i < ind_call_sites && !workFuncs_.empty(); ++i) {
+        const unsigned fan = static_cast<unsigned>(rng_.nextInRange(
+            params_.indCallFanMin,
+            std::max(params_.indCallFanMin, params_.indCallFanMax)));
+        std::vector<FuncId> callees;
+        callees.reserve(fan);
+        for (unsigned j = 0; j < fan; ++j)
+            callees.push_back(
+                workFuncs_[rng_.nextBelow(workFuncs_.size())]);
+        std::unique_ptr<IndirectBehavior> behavior;
+        if (rng_.nextBool(0.6)) {
+            behavior = std::make_unique<PathDispatchBehavior>(
+                static_cast<unsigned>(rng_.nextInRange(1, 8)),
+                params_.indNoise, rng_.next());
+        } else {
+            behavior = std::make_unique<MarkovBehavior>(
+                static_cast<unsigned>(rng_.nextInRange(
+                    params_.markovOrderMin,
+                    std::max(params_.markovOrderMin,
+                             params_.markovOrderMax))),
+                params_.indNoise, rng_.next());
+        }
+        const BlockId site = builder_.addBlock();
+        builder_.setIndirectCall(site, std::move(callees),
+                                 std::move(behavior));
+    }
+
+    const BlockId ret = builder_.addBlock();
+    builder_.setReturn(ret);
+    builder_.endFunction();
+    return func;
+}
+
+FuncId
+Generator::buildMain(const std::vector<FuncId> &phases)
+{
+    assert(!phases.empty());
+    const FuncId func = builder_.beginFunction();
+    const BlockId driver = builder_.addBlock();
+    std::vector<BlockId> stubs;
+    std::vector<BlockId> stub_jumps;
+    stubs.reserve(phases.size());
+    for (FuncId phase : phases) {
+        const BlockId stub = builder_.addBlock();
+        builder_.setCall(stub, phase);
+        stubs.push_back(stub);
+        stub_jumps.push_back(builder_.addBlock());
+    }
+    for (BlockId jump : stub_jumps)
+        builder_.setJump(jump, driver);
+    builder_.setIndirectJump(
+        driver, std::move(stubs),
+        std::make_unique<RandomDispatchBehavior>(params_.phaseZipf));
+    builder_.endFunction();
+    return func;
+}
+
+Program
+Generator::build()
+{
+    const unsigned num_utils = std::max(1u, params_.utilFunctions);
+    for (unsigned i = 0; i < num_utils; ++i)
+        buildUtilFunction();
+
+    for (unsigned i = 0;
+         i < params_.dispatchLoops && indBudget_ > 0; ++i) {
+        buildDispatchFunction();
+    }
+
+    // Reserve some conditional budget for the phase functions, and
+    // pace switch emission so the whole static-indirect budget is
+    // spread over the expected number of work functions (benchmarks
+    // like gs have hundreds of switch statements to place).
+    const unsigned num_phases = std::max(1u, params_.phaseFunctions);
+    const unsigned phase_reserve = num_phases * 2;
+    const unsigned cond_remaining =
+        params_.targetStaticCond
+        > builder_.staticConditionals() + phase_reserve
+            ? params_.targetStaticCond - phase_reserve
+                  - static_cast<unsigned>(builder_.staticConditionals())
+            : 0;
+    const double expected_motifs =
+        std::max(1.0, cond_remaining / 10.0) * 3.5;
+    switchProb_ = std::min(
+        0.6, (indBudget_ > params_.indCallSites
+                  ? indBudget_ - params_.indCallSites : 0)
+                 / expected_motifs * 5.0);
+    while (builder_.staticConditionals() + phase_reserve
+           < params_.targetStaticCond) {
+        buildWorkFunction();
+    }
+
+    // Distribute work/dispatch functions across phases: deal them
+    // round-robin so every function is reachable, then add extras.
+    std::vector<FuncId> pool = workFuncs_;
+    pool.insert(pool.end(), dispatchFuncs_.begin(), dispatchFuncs_.end());
+    // Deterministic shuffle.
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng_.nextBelow(i)]);
+
+    std::vector<std::vector<FuncId>> phase_funcs(num_phases);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        phase_funcs[i % num_phases].push_back(pool[i]);
+    for (auto &funcs : phase_funcs) {
+        const unsigned extras = static_cast<unsigned>(rng_.nextInRange(
+            0, std::max(1u, params_.phaseCallsMax / 4)));
+        for (unsigned i = 0; i < extras && !pool.empty(); ++i)
+            funcs.push_back(pool[rng_.nextBelow(pool.size())]);
+        if (funcs.empty() && !utils_.empty())
+            funcs.push_back(utils_[0]);
+    }
+
+    // Spread the indirect-call sites across phases.
+    std::vector<FuncId> phases;
+    phases.reserve(num_phases);
+    unsigned sites_left =
+        std::min(params_.indCallSites, indBudget_);
+    indBudget_ -= sites_left;
+    for (unsigned i = 0; i < num_phases; ++i) {
+        const unsigned sites = (sites_left + num_phases - 1 - i)
+                               / num_phases;
+        const unsigned take = std::min(sites, sites_left);
+        sites_left -= take;
+        phases.push_back(buildPhaseFunction(phase_funcs[i], take));
+    }
+
+    const FuncId main_func = buildMain(phases);
+    return builder_.finalize(main_func);
+}
+
+} // anonymous namespace
+
+Program
+generateProgram(const StructureParams &params)
+{
+    Generator generator(params);
+    return generator.build();
+}
+
+} // namespace workload
+} // namespace vlp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Procedural program generator: builds a random-but-structured Program
+ * from a StructureParams description.
+ *
+ * The generator composes programs from the motifs that dominate integer
+ * codes: loop nests with data-dependent inner conditionals, if-chains,
+ * switch statements, interpreter-style dispatch loops, call trees over
+ * shared utility functions, and indirect call sites (function-pointer /
+ * virtual dispatch). The *structure* seed fixes the program — including
+ * the per-branch deterministic outcome/target mappings, which are part
+ * of the program's code — while data-dependent draws happen at
+ * execution time from the input set's seed.
+ */
+
+#ifndef VLPSIM_WORKLOAD_GENERATOR_H
+#define VLPSIM_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "workload/program.h"
+
+namespace vlp {
+namespace workload {
+
+/**
+ * Knobs describing a benchmark's structure. The 16 per-benchmark
+ * parameterizations live in benchmarks.cc.
+ */
+struct StructureParams
+{
+    /** Seed defining the program (CFG shape and branch mappings). */
+    std::uint64_t structureSeed = 1;
+
+    /** Approximate static conditional branch count to generate. */
+    unsigned targetStaticCond = 2000;
+    /** Approximate static indirect branch count to generate. */
+    unsigned targetStaticInd = 30;
+
+    /** @name Conditional behaviour mix (relative weights) */
+    /// @{
+    double loopWeight = 0.30;
+    double pathWeight = 0.30;
+    double patternWeight = 0.15;
+    double biasedWeight = 0.25;
+    /// @}
+
+    /** @name Path / pattern correlation depths */
+    /// @{
+    unsigned pathDepthMin = 1;
+    unsigned pathDepthMax = 24;
+    unsigned patternDepthMin = 2;
+    unsigned patternDepthMax = 8;
+    /// @}
+
+    /** Flip probability for correlated conditionals. */
+    double condNoise = 0.04;
+    /** Taken-probability band for biased branches (mirrored around
+     *  0.5, so a draw of 0.08 yields either 0.08 or 0.92). */
+    double biasLow = 0.02;
+    double biasHigh = 0.25;
+    /**
+     * Fraction of biased branches whose outcome is drawn independently
+     * per execution (truly data-dependent); the rest hold their
+     * outcome over long windows (loop/phase-invariant conditions).
+     */
+    double iidBiasFrac = 0.25;
+
+    /** @name Loop trip counts */
+    /// @{
+    unsigned tripMin = 2;
+    unsigned tripMax = 24;
+    /// @}
+
+    /** @name Interpreter dispatch loops */
+    /// @{
+    unsigned dispatchLoops = 0;
+    unsigned dispatchFanMin = 24;
+    unsigned dispatchFanMax = 64;
+    unsigned markovOrderMin = 1;
+    unsigned markovOrderMax = 4;
+    /** Iterations of a dispatch loop per activation. */
+    unsigned dispatchTripMin = 50;
+    unsigned dispatchTripMax = 400;
+    /// @}
+
+    /** Noise (random-target probability) for indirect behaviours. */
+    double indNoise = 0.10;
+
+    /** @name Switch statements in work functions */
+    /// @{
+    unsigned switchFanMin = 4;
+    unsigned switchFanMax = 12;
+    /** Probability a switch uses path dispatch (else Markov, else
+     *  random per the two fractions). */
+    double switchPathFrac = 0.4;
+    double switchMarkovFrac = 0.4;
+    /// @}
+
+    /** @name Indirect call sites (function-pointer / virtual) */
+    /// @{
+    unsigned indCallSites = 0;
+    unsigned indCallFanMin = 2;
+    unsigned indCallFanMax = 8;
+    /// @}
+
+    /** @name Call structure */
+    /// @{
+    /** Shared small utility functions (callable from anywhere). */
+    unsigned utilFunctions = 8;
+    /** Probability a motif block calls some earlier function. */
+    double callProb = 0.12;
+    /** Top-level phase functions selected by main's driver loop. */
+    unsigned phaseFunctions = 8;
+    /** Zipf skew of phase selection in main. */
+    double phaseZipf = 0.4;
+    /** Work functions called per phase. */
+    unsigned phaseCallsMin = 6;
+    unsigned phaseCallsMax = 20;
+    /// @}
+};
+
+/**
+ * Build a program from @p params. Deterministic: the same params yield
+ * the identical program (including behaviour mapping seeds).
+ */
+Program generateProgram(const StructureParams &params);
+
+} // namespace workload
+} // namespace vlp
+
+#endif // VLPSIM_WORKLOAD_GENERATOR_H

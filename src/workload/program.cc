@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Program and ProgramBuilder implementation.
+ */
+
+#include "workload/program.h"
+
+#include <cassert>
+#include <string>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace workload {
+
+const Block &
+Program::block(BlockId id) const
+{
+    assert(id < blocks_.size());
+    return blocks_[id];
+}
+
+Block &
+Program::block(BlockId id)
+{
+    assert(id < blocks_.size());
+    return blocks_[id];
+}
+
+BlockId
+Program::entryBlock(FuncId func) const
+{
+    assert(func < functions_.size());
+    return functions_[func].firstBlock;
+}
+
+std::uint64_t
+Program::staticConditionals() const
+{
+    std::uint64_t count = 0;
+    for (const auto &block : blocks_) {
+        if (block.term.kind == TermKind::CondBranch)
+            ++count;
+    }
+    return count;
+}
+
+std::uint64_t
+Program::staticIndirects() const
+{
+    std::uint64_t count = 0;
+    for (const auto &block : blocks_) {
+        if (block.term.kind == TermKind::IndirectJump
+            || block.term.kind == TermKind::IndirectCall) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+void
+Program::resetBehaviorState()
+{
+    for (auto &block : blocks_) {
+        if (block.term.condBehavior)
+            block.term.condBehavior->reset();
+        if (block.term.indBehavior)
+            block.term.indBehavior->reset();
+    }
+}
+
+FuncId
+ProgramBuilder::beginFunction()
+{
+    if (inFunction_)
+        util::fatal("beginFunction while another function is open");
+    inFunction_ = true;
+    Function function;
+    function.firstBlock = static_cast<BlockId>(program_.blocks_.size());
+    program_.functions_.push_back(function);
+    return static_cast<FuncId>(program_.functions_.size() - 1);
+}
+
+BlockId
+ProgramBuilder::addBlock()
+{
+    if (!inFunction_)
+        util::fatal("addBlock outside of a function");
+    Block block;
+    block.func = static_cast<FuncId>(program_.functions_.size() - 1);
+    program_.blocks_.push_back(std::move(block));
+    ++program_.functions_.back().numBlocks;
+    return static_cast<BlockId>(program_.blocks_.size() - 1);
+}
+
+Block &
+ProgramBuilder::editableBlock(BlockId id)
+{
+    if (id >= program_.blocks_.size())
+        util::fatal("terminator set on unknown block");
+    return program_.blocks_[id];
+}
+
+void
+ProgramBuilder::setCond(BlockId id, BlockId taken_target,
+                        std::unique_ptr<ConditionalBehavior> behavior)
+{
+    if (!behavior)
+        util::fatal("conditional branch requires a behaviour");
+    Block &block = editableBlock(id);
+    block.term.kind = TermKind::CondBranch;
+    block.term.target = taken_target;
+    block.term.condBehavior = std::move(behavior);
+    ++staticCond_;
+}
+
+void
+ProgramBuilder::setJump(BlockId id, BlockId target)
+{
+    Block &block = editableBlock(id);
+    block.term.kind = TermKind::Jump;
+    block.term.target = target;
+}
+
+void
+ProgramBuilder::setIndirectJump(BlockId id, std::vector<BlockId> targets,
+                                std::unique_ptr<IndirectBehavior> behavior)
+{
+    if (targets.empty())
+        util::fatal("indirect jump requires at least one target");
+    if (!behavior)
+        util::fatal("indirect jump requires a behaviour");
+    Block &block = editableBlock(id);
+    block.term.kind = TermKind::IndirectJump;
+    block.term.targets = std::move(targets);
+    block.term.indBehavior = std::move(behavior);
+    ++staticInd_;
+}
+
+void
+ProgramBuilder::setCall(BlockId id, FuncId callee)
+{
+    Block &block = editableBlock(id);
+    block.term.kind = TermKind::Call;
+    block.term.callee = callee;
+}
+
+void
+ProgramBuilder::setIndirectCall(BlockId id, std::vector<FuncId> callees,
+                                std::unique_ptr<IndirectBehavior> behavior)
+{
+    if (callees.empty())
+        util::fatal("indirect call requires at least one callee");
+    if (!behavior)
+        util::fatal("indirect call requires a behaviour");
+    Block &block = editableBlock(id);
+    block.term.kind = TermKind::IndirectCall;
+    block.term.callees = std::move(callees);
+    block.term.indBehavior = std::move(behavior);
+    ++staticInd_;
+}
+
+void
+ProgramBuilder::setReturn(BlockId id)
+{
+    editableBlock(id).term.kind = TermKind::Return;
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    if (!inFunction_)
+        util::fatal("endFunction without beginFunction");
+    const Function &function = program_.functions_.back();
+    if (function.numBlocks == 0)
+        util::fatal("function has no blocks");
+    inFunction_ = false;
+}
+
+Program
+ProgramBuilder::finalize(FuncId main)
+{
+    if (inFunction_)
+        util::fatal("finalize with an open function");
+    if (main >= program_.functions_.size())
+        util::fatal("finalize: unknown main function");
+    if (program_.blocks_.empty())
+        util::fatal("finalize: empty program");
+
+    // Lay out addresses: functions in id order, blocks contiguous.
+    std::uint64_t address = textBase;
+    for (auto &block : program_.blocks_) {
+        block.addr = address;
+        address += blockBytes;
+    }
+
+    // Validate the graph.
+    const auto num_blocks = program_.blocks_.size();
+    const auto num_funcs = program_.functions_.size();
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+        const Block &block = program_.blocks_[i];
+        const Function &function = program_.functions_[block.func];
+        const BlockId func_first = function.firstBlock;
+        const BlockId func_last = func_first + function.numBlocks - 1;
+        const bool is_last = (i == func_last);
+
+        auto check_block_target = [&](BlockId target) {
+            if (target >= num_blocks)
+                util::fatal("block " + std::to_string(i)
+                            + ": dangling target");
+            if (program_.blocks_[target].func != block.func)
+                util::fatal("block " + std::to_string(i)
+                            + ": jump leaves its function");
+        };
+        auto check_callee = [&](FuncId callee) {
+            if (callee >= num_funcs)
+                util::fatal("block " + std::to_string(i)
+                            + ": dangling callee");
+        };
+        auto need_successor = [&]() {
+            if (is_last)
+                util::fatal("block " + std::to_string(i)
+                            + ": falls through off function end");
+        };
+
+        switch (block.term.kind) {
+          case TermKind::FallThrough:
+            need_successor();
+            break;
+          case TermKind::CondBranch:
+            need_successor();
+            check_block_target(block.term.target);
+            break;
+          case TermKind::Jump:
+            check_block_target(block.term.target);
+            break;
+          case TermKind::IndirectJump:
+            for (BlockId target : block.term.targets)
+                check_block_target(target);
+            break;
+          case TermKind::Call:
+            need_successor();
+            check_callee(block.term.callee);
+            break;
+          case TermKind::IndirectCall:
+            need_successor();
+            for (FuncId callee : block.term.callees)
+                check_callee(callee);
+            break;
+          case TermKind::Return:
+            break;
+        }
+    }
+
+    program_.main_ = main;
+    return std::move(program_);
+}
+
+} // namespace workload
+} // namespace vlp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for util/bits.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vlp::util;
+
+TEST(Mask, Widths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffULL);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Truncate, KeepsLowBits)
+{
+    EXPECT_EQ(truncate(0x12345678, 8), 0x78u);
+    EXPECT_EQ(truncate(0x12345678, 16), 0x5678u);
+    EXPECT_EQ(truncate(0xffffffffffffffffULL, 64),
+              0xffffffffffffffffULL);
+    EXPECT_EQ(truncate(0xff, 0), 0u);
+}
+
+TEST(Fits, Boundaries)
+{
+    EXPECT_TRUE(fits(0, 1));
+    EXPECT_TRUE(fits(1, 1));
+    EXPECT_FALSE(fits(2, 1));
+    EXPECT_TRUE(fits(0xffff, 16));
+    EXPECT_FALSE(fits(0x10000, 16));
+}
+
+TEST(Rotl, BasicRotation)
+{
+    // 4-bit rotate: 0b0001 left by 1 -> 0b0010.
+    EXPECT_EQ(rotl(0b0001, 1, 4), 0b0010u);
+    // Wrap: 0b1000 left by 1 -> 0b0001.
+    EXPECT_EQ(rotl(0b1000, 1, 4), 0b0001u);
+    // Rotating by the width is the identity.
+    EXPECT_EQ(rotl(0b1010, 4, 4), 0b1010u);
+    // Amount beyond the width wraps.
+    EXPECT_EQ(rotl(0b1000, 5, 4), 0b0001u);
+}
+
+TEST(Rotl, IgnoresHighBits)
+{
+    // Bits above the width must not leak into the result.
+    EXPECT_EQ(rotl(0xf0, 1, 4), 0u);
+}
+
+TEST(Rotr, InverseOfRotl)
+{
+    EXPECT_EQ(rotr(0b0010, 1, 4), 0b0001u);
+    EXPECT_EQ(rotr(0b0001, 1, 4), 0b1000u);
+}
+
+class RotationProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RotationProperty, RoundTripAndPopcount)
+{
+    const unsigned width = GetParam();
+    vlp::util::Rng rng(width * 977 + 3);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t value = truncate(rng.next(), width);
+        const unsigned amount =
+            static_cast<unsigned>(rng.nextBelow(2 * width + 1));
+        const std::uint64_t rotated = rotl(value, amount, width);
+        // Rotation preserves the number of set bits.
+        EXPECT_EQ(popCount(rotated), popCount(value));
+        // rotr undoes rotl.
+        EXPECT_EQ(rotr(rotated, amount, width), value);
+        // Rotating by the width is the identity.
+        EXPECT_EQ(rotl(value, width, width), value);
+        // Rotation distributes over XOR.
+        const std::uint64_t other = truncate(rng.next(), width);
+        EXPECT_EQ(rotl(value ^ other, amount, width),
+                  rotl(value, amount, width)
+                      ^ rotl(other, amount, width));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RotationProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 9u, 12u,
+                                           14u, 16u, 20u, 31u, 32u,
+                                           48u, 63u, 64u));
+
+TEST(PowerOf2, Classification)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(Log2, FloorAndCeil)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(XorFold, WidthBound)
+{
+    vlp::util::Rng rng(42);
+    for (unsigned width = 1; width <= 32; ++width) {
+        for (int i = 0; i < 20; ++i) {
+            EXPECT_TRUE(fits(xorFold(rng.next(), width), width));
+        }
+    }
+}
+
+TEST(XorFold, PreservesLowValueIdentity)
+{
+    // A value that already fits is returned unchanged.
+    EXPECT_EQ(xorFold(0x3f, 8), 0x3fu);
+    // Two chunks fold together.
+    EXPECT_EQ(xorFold(0x0102, 8), 0x01u ^ 0x02u);
+}
+
+TEST(BitRange, Extraction)
+{
+    EXPECT_EQ(bitRange(0xabcd, 7, 4), 0xcu);
+    EXPECT_EQ(bitRange(0xabcd, 15, 12), 0xau);
+    EXPECT_EQ(bitRange(0xabcd, 3, 0), 0xdu);
+    EXPECT_EQ(bitRange(0x1, 0, 0), 0x1u);
+}
+
+TEST(PopCount, Values)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+}
+
+} // anonymous namespace

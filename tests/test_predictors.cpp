@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit tests for the baseline predictors: gshare, bimodal, two-level,
+ * hybrid, target caches, BTB, RAS, cascaded, and DHLF.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "predictors/bimodal.h"
+#include "predictors/btb.h"
+#include "predictors/budget.h"
+#include "predictors/cascaded.h"
+#include "predictors/dhlf.h"
+#include "predictors/gshare.h"
+#include "predictors/hybrid.h"
+#include "predictors/ras.h"
+#include "predictors/target_cache.h"
+#include "predictors/two_level.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vlp;
+using namespace vlp::pred;
+using trace::BranchKind;
+using trace::BranchRecord;
+
+BranchRecord
+cond(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.nextPc = taken ? pc + 64 : pc + 4;
+    record.taken = taken;
+    record.kind = BranchKind::Conditional;
+    return record;
+}
+
+BranchRecord
+indirect(std::uint64_t pc, std::uint64_t target)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.nextPc = target;
+    record.taken = true;
+    record.kind = BranchKind::IndirectJump;
+    return record;
+}
+
+/** Feed a conditional stream; return mispredictions over the last
+ *  @p measured records. */
+template <typename Predictor, typename Next>
+unsigned
+drive(Predictor &predictor, unsigned total, unsigned measured,
+      Next next)
+{
+    unsigned misses = 0;
+    for (unsigned i = 0; i < total; ++i) {
+        const BranchRecord record = next(i);
+        if (record.isConditional()) {
+            const bool predicted = predictor.predict(record);
+            if (i >= total - measured && predicted != record.taken)
+                ++misses;
+            predictor.update(record);
+        }
+        predictor.observe(record);
+    }
+    return misses;
+}
+
+// --- budget helpers ---------------------------------------------------
+
+TEST(Budget, ConditionalSizing)
+{
+    EXPECT_EQ(conditionalIndexBits(1024), 12u);
+    EXPECT_EQ(conditionalIndexBits(4096), 14u);
+    EXPECT_EQ(conditionalIndexBits(16384), 16u);
+    EXPECT_EQ(conditionalIndexBits(262144), 20u);
+    EXPECT_EQ(conditionalTableBytes(14), 4096u);
+    EXPECT_THROW(conditionalIndexBits(1000), std::runtime_error);
+    EXPECT_THROW(conditionalIndexBits(0), std::runtime_error);
+}
+
+TEST(Budget, IndirectSizing)
+{
+    EXPECT_EQ(indirectIndexBits(512), 7u);
+    EXPECT_EQ(indirectIndexBits(2048), 9u);
+    EXPECT_EQ(indirectIndexBits(32768), 13u);
+    EXPECT_EQ(indirectTableBytes(9), 2048u);
+    EXPECT_THROW(indirectIndexBits(2), std::runtime_error);
+    EXPECT_THROW(indirectIndexBits(3000), std::runtime_error);
+}
+
+TEST(Budget, WidenTarget)
+{
+    EXPECT_EQ(widenTarget(0x1234, 0xabcd000000000000ULL),
+              0xabcd000000001234ULL);
+    EXPECT_EQ(widenTarget(0xffffffff, 0), 0xffffffffULL);
+}
+
+// --- gshare -----------------------------------------------------------
+
+TEST(Gshare, LearnsAlternation)
+{
+    GsharePredictor gshare(10);
+    const unsigned misses = drive(gshare, 1000, 500, [](unsigned i) {
+        return cond(0x400000, i % 2 == 0);
+    });
+    EXPECT_EQ(misses, 0u);
+}
+
+TEST(Gshare, LearnsGlobalCorrelation)
+{
+    // Branch B's outcome equals branch A's previous outcome.
+    GsharePredictor gshare(12);
+    util::Rng rng(5);
+    bool a_outcome = false;
+    unsigned misses = 0;
+    for (unsigned i = 0; i < 4000; ++i) {
+        a_outcome = rng.nextBool(0.5);
+        const BranchRecord a = cond(0x400000, a_outcome);
+        gshare.predict(a);
+        gshare.update(a);
+        gshare.observe(a);
+
+        const BranchRecord b = cond(0x400100, a_outcome);
+        if (i >= 2000 && gshare.predict(b) != b.taken)
+            ++misses;
+        gshare.update(b);
+        gshare.observe(b);
+    }
+    EXPECT_LT(misses, 20u);
+}
+
+TEST(Gshare, HistoryIgnoresNonConditionals)
+{
+    GsharePredictor gshare(10);
+    const std::uint64_t before = gshare.history();
+    gshare.observe(indirect(0x400000, 0x500000));
+    BranchRecord ret;
+    ret.kind = BranchKind::Return;
+    gshare.observe(ret);
+    EXPECT_EQ(gshare.history(), before);
+    gshare.observe(cond(0x400000, true));
+    EXPECT_EQ(gshare.history(), (before << 1 | 1));
+}
+
+TEST(Gshare, CustomHistoryLength)
+{
+    // With a shorter explicit history, only that many bits enter the
+    // index; a pattern of period 4 is learnable with history 4 even
+    // though the table index is 12 bits.
+    GsharePredictor gshare(12, 4);
+    const unsigned misses = drive(gshare, 2000, 1000, [](unsigned i) {
+        return cond(0x400000, i % 4 == 0);
+    });
+    EXPECT_LT(misses, 10u);
+}
+
+TEST(TwoLevel, SinglePhtConfiguration)
+{
+    // pht_select_bits == 0: one shared PHT, pure pattern indexing.
+    TwoLevelPredictor gas(HistoryScope::Global, 8, 0);
+    EXPECT_EQ(gas.sizeBytes(), 256u / 4);
+    const unsigned misses = drive(gas, 2000, 1000, [](unsigned i) {
+        return cond(0x400000, i % 2 == 0);
+    });
+    EXPECT_LT(misses, 10u);
+}
+
+TEST(Gshare, SizeMatchesBudget)
+{
+    EXPECT_EQ(GsharePredictor(14).sizeBytes(), 4096u);
+    EXPECT_EQ(GsharePredictor(12).sizeBytes(), 1024u);
+    EXPECT_EQ(GsharePredictor(14).indexBits(), 14u);
+}
+
+// --- bimodal ----------------------------------------------------------
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor bimodal(10);
+    const unsigned misses = drive(bimodal, 400, 200, [](unsigned) {
+        return cond(0x400000, true);
+    });
+    EXPECT_EQ(misses, 0u);
+}
+
+TEST(Bimodal, SeparateCountersPerAddress)
+{
+    BimodalPredictor bimodal(10);
+    for (int i = 0; i < 10; ++i) {
+        const BranchRecord t = cond(0x400000, true);
+        const BranchRecord n = cond(0x400100, false);
+        bimodal.predict(t);
+        bimodal.update(t);
+        bimodal.predict(n);
+        bimodal.update(n);
+    }
+    EXPECT_TRUE(bimodal.predict(cond(0x400000, true)));
+    EXPECT_FALSE(bimodal.predict(cond(0x400100, true)));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor bimodal(10);
+    const unsigned misses = drive(bimodal, 1000, 500, [](unsigned i) {
+        return cond(0x400000, i % 2 == 0);
+    });
+    // A 2-bit counter oscillates on strict alternation.
+    EXPECT_GT(misses, 200u);
+}
+
+// --- two-level --------------------------------------------------------
+
+TEST(TwoLevel, GAsLearnsPattern)
+{
+    TwoLevelPredictor gas(HistoryScope::Global, 8, 2);
+    const unsigned misses = drive(gas, 2000, 1000, [](unsigned i) {
+        return cond(0x400000, i % 3 == 0); // 100100100...
+    });
+    EXPECT_LT(misses, 10u);
+    EXPECT_EQ(gas.name(), "GAs");
+}
+
+TEST(TwoLevel, PAsIsolatesBranchHistories)
+{
+    // Two interleaved branches with per-branch alternation: a global
+    // scheme sees a constant combined pattern, a per-address scheme
+    // sees clean per-branch patterns. Both must learn this one, but
+    // the per-address histories must differ.
+    TwoLevelPredictor pas(HistoryScope::PerAddress, 8, 2, 8);
+    const unsigned misses = drive(pas, 2000, 1000, [](unsigned i) {
+        const bool first = i % 2 == 0;
+        return cond(first ? 0x400000 : 0x400100,
+                    first ? (i / 2) % 2 == 0 : (i / 2) % 2 != 0);
+    });
+    EXPECT_LT(misses, 10u);
+    EXPECT_EQ(pas.name(), "PAs");
+}
+
+TEST(TwoLevel, SizeCountsSecondLevel)
+{
+    TwoLevelPredictor gas(HistoryScope::Global, 10, 4);
+    EXPECT_EQ(gas.sizeBytes(), (std::size_t{1} << 14) / 4);
+}
+
+// --- hybrid -----------------------------------------------------------
+
+TEST(Hybrid, SelectsBetterComponent)
+{
+    // Alternating branch: gshare learns it, bimodal cannot. The
+    // selector must converge on gshare.
+    HybridPredictor hybrid(std::make_unique<GsharePredictor>(10),
+                           std::make_unique<BimodalPredictor>(10), 10);
+    const unsigned misses = drive(hybrid, 2000, 1000, [](unsigned i) {
+        return cond(0x400000, i % 2 == 0);
+    });
+    EXPECT_LT(misses, 10u);
+}
+
+TEST(Hybrid, NameAndSize)
+{
+    HybridPredictor hybrid(std::make_unique<GsharePredictor>(10),
+                           std::make_unique<BimodalPredictor>(10), 10);
+    EXPECT_EQ(hybrid.name(), "hybrid(gshare+bimodal)");
+    EXPECT_EQ(hybrid.sizeBytes(),
+              GsharePredictor(10).sizeBytes()
+                  + BimodalPredictor(10).sizeBytes() + 256u);
+}
+
+// --- target caches ----------------------------------------------------
+
+TEST(PatternTargetCache, LearnsOutcomeCorrelatedTargets)
+{
+    // The indirect target depends on the direction of the preceding
+    // conditional branch.
+    PatternTargetCache cache(8);
+    util::Rng rng(11);
+    unsigned misses = 0;
+    for (unsigned i = 0; i < 4000; ++i) {
+        const bool direction = rng.nextBool(0.5);
+        const BranchRecord guard = cond(0x400000, direction);
+        cache.observe(guard);
+        const BranchRecord jump =
+            indirect(0x400200, direction ? 0x500000 : 0x600000);
+        if (i >= 2000 && cache.predict(jump) != jump.nextPc)
+            ++misses;
+        cache.update(jump);
+        cache.observe(jump);
+    }
+    EXPECT_LT(misses, 20u);
+}
+
+TEST(PathTargetCache, LearnsFirstOrderTargetChains)
+{
+    // Next target is a deterministic function of the previous target.
+    // Targets are spaced 8 bytes apart so the recorded low-order
+    // chunk bits actually distinguish them.
+    PathTargetCache cache(8, 4);
+    unsigned misses = 0;
+    unsigned state = 0;
+    for (unsigned i = 0; i < 4000; ++i) {
+        state = (state * 13 + 7) % 5;
+        const BranchRecord jump =
+            indirect(0x400200, 0x500000 + state * 8);
+        if (i >= 2000 && cache.predict(jump) != jump.nextPc)
+            ++misses;
+        cache.update(jump);
+        cache.observe(jump);
+    }
+    EXPECT_LT(misses, 20u);
+}
+
+TEST(TargetCaches, SizeBytes)
+{
+    EXPECT_EQ(PatternTargetCache(9).sizeBytes(), 2048u);
+    EXPECT_EQ(PathTargetCache(9).sizeBytes(), 2048u);
+}
+
+// --- BTB --------------------------------------------------------------
+
+TEST(Btb, MonomorphicPerfectAfterFirst)
+{
+    BtbPredictor btb(8);
+    const BranchRecord jump = indirect(0x400000, 0x500000);
+    btb.predict(jump);
+    btb.update(jump);
+    EXPECT_EQ(btb.predict(jump), 0x500000u);
+}
+
+TEST(Btb, PolymorphicThrashes)
+{
+    BtbPredictor btb(8);
+    unsigned misses = 0;
+    for (unsigned i = 0; i < 1000; ++i) {
+        const BranchRecord jump =
+            indirect(0x400000, i % 2 ? 0x500000 : 0x600000);
+        if (btb.predict(jump) != jump.nextPc)
+            ++misses;
+        btb.update(jump);
+    }
+    EXPECT_GT(misses, 900u);
+}
+
+// --- RAS --------------------------------------------------------------
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(100);
+    ras.push(200);
+    ras.push(300);
+    EXPECT_EQ(ras.occupancy(), 3u);
+    EXPECT_EQ(ras.predictAndPop(), 300u);
+    EXPECT_EQ(ras.predictAndPop(), 200u);
+    EXPECT_EQ(ras.predictAndPop(), 100u);
+    EXPECT_EQ(ras.occupancy(), 0u);
+}
+
+TEST(Ras, UnderflowPredictsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.predictAndPop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsOldestEntries)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.occupancy(), 2u);
+    EXPECT_EQ(ras.predictAndPop(), 3u);
+    EXPECT_EQ(ras.predictAndPop(), 2u);
+    EXPECT_EQ(ras.predictAndPop(), 0u); // 1 was lost
+}
+
+TEST(Ras, SizeBytes)
+{
+    EXPECT_EQ(ReturnAddressStack(32).sizeBytes(), 256u);
+}
+
+// --- cascaded ---------------------------------------------------------
+
+TEST(Cascaded, MonomorphicStaysInStageOne)
+{
+    CascadedPredictor cascaded(8, 8);
+    const BranchRecord jump = indirect(0x400000, 0x500000);
+    unsigned misses = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (cascaded.predict(jump) != jump.nextPc)
+            ++misses;
+        cascaded.update(jump);
+        cascaded.observe(jump);
+    }
+    EXPECT_LE(misses, 1u);
+}
+
+TEST(Cascaded, BeatsBtbOnHistoryDependentTargets)
+{
+    CascadedPredictor cascaded(8, 10);
+    BtbPredictor btb(8);
+    unsigned cascaded_misses = 0, btb_misses = 0;
+    unsigned state = 0;
+    for (unsigned i = 0; i < 8000; ++i) {
+        state = (state * 13 + 7) % 4;
+        // 8-byte spacing keeps the targets distinguishable in the
+        // 3-bit history chunks.
+        const BranchRecord jump =
+            indirect(0x400000, 0x500000 + state * 8);
+        if (i >= 4000) {
+            cascaded_misses +=
+                cascaded.predict(jump) != jump.nextPc ? 1 : 0;
+            btb_misses += btb.predict(jump) != jump.nextPc ? 1 : 0;
+        } else {
+            cascaded.predict(jump);
+            btb.predict(jump);
+        }
+        cascaded.update(jump);
+        cascaded.observe(jump);
+        btb.update(jump);
+    }
+    EXPECT_LT(cascaded_misses * 4, btb_misses);
+}
+
+// --- DHLF -------------------------------------------------------------
+
+TEST(Dhlf, LengthStaysInBounds)
+{
+    DhlfGsharePredictor dhlf(10, 64);
+    util::Rng rng(3);
+    for (unsigned i = 0; i < 20000; ++i) {
+        const BranchRecord record =
+            cond(0x400000 + (i % 16) * 4, rng.nextBool(0.5));
+        dhlf.predict(record);
+        dhlf.update(record);
+        dhlf.observe(record);
+        EXPECT_LE(dhlf.currentLength(), 10u);
+    }
+}
+
+TEST(Dhlf, StillLearnsEasyPatterns)
+{
+    DhlfGsharePredictor dhlf(10, 256);
+    const unsigned misses = drive(dhlf, 4000, 1000, [](unsigned i) {
+        return cond(0x400000, i % 2 == 0);
+    });
+    EXPECT_LT(misses, 100u);
+}
+
+} // anonymous namespace

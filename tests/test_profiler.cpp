@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the two-step profiling heuristic (Section 3.5): step-1
+ * sweeps, candidate selection, step-2 iteration, and end-to-end
+ * assignment quality on crafted traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/path_predictor.h"
+#include "core/profiler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vlp;
+using namespace vlp::core;
+using trace::BranchKind;
+using trace::BranchRecord;
+
+BranchRecord
+cond(std::uint64_t pc, std::uint64_t next, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.nextPc = next;
+    record.taken = taken;
+    record.kind = BranchKind::Conditional;
+    return record;
+}
+
+BranchRecord
+indirect(std::uint64_t pc, std::uint64_t target)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.nextPc = target;
+    record.taken = true;
+    record.kind = BranchKind::IndirectJump;
+    return record;
+}
+
+/**
+ * A trace with two path-correlated branches of different required
+ * lengths: branch X (0x402000) needs distance @p dx, branch Y
+ * (0x403000) needs distance @p dy; filler branches in between.
+ */
+trace::VectorTraceSource
+twoDistanceTrace(unsigned dx, unsigned dy, unsigned rounds,
+                 std::uint64_t seed)
+{
+    trace::VectorTraceSource trace;
+    util::Rng rng(seed);
+    for (unsigned round = 0; round < rounds; ++round) {
+        const bool context = rng.nextBool(0.5);
+        trace.append(cond(0x400000, context ? 0x400800 : 0x400004,
+                          context));
+        const unsigned max_distance = std::max(dx, dy);
+        for (unsigned i = 0; i + 1 < max_distance; ++i) {
+            trace.append(cond(0x401000 + 16 * i, 0x401008 + 16 * i,
+                              true));
+            // X fires when exactly dx history entries cover the
+            // context branch.
+            if (i + 2 == dx) {
+                trace.append(cond(0x402000,
+                                  context ? 0x402040 : 0x402004,
+                                  context));
+            }
+            if (i + 2 == dy) {
+                trace.append(cond(0x403000,
+                                  context ? 0x403040 : 0x403004,
+                                  context));
+            }
+        }
+    }
+    return trace;
+}
+
+TEST(FixedLengthSweep, RateAndBestLength)
+{
+    FixedLengthSweep sweep;
+    sweep.mispredictions = {30, 10, 20};
+    sweep.branches = 200;
+    EXPECT_DOUBLE_EQ(sweep.rate(1), 15.0);
+    EXPECT_DOUBLE_EQ(sweep.rate(2), 5.0);
+    EXPECT_EQ(sweep.bestLength(), 2u);
+}
+
+TEST(FixedLengthSweep, TiesPreferShorterLength)
+{
+    FixedLengthSweep sweep;
+    sweep.mispredictions = {10, 5, 5, 7};
+    sweep.branches = 100;
+    EXPECT_EQ(sweep.bestLength(), 2u);
+}
+
+TEST(ProfileOptions, Validation)
+{
+    ProfileOptions bad;
+    bad.maxLength = 0;
+    EXPECT_THROW(ConditionalProfiler{bad}, std::runtime_error);
+    bad = ProfileOptions{};
+    bad.maxLength = 40;
+    EXPECT_THROW(ConditionalProfiler{bad}, std::runtime_error);
+    bad = ProfileOptions{};
+    bad.candidates = 0;
+    EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
+    bad = ProfileOptions{};
+    bad.iterations = 0;
+    EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
+}
+
+TEST(ConditionalProfiler, Step2RequiresStep1)
+{
+    ProfileOptions options;
+    options.indexBits = 10;
+    ConditionalProfiler profiler(options);
+    trace::VectorTraceSource empty;
+    EXPECT_THROW(profiler.runStep2(empty), std::runtime_error);
+}
+
+TEST(ConditionalProfiler, SweepIdentifiesUsefulLengths)
+{
+    auto trace = twoDistanceTrace(4, 4, 1500, 42);
+    ProfileOptions options;
+    options.indexBits = 12;
+    options.maxLength = 8;
+    ConditionalProfiler profiler(options);
+    const FixedLengthSweep &sweep = profiler.runStep1(trace);
+    // Lengths >= 4 cover the context; lengths < 4 do not. The filler
+    // branches are perfectly predictable either way, so the sweep
+    // must show a clear drop at length 4.
+    EXPECT_LT(sweep.rate(4) + 2.0, sweep.rate(2));
+    EXPECT_GE(sweep.bestLength(), 4u);
+}
+
+TEST(ConditionalProfiler, AssignsCoveringLengths)
+{
+    auto trace = twoDistanceTrace(3, 7, 2000, 43);
+    ProfileOptions options;
+    options.indexBits = 12;
+    options.maxLength = 10;
+    ConditionalProfiler profiler(options);
+    const HashAssignment assignment = profiler.profile(trace);
+
+    // Branch X needs distance 3. Branch Y correlates with the context
+    // branch at distance 8 — but X's own destination also encodes the
+    // context and sits at distance 5 from Y, so any length >= 5
+    // suffices (the profiler legitimately exploits the transitive
+    // correlation).
+    EXPECT_GE(assignment.lookup(0x402000), 3u);
+    EXPECT_GE(assignment.lookup(0x403000), 5u);
+    // Every profiled branch got an explicit assignment.
+    EXPECT_TRUE(assignment.contains(0x400000));
+    EXPECT_TRUE(assignment.contains(0x402000));
+    EXPECT_TRUE(assignment.contains(0x403000));
+    // Unprofiled branches fall back to the default.
+    EXPECT_FALSE(assignment.contains(0x999999));
+}
+
+TEST(ConditionalProfiler, AssignmentBeatsWrongFixedLength)
+{
+    auto profile_trace = twoDistanceTrace(3, 7, 2000, 44);
+    auto test_trace = twoDistanceTrace(3, 7, 2000, 45);
+
+    ProfileOptions options;
+    options.indexBits = 12;
+    options.maxLength = 10;
+    ConditionalProfiler profiler(options);
+    const HashAssignment assignment = profiler.profile(profile_trace);
+
+    PathConditionalPredictor vlp(12, assignment);
+    PathConditionalPredictor flp(12, 2); // covers neither distance
+
+    // Count misses only on the two correlated branches: the context
+    // branch itself is a coin flip no predictor can learn, and would
+    // otherwise dominate both counts equally.
+    auto evaluate = [&test_trace](PathConditionalPredictor &predictor) {
+        test_trace.reset();
+        BranchRecord record;
+        std::uint64_t misses = 0;
+        while (test_trace.next(record)) {
+            if (record.isConditional()) {
+                const bool predicted = predictor.predict(record);
+                if ((record.pc == 0x402000 || record.pc == 0x403000)
+                    && predicted != record.taken) {
+                    ++misses;
+                }
+                predictor.update(record);
+            }
+            predictor.observe(record);
+        }
+        return misses;
+    };
+
+    const std::uint64_t vlp_misses = evaluate(vlp);
+    const std::uint64_t flp_misses = evaluate(flp);
+    EXPECT_LT(vlp_misses * 3, flp_misses);
+}
+
+TEST(IndirectProfiler, AssignsCoveringLength)
+{
+    // Indirect branch whose target depends on a context branch 4
+    // history entries back.
+    trace::VectorTraceSource trace;
+    util::Rng rng(46);
+    for (unsigned round = 0; round < 2000; ++round) {
+        const bool context = rng.nextBool(0.5);
+        trace.append(cond(0x400000, context ? 0x400800 : 0x400004,
+                          context));
+        for (unsigned i = 0; i < 3; ++i)
+            trace.append(cond(0x401000 + 16 * i, 0x401008 + 16 * i,
+                              true));
+        trace.append(indirect(0x405000,
+                              context ? 0x500000 : 0x600000));
+    }
+
+    ProfileOptions options;
+    options.indexBits = 9;
+    options.maxLength = 8;
+    IndirectProfiler profiler(options);
+    const HashAssignment assignment = profiler.profile(trace);
+    EXPECT_GE(assignment.lookup(0x405000), 4u);
+
+    // The assignment predicts the test-side stream nearly perfectly.
+    PathIndirectPredictor vlp(9, assignment);
+    trace.reset();
+    BranchRecord record;
+    std::uint64_t misses = 0, total = 0;
+    while (trace.next(record)) {
+        if (record.isIndirect()) {
+            ++total;
+            if (vlp.predict(record) != record.nextPc)
+                ++misses;
+            vlp.update(record);
+        }
+        vlp.observe(record);
+    }
+    EXPECT_LT(misses * 100, total * 2);
+}
+
+TEST(IndirectProfiler, Step2RequiresStep1)
+{
+    ProfileOptions options;
+    options.indexBits = 9;
+    IndirectProfiler profiler(options);
+    trace::VectorTraceSource empty;
+    EXPECT_THROW(profiler.runStep2(empty), std::runtime_error);
+}
+
+// --- CandidateSelector (white box) -------------------------------------
+
+std::unordered_map<std::uint64_t, BranchProfile>
+singleBranchProfile(std::uint64_t pc,
+                    std::initializer_list<std::uint32_t> corrects)
+{
+    std::unordered_map<std::uint64_t, BranchProfile> profiles;
+    BranchProfile profile;
+    unsigned index = 0;
+    for (std::uint32_t correct : corrects)
+        profile.correct[index++] = correct;
+    profile.executions = 100;
+    profiles[pc] = profile;
+    return profiles;
+}
+
+FixedLengthSweep
+flatSweep(unsigned lengths, unsigned best)
+{
+    FixedLengthSweep sweep;
+    sweep.mispredictions.assign(lengths, 100);
+    sweep.mispredictions[best - 1] = 1;
+    sweep.branches = 1000;
+    return sweep;
+}
+
+TEST(CandidateSelector, RanksCandidatesByStep1Accuracy)
+{
+    const auto profiles =
+        singleBranchProfile(0x400000, {10, 90, 50, 80});
+    CandidateSelector selector(profiles, flatSweep(4, 1), 3, 4);
+    // Best candidate first: length 2 (90 correct).
+    const HashAssignment first = selector.nextAssignment();
+    EXPECT_EQ(first.lookup(0x400000), 2u);
+    EXPECT_EQ(selector.defaultLength(), 1u);
+}
+
+TEST(CandidateSelector, UntestedCandidatesTriedFirst)
+{
+    const auto profiles =
+        singleBranchProfile(0x400000, {10, 90, 50, 80});
+    CandidateSelector selector(profiles, flatSweep(4, 1), 3, 4);
+
+    // Iteration 1 tests length 2 (rank 1); pretend it did terribly.
+    HashAssignment tested = selector.nextAssignment();
+    EXPECT_EQ(tested.lookup(0x400000), 2u);
+    selector.recordResults(tested, {{0x400000, 500}});
+
+    // Iteration 2 must try the next untested candidate (length 4,
+    // rank 2) even though 500 mispredictions are on record elsewhere.
+    tested = selector.nextAssignment();
+    EXPECT_EQ(tested.lookup(0x400000), 4u);
+    selector.recordResults(tested, {{0x400000, 50}});
+
+    // Iteration 3: last untested candidate (length 3).
+    tested = selector.nextAssignment();
+    EXPECT_EQ(tested.lookup(0x400000), 3u);
+    selector.recordResults(tested, {{0x400000, 200}});
+
+    // All tested: the final choice is the minimum (length 4).
+    EXPECT_EQ(selector.finalAssignment().lookup(0x400000), 4u);
+    // And the next assignment would also pick it.
+    EXPECT_EQ(selector.nextAssignment().lookup(0x400000), 4u);
+}
+
+TEST(CandidateSelector, MissingMispredictionCountsAsZero)
+{
+    const auto profiles = singleBranchProfile(0x400000, {10, 90, 50});
+    CandidateSelector selector(profiles, flatSweep(3, 2), 3, 3);
+    HashAssignment tested = selector.nextAssignment();
+    // No entry for the pc in the results: recorded as 0 misses.
+    selector.recordResults(tested, {});
+    EXPECT_EQ(selector.finalAssignment().lookup(0x400000),
+              tested.lookup(0x400000));
+}
+
+TEST(CandidateSelector, FewerIterationsThanCandidates)
+{
+    const auto profiles =
+        singleBranchProfile(0x400000, {10, 90, 50, 80});
+    CandidateSelector selector(profiles, flatSweep(4, 1), 3, 4);
+    HashAssignment tested = selector.nextAssignment();
+    selector.recordResults(tested, {{0x400000, 7}});
+    // Only one candidate tested: it wins over untested ones.
+    EXPECT_EQ(selector.finalAssignment().lookup(0x400000),
+              tested.lookup(0x400000));
+}
+
+} // anonymous namespace

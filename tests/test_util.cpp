@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unit tests for counters, history registers, RNG, statistics, tables,
+ * and logging helpers.
+ */
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "util/history_register.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/saturating_counter.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vlp::util;
+
+TEST(SaturatingCounter, DefaultIsWeaklyNotTaken)
+{
+    SaturatingCounter counter(2);
+    EXPECT_EQ(counter.value(), 1u);
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SaturatingCounter, TakenThresholdAtMidpoint)
+{
+    SaturatingCounter counter(2, 2);
+    EXPECT_TRUE(counter.predictTaken());
+    counter.decrement();
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SaturatingCounter, SaturatesHigh)
+{
+    SaturatingCounter counter(2, 3);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SaturatingCounter, SaturatesLow)
+{
+    SaturatingCounter counter(2, 0);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SaturatingCounter, UpdateDirection)
+{
+    SaturatingCounter counter(2);
+    counter.update(true);
+    counter.update(true);
+    EXPECT_TRUE(counter.predictTaken());
+    counter.update(false);
+    counter.update(false);
+    counter.update(false);
+    EXPECT_FALSE(counter.predictTaken());
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SaturatingCounter, Confidence)
+{
+    SaturatingCounter counter(2, 3);
+    EXPECT_EQ(counter.confidence(), 1u); // strongly taken
+    counter.set(2);
+    EXPECT_EQ(counter.confidence(), 0u); // weakly taken
+    counter.set(1);
+    EXPECT_EQ(counter.confidence(), 0u); // weakly not-taken
+    counter.set(0);
+    EXPECT_EQ(counter.confidence(), 1u); // strongly not-taken
+}
+
+class CounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CounterWidths, HysteresisAcrossWidths)
+{
+    const unsigned bits = GetParam();
+    SaturatingCounter counter(bits);
+    EXPECT_EQ(counter.maxValue(), (1u << bits) - 1);
+    // Drive to saturation taken.
+    for (unsigned i = 0; i < (1u << bits) + 2; ++i)
+        counter.update(true);
+    EXPECT_EQ(counter.value(), counter.maxValue());
+    EXPECT_TRUE(counter.predictTaken());
+    // It takes half the range of not-taken updates to flip.
+    for (unsigned i = 0; i < (1u << (bits - 1)); ++i)
+        counter.update(false);
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(BitHistoryRegister, ShiftsAndTruncates)
+{
+    BitHistoryRegister history(4);
+    history.push(true);
+    history.push(false);
+    history.push(true);
+    EXPECT_EQ(history.value(), 0b101u);
+    history.push(true);
+    history.push(true);
+    EXPECT_EQ(history.value(), 0b0111u); // oldest bit dropped
+}
+
+TEST(BitHistoryRegister, SetAndClear)
+{
+    BitHistoryRegister history(8);
+    history.set(0xfff);
+    EXPECT_EQ(history.value(), 0xffu);
+    history.clear();
+    EXPECT_EQ(history.value(), 0u);
+}
+
+TEST(ChunkHistoryRegister, ShiftsChunks)
+{
+    ChunkHistoryRegister history(8, 2);
+    EXPECT_EQ(history.depth(), 4u);
+    history.push(0b01);
+    history.push(0b10);
+    EXPECT_EQ(history.value(), 0b0110u);
+    history.push(0xff); // only low 2 bits recorded
+    EXPECT_EQ(history.value(), 0b011011u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal = all_equal && (va == b.next());
+        any_diff = any_diff || (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+    // Bound 1 always yields 0.
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto value = rng.nextInRange(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo = saw_lo || value == -3;
+        saw_hi = saw_hi || value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double value = rng.nextDouble();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, BoolExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, BoolFrequency)
+{
+    Rng rng(15);
+    int taken = 0;
+    for (int i = 0; i < 100000; ++i)
+        taken += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(taken / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const unsigned value = rng.nextGeometric(0.9, 5);
+        EXPECT_GE(value, 1u);
+        EXPECT_LE(value, 5u);
+    }
+}
+
+TEST(Rng, WeightedSkipsZeroWeights)
+{
+    Rng rng(19);
+    const std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 1u);
+}
+
+TEST(Rng, WeightedProportions)
+{
+    Rng rng(21);
+    const std::vector<double> weights = {1.0, 3.0};
+    int hits = 0;
+    for (int i = 0; i < 40000; ++i)
+        hits += rng.nextWeighted(weights) == 1 ? 1 : 0;
+    EXPECT_NEAR(hits / 40000.0, 0.75, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardSmallIndices)
+{
+    Rng rng(23);
+    std::uint64_t zero = 0, last = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::size_t value = rng.nextZipf(16, 1.2);
+        EXPECT_LT(value, 16u);
+        zero += value == 0 ? 1 : 0;
+        last += value == 15 ? 1 : 0;
+    }
+    EXPECT_GT(zero, last * 4);
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    // Parent and child streams diverge.
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        differ = differ || (parent.next() != child.next());
+    EXPECT_TRUE(differ);
+}
+
+TEST(Stats, Percent)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+}
+
+TEST(Stats, Formatting)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+    EXPECT_EQ(formatCount(12), "12");
+    EXPECT_EQ(formatScaled(17600000), "17.6 M");
+    EXPECT_EQ(formatScaled(999), "999");
+    EXPECT_EQ(formatScaled(91400), "91.4 K");
+}
+
+TEST(Stats, RunningStat)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    stat.add(2.0);
+    stat.add(4.0);
+    stat.add(9.0);
+    EXPECT_EQ(stat.count(), 3u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 15.0);
+}
+
+TEST(Stats, HistogramBasics)
+{
+    Histogram histogram(8);
+    histogram.add(1);
+    histogram.add(1);
+    histogram.add(3, 5);
+    histogram.add(100); // clamped into the last bucket
+    EXPECT_EQ(histogram.bucket(1), 2u);
+    EXPECT_EQ(histogram.bucket(3), 5u);
+    EXPECT_EQ(histogram.bucket(7), 1u);
+    EXPECT_EQ(histogram.total(), 8u);
+    EXPECT_EQ(histogram.argMax(), 3u);
+    EXPECT_EQ(histogram.toString(), "1:2 3:5 7:1");
+}
+
+TEST(Table, AlignmentAndCsv)
+{
+    TablePrinter table({"name", "rate"});
+    table.addRow({"gcc", "4.3"});
+    table.addRow({"a,b", "8.8"});
+    EXPECT_EQ(table.rowCount(), 2u);
+    EXPECT_EQ(table.cell(0, 1), "4.3");
+
+    std::ostringstream text;
+    table.print(text);
+    EXPECT_NE(text.str().find("name"), std::string::npos);
+    EXPECT_NE(text.str().find("gcc"), std::string::npos);
+
+    std::ostringstream csv;
+    table.printCsv(csv);
+    EXPECT_NE(csv.str().find("\"a,b\",8.8"), std::string::npos);
+}
+
+TEST(Table, CsvEscape)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+}
+
+TEST(Logging, WorkloadScaleParsing)
+{
+    setenv("VLPSIM_SCALE", "2.5", 1);
+    EXPECT_DOUBLE_EQ(workloadScale(), 2.5);
+    setenv("VLPSIM_SCALE", "garbage", 1);
+    EXPECT_DOUBLE_EQ(workloadScale(), 1.0);
+    setenv("VLPSIM_SCALE", "1e9", 1);
+    EXPECT_DOUBLE_EQ(workloadScale(), 1000.0); // clamped
+    unsetenv("VLPSIM_SCALE");
+    EXPECT_DOUBLE_EQ(workloadScale(), 1.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * vlpsim — command-line driver for the library.
+ *
+ * Subcommands:
+ *   list
+ *       Print the benchmark suite with its Table-1 parameters.
+ *   gen <benchmark> <profile|test> <out.vbt> [scale]
+ *       Generate a synthetic branch trace and write it as a .vbt file.
+ *   stats <trace.vbt>
+ *       Print Table-1-style statistics for a trace file.
+ *   profile <trace.vbt> <bytes> <cond|ind> <out.assignment>
+ *       Run the paper's two-step profiling heuristic over a trace and
+ *       save the per-branch hash-number assignment.
+ *   eval <trace.vbt> <bytes> <cond|ind> [assignment]
+ *       Evaluate predictors on a trace: the paper's baselines plus
+ *       fixed length path, and — when an assignment file is given —
+ *       the variable length path predictor.
+ *   top <trace.vbt> <bytes> [count]
+ *       Rank the conditional branches by their contribution to
+ *       gshare's mispredictions and show what a path predictor does
+ *       with each — the per-branch view behind the paper's averages.
+ *   import <in.txt> <out.vbt> / export <in.vbt> <out.txt>
+ *       Convert between the text trace format (one branch per line —
+ *       the adapter path for external tools) and the binary format.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/path_predictor.h"
+#include "core/profiler.h"
+#include "predictors/btb.h"
+#include "predictors/budget.h"
+#include "predictors/gshare.h"
+#include "predictors/target_cache.h"
+#include "sim/simulator.h"
+#include "trace/text_io.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace vlp;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  vlpsim list\n"
+        "  vlpsim gen <benchmark> <profile|test> <out.vbt> [scale]\n"
+        "  vlpsim stats <trace.vbt>\n"
+        "  vlpsim profile <trace.vbt> <bytes> <cond|ind> <out.asgn>\n"
+        "  vlpsim eval <trace.vbt> <bytes> <cond|ind> [assignment]\n"
+        "  vlpsim top <trace.vbt> <bytes> [count]\n"
+        "  vlpsim import <in.txt> <out.vbt>\n"
+        "  vlpsim export <in.vbt> <out.txt>\n";
+    return 2;
+}
+
+workload::InputKind
+parseInput(const std::string &text)
+{
+    if (text == "profile")
+        return workload::InputKind::Profile;
+    if (text == "test")
+        return workload::InputKind::Test;
+    util::fatal("input set must be 'profile' or 'test'");
+}
+
+bool
+parseIndirect(const std::string &text)
+{
+    if (text == "cond")
+        return false;
+    if (text == "ind")
+        return true;
+    util::fatal("branch class must be 'cond' or 'ind'");
+}
+
+int
+cmdList()
+{
+    util::TablePrinter table({"benchmark", "group", "paper cond dyn",
+                              "paper cond static", "paper ind dyn",
+                              "paper ind static"});
+    for (const auto &spec : workload::benchmarkSuite()) {
+        table.addRow({
+            spec.name,
+            spec.isSpec ? "SPECint95" : "non-SPEC",
+            util::formatScaled(spec.paperDynamicCond),
+            std::to_string(spec.paperStaticCond),
+            util::formatScaled(spec.paperDynamicIndirect),
+            std::to_string(spec.paperStaticInd),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    const auto &spec = workload::findBenchmark(argv[2]);
+    const auto kind = parseInput(argv[3]);
+    const double extra =
+        argc > 5 ? std::strtod(argv[5], nullptr) : 1.0;
+    auto trace = workload::generateTrace(spec, kind, extra);
+    trace::saveTrace(trace, argv[4]);
+    std::cout << "wrote " << util::formatScaled(trace.size())
+              << " records to " << argv[4] << "\n";
+    return 0;
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceReader reader(argv[2]);
+    trace::TraceStats stats;
+    stats.observeAll(reader);
+    std::cout << stats.summary() << "\n";
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    if (argc < 6)
+        return usage();
+    auto trace = trace::loadTrace(argv[2]);
+    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+    const bool indirect = parseIndirect(argv[4]);
+
+    core::ProfileOptions options;
+    core::HashAssignment assignment(1);
+    if (indirect) {
+        options.indexBits = pred::indirectIndexBits(bytes);
+        core::IndirectProfiler profiler(options);
+        assignment = profiler.profile(trace);
+    } else {
+        options.indexBits = pred::conditionalIndexBits(bytes);
+        core::ConditionalProfiler profiler(options);
+        assignment = profiler.profile(trace);
+    }
+    assignment.save(argv[5]);
+    std::cout << "profiled " << assignment.size()
+              << " static branches (default length "
+              << assignment.defaultLength() << ") -> " << argv[5]
+              << "\n"
+              << "length histogram: "
+              << assignment.lengthHistogram().toString() << "\n";
+    return 0;
+}
+
+int
+cmdEval(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    auto trace = trace::loadTrace(argv[2]);
+    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+    const bool indirect = parseIndirect(argv[4]);
+    const bool have_assignment = argc > 5;
+
+    sim::Simulator simulator;
+
+    if (indirect) {
+        const unsigned k = pred::indirectIndexBits(bytes);
+        pred::BtbPredictor btb(k);
+        pred::PathTargetCache chp_path(k);
+        pred::PatternTargetCache chp_pattern(k);
+        core::PathIndirectPredictor flp(k, 5);
+        simulator.addIndirect(&btb);
+        simulator.addIndirect(&chp_path);
+        simulator.addIndirect(&chp_pattern);
+        simulator.addIndirect(&flp);
+        core::PathIndirectPredictor vlp(
+            k, have_assignment ? core::HashAssignment::load(argv[5])
+                               : core::HashAssignment(5));
+        if (have_assignment)
+            simulator.addIndirect(&vlp);
+        simulator.run(trace);
+        util::TablePrinter table(
+            {"predictor", "size (bytes)", "mispredict (%)"});
+        for (const auto &result : simulator.indirectResults()) {
+            table.addRow({result.name,
+                          std::to_string(result.sizeBytes),
+                          util::formatDouble(result.rate(), 2)});
+        }
+        table.print(std::cout);
+    } else {
+        const unsigned k = pred::conditionalIndexBits(bytes);
+        pred::GsharePredictor gshare(k);
+        core::PathConditionalPredictor flp(k, 5);
+        simulator.addConditional(&gshare);
+        simulator.addConditional(&flp);
+        core::PathConditionalPredictor vlp(
+            k, have_assignment ? core::HashAssignment::load(argv[5])
+                               : core::HashAssignment(5));
+        if (have_assignment)
+            simulator.addConditional(&vlp);
+        simulator.run(trace);
+        util::TablePrinter table(
+            {"predictor", "size (bytes)", "mispredict (%)"});
+        for (const auto &result : simulator.conditionalResults()) {
+            table.addRow({result.name,
+                          std::to_string(result.sizeBytes),
+                          util::formatDouble(result.rate(), 2)});
+        }
+        table.print(std::cout);
+        const auto ras = simulator.rasResult();
+        std::cout << "returns (RAS): "
+                  << util::formatDouble(ras.rate(), 2) << "% of "
+                  << util::formatScaled(ras.branches) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdTop(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    auto trace = trace::loadTrace(argv[2]);
+    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+    const std::size_t count =
+        argc > 4 ? std::strtoul(argv[4], nullptr, 0) : 15;
+    const unsigned k = pred::conditionalIndexBits(bytes);
+
+    pred::GsharePredictor gshare(k);
+    core::PathConditionalPredictor flp(k, 5);
+    sim::Simulator simulator;
+    simulator.setTrackPerBranch(true);
+    simulator.addConditional(&gshare);
+    simulator.addConditional(&flp);
+    simulator.run(trace);
+
+    const auto &gshare_stats = simulator.conditionalPerBranch(0);
+    const auto &flp_stats = simulator.conditionalPerBranch(1);
+    const std::uint64_t total =
+        simulator.conditionalResults()[0].branches;
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked;
+    ranked.reserve(gshare_stats.size());
+    for (const auto &[pc, accuracy] : gshare_stats)
+        ranked.emplace_back(accuracy.mispredictions, pc);
+    std::sort(ranked.rbegin(), ranked.rend());
+
+    util::TablePrinter table({"pc", "executions", "gshare miss (%)",
+                              "path(5) miss (%)",
+                              "share of gshare misses (%)"});
+    const std::uint64_t total_misses =
+        simulator.conditionalResults()[0].mispredictions;
+    for (std::size_t i = 0; i < count && i < ranked.size(); ++i) {
+        const std::uint64_t pc = ranked[i].second;
+        const auto &g = gshare_stats.at(pc);
+        const auto &f = flp_stats.at(pc);
+        char pc_text[32];
+        std::snprintf(pc_text, sizeof(pc_text), "0x%llx",
+                      static_cast<unsigned long long>(pc));
+        table.addRow({
+            pc_text,
+            std::to_string(g.executions),
+            util::formatDouble(
+                util::percent(g.mispredictions, g.executions), 1),
+            util::formatDouble(
+                util::percent(f.mispredictions, f.executions), 1),
+            util::formatDouble(
+                util::percent(g.mispredictions, total_misses), 1),
+        });
+    }
+    std::cout << "top mispredicted conditional branches under gshare ("
+              << util::formatScaled(total) << " branches total):\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdImport(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    auto trace = trace::loadTextTrace(argv[2]);
+    trace::saveTrace(trace, argv[3]);
+    std::cout << "imported " << util::formatScaled(trace.size())
+              << " records -> " << argv[3] << "\n";
+    return 0;
+}
+
+int
+cmdExport(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    auto trace = trace::loadTrace(argv[2]);
+    trace::saveTextTrace(trace, argv[3]);
+    std::cout << "exported " << util::formatScaled(trace.size())
+              << " records -> " << argv[3] << "\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "list")
+            return cmdList();
+        if (command == "gen")
+            return cmdGen(argc, argv);
+        if (command == "stats")
+            return cmdStats(argc, argv);
+        if (command == "profile")
+            return cmdProfile(argc, argv);
+        if (command == "eval")
+            return cmdEval(argc, argv);
+        if (command == "top")
+            return cmdTop(argc, argv);
+        if (command == "import")
+            return cmdImport(argc, argv);
+        if (command == "export")
+            return cmdExport(argc, argv);
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
