@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_interpreter.dir/indirect_interpreter.cpp.o"
+  "CMakeFiles/indirect_interpreter.dir/indirect_interpreter.cpp.o.d"
+  "indirect_interpreter"
+  "indirect_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

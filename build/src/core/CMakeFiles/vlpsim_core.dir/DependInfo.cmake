@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_path.cc" "src/core/CMakeFiles/vlpsim_core.dir/dynamic_path.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/dynamic_path.cc.o.d"
+  "/root/repo/src/core/hash_assignment.cc" "src/core/CMakeFiles/vlpsim_core.dir/hash_assignment.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/hash_assignment.cc.o.d"
+  "/root/repo/src/core/hfnt.cc" "src/core/CMakeFiles/vlpsim_core.dir/hfnt.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/hfnt.cc.o.d"
+  "/root/repo/src/core/path_history.cc" "src/core/CMakeFiles/vlpsim_core.dir/path_history.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/path_history.cc.o.d"
+  "/root/repo/src/core/path_predictor.cc" "src/core/CMakeFiles/vlpsim_core.dir/path_predictor.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/path_predictor.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/vlpsim_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/vlpsim_core.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/vlpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_core.dir/dynamic_path.cc.o"
+  "CMakeFiles/vlpsim_core.dir/dynamic_path.cc.o.d"
+  "CMakeFiles/vlpsim_core.dir/hash_assignment.cc.o"
+  "CMakeFiles/vlpsim_core.dir/hash_assignment.cc.o.d"
+  "CMakeFiles/vlpsim_core.dir/hfnt.cc.o"
+  "CMakeFiles/vlpsim_core.dir/hfnt.cc.o.d"
+  "CMakeFiles/vlpsim_core.dir/path_history.cc.o"
+  "CMakeFiles/vlpsim_core.dir/path_history.cc.o.d"
+  "CMakeFiles/vlpsim_core.dir/path_predictor.cc.o"
+  "CMakeFiles/vlpsim_core.dir/path_predictor.cc.o.d"
+  "CMakeFiles/vlpsim_core.dir/profiler.cc.o"
+  "CMakeFiles/vlpsim_core.dir/profiler.cc.o.d"
+  "libvlpsim_core.a"
+  "libvlpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/agree.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/agree.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/agree.cc.o.d"
+  "/root/repo/src/predictors/bimodal.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/bimodal.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/bimodal.cc.o.d"
+  "/root/repo/src/predictors/bimode.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/bimode.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/bimode.cc.o.d"
+  "/root/repo/src/predictors/btb.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/btb.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/btb.cc.o.d"
+  "/root/repo/src/predictors/cascaded.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/cascaded.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/cascaded.cc.o.d"
+  "/root/repo/src/predictors/dhlf.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/dhlf.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/dhlf.cc.o.d"
+  "/root/repo/src/predictors/dual_length.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/dual_length.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/dual_length.cc.o.d"
+  "/root/repo/src/predictors/elastic.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/elastic.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/elastic.cc.o.d"
+  "/root/repo/src/predictors/gselect.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/gselect.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/gselect.cc.o.d"
+  "/root/repo/src/predictors/gshare.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/gshare.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/gshare.cc.o.d"
+  "/root/repo/src/predictors/hybrid.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/hybrid.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/hybrid.cc.o.d"
+  "/root/repo/src/predictors/ras.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/ras.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/ras.cc.o.d"
+  "/root/repo/src/predictors/target_cache.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/target_cache.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/target_cache.cc.o.d"
+  "/root/repo/src/predictors/two_level.cc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/two_level.cc.o" "gcc" "src/predictors/CMakeFiles/vlpsim_predictors.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_predictors.dir/agree.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/agree.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/bimodal.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/bimodal.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/bimode.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/bimode.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/btb.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/btb.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/cascaded.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/cascaded.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/dhlf.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/dhlf.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/dual_length.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/dual_length.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/elastic.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/elastic.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/gselect.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/gselect.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/gshare.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/gshare.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/hybrid.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/hybrid.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/ras.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/ras.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/target_cache.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/target_cache.cc.o.d"
+  "CMakeFiles/vlpsim_predictors.dir/two_level.cc.o"
+  "CMakeFiles/vlpsim_predictors.dir/two_level.cc.o.d"
+  "libvlpsim_predictors.a"
+  "libvlpsim_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlpsim_predictors.a"
+)

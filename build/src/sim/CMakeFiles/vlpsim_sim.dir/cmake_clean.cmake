@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/vlpsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/vlpsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/vlpsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/vlpsim_sim.dir/timing.cc.o"
+  "CMakeFiles/vlpsim_sim.dir/timing.cc.o.d"
+  "libvlpsim_sim.a"
+  "libvlpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_trace.dir/branch_record.cc.o"
+  "CMakeFiles/vlpsim_trace.dir/branch_record.cc.o.d"
+  "CMakeFiles/vlpsim_trace.dir/text_io.cc.o"
+  "CMakeFiles/vlpsim_trace.dir/text_io.cc.o.d"
+  "CMakeFiles/vlpsim_trace.dir/trace_filter.cc.o"
+  "CMakeFiles/vlpsim_trace.dir/trace_filter.cc.o.d"
+  "CMakeFiles/vlpsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/vlpsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/vlpsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/vlpsim_trace.dir/trace_stats.cc.o.d"
+  "libvlpsim_trace.a"
+  "libvlpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

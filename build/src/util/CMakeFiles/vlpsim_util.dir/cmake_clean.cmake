@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_util.dir/logging.cc.o"
+  "CMakeFiles/vlpsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/vlpsim_util.dir/rng.cc.o"
+  "CMakeFiles/vlpsim_util.dir/rng.cc.o.d"
+  "CMakeFiles/vlpsim_util.dir/stats.cc.o"
+  "CMakeFiles/vlpsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/vlpsim_util.dir/table.cc.o"
+  "CMakeFiles/vlpsim_util.dir/table.cc.o.d"
+  "libvlpsim_util.a"
+  "libvlpsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

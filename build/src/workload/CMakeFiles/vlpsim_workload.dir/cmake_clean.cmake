@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim_workload.dir/behavior.cc.o"
+  "CMakeFiles/vlpsim_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/vlpsim_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/vlpsim_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/vlpsim_workload.dir/engine.cc.o"
+  "CMakeFiles/vlpsim_workload.dir/engine.cc.o.d"
+  "CMakeFiles/vlpsim_workload.dir/generator.cc.o"
+  "CMakeFiles/vlpsim_workload.dir/generator.cc.o.d"
+  "CMakeFiles/vlpsim_workload.dir/program.cc.o"
+  "CMakeFiles/vlpsim_workload.dir/program.cc.o.d"
+  "libvlpsim_workload.a"
+  "libvlpsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_path.dir/test_dynamic_path.cpp.o"
+  "CMakeFiles/test_dynamic_path.dir/test_dynamic_path.cpp.o.d"
+  "test_dynamic_path"
+  "test_dynamic_path.pdb"
+  "test_dynamic_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_predictors.dir/test_related_predictors.cpp.o"
+  "CMakeFiles/test_related_predictors.dir/test_related_predictors.cpp.o.d"
+  "test_related_predictors"
+  "test_related_predictors.pdb"
+  "test_related_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

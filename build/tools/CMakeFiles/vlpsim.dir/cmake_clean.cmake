@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlpsim.dir/vlpsim_cli.cpp.o"
+  "CMakeFiles/vlpsim.dir/vlpsim_cli.cpp.o.d"
+  "vlpsim"
+  "vlpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
