@@ -31,7 +31,8 @@ double
 evaluateVlp(trace::VectorTraceSource &profile_trace,
             trace::VectorTraceSource &test_trace,
             core::ProfileOptions options,
-            const std::vector<unsigned> *allowed_lengths = nullptr)
+            const std::vector<unsigned> *allowed_lengths = nullptr,
+            std::uint64_t *branches_out = nullptr)
 {
     core::ConditionalProfiler profiler(options);
     profile_trace.reset();
@@ -69,95 +70,122 @@ evaluateVlp(trace::VectorTraceSource &profile_trace,
         }
         vlp.observe(record);
     }
+    if (branches_out != nullptr)
+        *branches_out = branches;
     return util::percent(misses, branches);
 }
+
+/** One ablation configuration: a label plus how to profile/evaluate. */
+struct AblationConfig
+{
+    std::string label;
+    core::ProfileOptions options;
+    /** Clamp assignments to the {1,2,4,8,16,32} hash subset. */
+    bool restrictSubset = false;
+    /** Profile on the test input itself (generalization oracle). */
+    bool oracle = false;
+};
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablations: rotation, returns-in-THB, profiling "
                   "parameters, hash-function subset, HFNT",
                   "gcc, 16K byte conditional predictor, test input");
 
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
     const auto &spec = workload::findBenchmark("gcc");
-    auto profile_trace =
-        workload::generateTrace(spec, workload::InputKind::Profile);
-    auto test_trace =
-        workload::generateTrace(spec, workload::InputKind::Test);
 
     core::ProfileOptions base;
     base.indexBits = pred::conditionalIndexBits(budgetBytes);
 
-    util::TablePrinter table({"configuration", "VLP mispredict (%)"});
-
-    table.addRow({"baseline (rotate, no returns, 3 candidates, "
-                  "7 iterations, 32 hash functions)",
-                  bench::rate(evaluateVlp(profile_trace, test_trace,
-                                          base))});
-
+    std::vector<AblationConfig> configs;
+    configs.push_back({"baseline (rotate, no returns, 3 candidates, "
+                       "7 iterations, 32 hash functions)",
+                       base, false, false});
     {
         core::ProfileOptions options = base;
         options.history.rotateTargets = false;
-        table.addRow({"no target rotation (plain XOR)",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, options))});
+        configs.push_back({"no target rotation (plain XOR)", options,
+                           false, false});
     }
     {
         core::ProfileOptions options = base;
         options.history.includeReturns = true;
-        table.addRow({"return targets stored in THB",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, options))});
+        configs.push_back({"return targets stored in THB", options,
+                           false, false});
     }
     for (const unsigned candidates : {1u, 2u, 5u}) {
         core::ProfileOptions options = base;
         options.candidates = candidates;
         options.iterations = std::max(7u, candidates);
-        table.addRow({std::to_string(candidates)
-                          + " candidate(s) per branch",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, options))});
+        configs.push_back({std::to_string(candidates)
+                               + " candidate(s) per branch",
+                           options, false, false});
     }
     for (const unsigned iterations : {1u, 3u}) {
         core::ProfileOptions options = base;
         options.iterations = iterations;
-        table.addRow({std::to_string(iterations)
-                          + " step-2 iteration(s)",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, options))});
+        configs.push_back({std::to_string(iterations)
+                               + " step-2 iteration(s)",
+                           options, false, false});
     }
-    {
-        const std::vector<unsigned> subset = {1, 2, 4, 8, 16, 32};
-        table.addRow({"hash functions restricted to {1,2,4,8,16,32}",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, base,
-                                              &subset))});
-    }
+    configs.push_back({"hash functions restricted to {1,2,4,8,16,32}",
+                       base, true, false});
     {
         // Section 6 future-work idea: save/restore history across
         // subroutine calls (after Jacobson et al.).
         core::ProfileOptions options = base;
         options.history.historyStack = true;
-        table.addRow({"history stack across calls (Section 6 "
-                      "extension)",
-                      bench::rate(evaluateVlp(profile_trace,
-                                              test_trace, options))});
+        configs.push_back({"history stack across calls (Section 6 "
+                           "extension)",
+                           options, false, false});
     }
-    {
-        // Oracle profiling: select lengths on the *test* input itself.
-        // The gap to the baseline row is the cost of profile-to-test
-        // generalization (the paper's §3.4 motivation for resampling
-        // user data à la ProfileMe).
-        table.addRow({"oracle: profiled on the test input itself",
-                      bench::rate(evaluateVlp(test_trace, test_trace,
-                                              base))});
-    }
+    // Oracle profiling: select lengths on the *test* input itself.
+    // The gap to the baseline row is the cost of profile-to-test
+    // generalization (the paper's §3.4 motivation for resampling
+    // user data à la ProfileMe).
+    configs.push_back({"oracle: profiled on the test input itself",
+                       base, false, true});
+
+    // Every configuration re-profiles gcc from scratch, so the config
+    // grid is the shard unit; each worker pulls private trace copies
+    // from its own context (the cursor state is not shareable).
+    const auto rates = runner.map<double>(
+        configs.size(),
+        [&](sim::ExperimentContext &context, std::size_t i) {
+            const AblationConfig &config = configs[i];
+            const auto profile_trace = context.trace(
+                spec, config.oracle ? workload::InputKind::Test
+                                    : workload::InputKind::Profile);
+            const auto test_trace =
+                context.trace(spec, workload::InputKind::Test);
+            const std::vector<unsigned> subset = {1, 2, 4, 8, 16, 32};
+            std::uint64_t branches = 0;
+            const double rate = evaluateVlp(
+                *profile_trace, *test_trace, config.options,
+                config.restrictSubset ? &subset : nullptr, &branches);
+            runner.addPredictions(branches);
+            return rate;
+        });
+
+    util::TablePrinter table({"configuration", "VLP mispredict (%)"});
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        table.addRow({configs[i].label, bench::rate(rates[i])});
     table.print(std::cout);
 
     // --- HFNT re-predict rate (Section 4.3) --------------------------
     {
+        auto &context = runner.context();
+        const auto profile_ptr =
+            context.trace(spec, workload::InputKind::Profile);
+        const auto test_ptr =
+            context.trace(spec, workload::InputKind::Test);
+        trace::VectorTraceSource &profile_trace = *profile_ptr;
+        trace::VectorTraceSource &test_trace = *test_ptr;
         core::ConditionalProfiler profiler(base);
         profile_trace.reset();
         const core::HashAssignment assignment =
@@ -185,5 +213,6 @@ main()
         }
         hfnt_table.print(std::cout);
     }
+    summary.print(runner);
     return 0;
 }

@@ -7,12 +7,15 @@
 #ifndef VLPSIM_BENCH_BENCH_COMMON_H
 #define VLPSIM_BENCH_BENCH_COMMON_H
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "predictors/budget.h"
 #include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -55,6 +58,82 @@ reduction(const vlp::sim::RateEntry &base,
            - static_cast<double>(better.mispredictions))
         / static_cast<double>(base.mispredictions);
 }
+
+/**
+ * Parse a `--jobs N` (or `--jobs=N`) flag from the command line.
+ * Returns 0 ("one worker per hardware thread") when absent; 1
+ * preserves the exact serial code path.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string argument = argv[i];
+        std::string value;
+        if (argument == "--jobs") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --jobs requires a worker count\n";
+                std::exit(2);
+            }
+            value = argv[i + 1];
+        } else if (argument.rfind("--jobs=", 0) == 0) {
+            value = argument.substr(7);
+        } else {
+            continue;
+        }
+        char *end = nullptr;
+        const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || jobs > 4096) {
+            std::cerr << "error: malformed --jobs value: " << value
+                      << "\n";
+            std::exit(2);
+        }
+        return static_cast<unsigned>(jobs);
+    }
+    return 0;
+}
+
+/**
+ * Wall-clock run summary with a branches-per-second throughput line.
+ *
+ * Printed to stderr so that a binary's table output on stdout stays
+ * byte-identical no matter the --jobs value (bench_throughput and the
+ * acceptance scripts diff stdout).
+ */
+class RunSummary
+{
+  public:
+    RunSummary() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Report @p predictions dynamic predictions from @p jobs workers. */
+    void
+    print(std::uint64_t predictions, unsigned jobs) const
+    {
+        const auto elapsed = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_);
+        const double seconds = elapsed.count();
+        const double per_second =
+            seconds > 0.0 ? static_cast<double>(predictions) / seconds
+                          : 0.0;
+        std::cerr << "run summary: "
+                  << vlp::util::formatCount(predictions)
+                  << " branch predictions in "
+                  << vlp::util::formatDouble(seconds, 2) << " s ("
+                  << vlp::util::formatScaled(
+                         static_cast<std::uint64_t>(per_second))
+                  << " branches/s; jobs=" << jobs << ")\n";
+    }
+
+    /** Convenience over a runner's built-in prediction counter. */
+    void
+    print(const vlp::sim::ParallelRunner &runner) const
+    {
+        print(runner.predictions(), runner.jobs());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace bench
 

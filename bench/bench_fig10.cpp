@@ -8,15 +8,28 @@
 
 #include "bench_common.h"
 
+namespace {
+
+/** Everything one table size contributes to the printed figure. */
+struct SizePoint
+{
+    vlp::sim::ComparisonRow row;
+    unsigned globalLength = 0;
+    unsigned tunedLength = 0;
+};
+
+} // anonymous namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
     bench::banner("Figure 10: Indirect Misprediction Rates for Gcc",
                   "predictor sizes 0.5K to 32K bytes, test input");
 
-    sim::ExperimentContext context;
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
     const auto &spec = workload::findBenchmark("gcc");
 
     util::TablePrinter table({"Size (KB)", "path CHP (%)",
@@ -26,17 +39,30 @@ main()
                               "variable length path (%)",
                               "global len", "tuned len"});
 
+    const std::vector<std::size_t> sizes = {512, 2048, 8192, 32768};
+    const auto points = runner.map<SizePoint>(
+        sizes.size(),
+        [&](sim::ExperimentContext &context, std::size_t i) {
+            const std::size_t bytes = sizes[i];
+            SizePoint point;
+            point.globalLength = context.globalIndirectLength(bytes);
+            point.tunedLength =
+                context
+                    .indirectSweep(spec, pred::indirectIndexBits(bytes))
+                    .bestLength();
+            point.row = sim::compareIndirect(
+                context, spec, bytes, point.globalLength, true);
+            for (const auto &entry : point.row.entries)
+                runner.addPredictions(entry.branches);
+            return point;
+        });
+
     double flp_cut_at_32k = 0.0, vlp_cut_at_32k = 0.0;
-    for (const std::size_t bytes :
-         {std::size_t{512}, std::size_t{2048}, std::size_t{8192},
-          std::size_t{32768}}) {
-        const unsigned global_length =
-            context.globalIndirectLength(bytes);
-        const unsigned tuned_length =
-            context.indirectSweep(spec, pred::indirectIndexBits(bytes))
-                .bestLength();
-        const auto row = sim::compareIndirect(context, spec, bytes,
-                                              global_length, true);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::size_t bytes = sizes[i];
+        const unsigned global_length = points[i].globalLength;
+        const unsigned tuned_length = points[i].tunedLength;
+        const auto &row = points[i].row;
         table.addRow({
             util::formatDouble(bytes / 1024.0, 1),
             bench::rate(row.entry(sim::names::chpPath).rate),
@@ -64,5 +90,6 @@ main()
                  "predictor: FLP "
               << bench::rate(flp_cut_at_32k) << "% (paper 29%), VLP "
               << bench::rate(vlp_cut_at_32k) << "% (paper 51%)\n";
+    summary.print(runner);
     return 0;
 }

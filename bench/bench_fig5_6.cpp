@@ -10,7 +10,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
@@ -18,10 +18,17 @@ main()
     bench::banner("Figures 5 & 6: Conditional Misprediction Rates",
                   "16K byte predictor, test inputs");
 
-    sim::ExperimentContext context;
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
     const unsigned global_length =
-        context.globalConditionalLength(bytes);
+        runner.globalConditionalLength(bytes);
     std::cout << "global fixed path length: " << global_length << "\n";
+
+    // All 16 comparisons run sharded across the workers; the rows come
+    // back in suite order regardless of scheduling.
+    const auto &suite = workload::benchmarkSuite();
+    const auto rows =
+        runner.compareConditionalSuite(suite, bytes, global_length);
 
     double total_reduction = 0.0;
     double worst_reduction = 1e9, best_reduction = -1e9;
@@ -33,11 +40,11 @@ main()
                                   "fixed length path (%)",
                                   "variable length path (%)",
                                   "reduction vs gshare (%)"});
-        for (const auto &spec : workload::benchmarkSuite()) {
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto &spec = suite[i];
             if (spec.isSpec != spec_group)
                 continue;
-            const auto row = sim::compareConditional(
-                context, spec, bytes, global_length);
+            const auto &row = rows[i];
             const auto &gshare = row.entry(sim::names::gshare);
             const auto &flp = row.entry(sim::names::flp);
             const auto &vlp = row.entry(sim::names::vlp);
@@ -72,5 +79,6 @@ main()
               << "% for " << best_name << "  (paper: 68.6% for perl)\n"
               << "smallest reduction: " << bench::rate(worst_reduction)
               << "% for " << worst_name << "  (paper: 7.4% for pgp)\n";
+    summary.print(runner);
     return 0;
 }

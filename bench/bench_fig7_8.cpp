@@ -11,7 +11,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
@@ -20,9 +20,14 @@ main()
                   "2K byte predictor, test inputs; '*' marks the 8 "
                   "indirect-heavy benchmarks of Table 3");
 
-    sim::ExperimentContext context;
-    const unsigned global_length = context.globalIndirectLength(bytes);
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const unsigned global_length = runner.globalIndirectLength(bytes);
     std::cout << "global fixed path length: " << global_length << "\n";
+
+    const auto &suite = workload::benchmarkSuite();
+    const auto rows =
+        runner.compareIndirectSuite(suite, bytes, global_length);
 
     for (const bool spec_group : {true, false}) {
         util::TablePrinter table({"Benchmark", "path CHP (%)",
@@ -30,11 +35,11 @@ main()
                                   "fixed length path (%)",
                                   "variable length path (%)",
                                   "ind branches"});
-        for (const auto &spec : workload::benchmarkSuite()) {
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto &spec = suite[i];
             if (spec.isSpec != spec_group)
                 continue;
-            const auto row = sim::compareIndirect(context, spec, bytes,
-                                                  global_length);
+            const auto &row = rows[i];
             table.addRow({
                 spec.name + (spec.indirectHeavy ? " *" : ""),
                 bench::rate(row.entry(sim::names::chpPath).rate),
@@ -49,5 +54,6 @@ main()
                                  : "\nFigure 8 (non-SPEC)\n");
         table.print(std::cout);
     }
+    summary.print(runner);
     return 0;
 }

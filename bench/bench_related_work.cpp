@@ -44,82 +44,103 @@ using namespace vlp;
 const char *const condBenchmarks[] = {"gcc", "go", "perl", "vortex"};
 const char *const indBenchmarks[] = {"gcc", "perl", "li", "gs"};
 
-void
-conditionalShootout()
+/** One benchmark's column: predictor display names plus their rates. */
+struct ShootoutColumn
+{
+    std::vector<std::string> names;
+    std::vector<double> rates;
+};
+
+ShootoutColumn
+conditionalColumn(vlp::sim::ExperimentContext &context,
+                  vlp::sim::ParallelRunner &runner,
+                  const std::string &name)
 {
     constexpr std::size_t bytes = 16384;
     const unsigned k = pred::conditionalIndexBits(bytes);
+    const auto &spec = workload::findBenchmark(name);
+    const auto profile_trace =
+        context.trace(spec, workload::InputKind::Profile);
+    const auto test_trace =
+        context.trace(spec, workload::InputKind::Test);
 
+    // Profiled artifacts for the two profile-driven predictors.
+    core::ProfileOptions options;
+    options.indexBits = k;
+    core::ConditionalProfiler vlp_profiler(options);
+    profile_trace->reset();
+    const core::HashAssignment assignment =
+        vlp_profiler.profile(*profile_trace);
+    pred::ElasticProfiler elastic_profiler(k);
+    profile_trace->reset();
+    const pred::PatternLengthAssignment pattern_lengths =
+        elastic_profiler.profile(*profile_trace);
+
+    pred::BimodalPredictor bimodal(k);
+    pred::TwoLevelPredictor gas(pred::HistoryScope::Global, k - 2, 2);
+    pred::GselectPredictor gselect(k);
+    pred::GsharePredictor gshare(k);
+    pred::AgreePredictor agree(k);
+    pred::BiModePredictor bimode(k - 1); // 3 banks ≈ same budget
+    pred::DhlfGsharePredictor dhlf(k);
+    pred::ElasticGsharePredictor elastic(k, pattern_lengths);
+    pred::HybridPredictor hybrid(
+        std::make_unique<pred::GsharePredictor>(k - 1),
+        std::make_unique<pred::BimodalPredictor>(k - 1), k - 1);
+    core::PathConditionalPredictor flp(k, 5);
+    core::DynamicPathConditionalPredictor dynamic_vlp(k);
+    core::PathConditionalPredictor vlp(k, assignment);
+
+    sim::Simulator simulator;
+    for (pred::ConditionalPredictor *predictor :
+         {static_cast<pred::ConditionalPredictor *>(&bimodal),
+          static_cast<pred::ConditionalPredictor *>(&gas),
+          static_cast<pred::ConditionalPredictor *>(&gselect),
+          static_cast<pred::ConditionalPredictor *>(&gshare),
+          static_cast<pred::ConditionalPredictor *>(&agree),
+          static_cast<pred::ConditionalPredictor *>(&bimode),
+          static_cast<pred::ConditionalPredictor *>(&dhlf),
+          static_cast<pred::ConditionalPredictor *>(&elastic),
+          static_cast<pred::ConditionalPredictor *>(&hybrid),
+          static_cast<pred::ConditionalPredictor *>(&flp),
+          static_cast<pred::ConditionalPredictor *>(&dynamic_vlp),
+          static_cast<pred::ConditionalPredictor *>(&vlp)}) {
+        simulator.addConditional(predictor);
+    }
+    test_trace->reset();
+    simulator.run(*test_trace);
+
+    ShootoutColumn column;
+    for (const auto &result : simulator.conditionalResults()) {
+        runner.addPredictions(result.branches);
+        column.names.push_back(result.name == "fixed length path"
+                                   ? "fixed length path (len 5)"
+                                   : result.name);
+        column.rates.push_back(result.rate());
+    }
+    return column;
+}
+
+void
+conditionalShootout(vlp::sim::ParallelRunner &runner)
+{
     util::TablePrinter table({"predictor", "gcc", "go", "perl",
                               "vortex"});
+    // One column (benchmark) per shard; every column lists the same
+    // predictors in registration order.
+    const auto columns = runner.map<ShootoutColumn>(
+        std::size(condBenchmarks),
+        [&](sim::ExperimentContext &context, std::size_t i) {
+            return conditionalColumn(context, runner,
+                                     condBenchmarks[i]);
+        });
+
     std::vector<std::vector<std::string>> rows;
-
-    bool first_bench = true;
-    for (const char *name : condBenchmarks) {
-        const auto &spec = workload::findBenchmark(name);
-        auto profile_trace = workload::generateTrace(
-            spec, workload::InputKind::Profile);
-        auto test_trace =
-            workload::generateTrace(spec, workload::InputKind::Test);
-
-        // Profiled artifacts for the two profile-driven predictors.
-        core::ProfileOptions options;
-        options.indexBits = k;
-        core::ConditionalProfiler vlp_profiler(options);
-        const core::HashAssignment assignment =
-            vlp_profiler.profile(profile_trace);
-        pred::ElasticProfiler elastic_profiler(k);
-        profile_trace.reset();
-        const pred::PatternLengthAssignment pattern_lengths =
-            elastic_profiler.profile(profile_trace);
-
-        pred::BimodalPredictor bimodal(k);
-        pred::TwoLevelPredictor gas(pred::HistoryScope::Global, k - 2,
-                                    2);
-        pred::GselectPredictor gselect(k);
-        pred::GsharePredictor gshare(k);
-        pred::AgreePredictor agree(k);
-        pred::BiModePredictor bimode(k - 1); // 3 banks ≈ same budget
-        pred::DhlfGsharePredictor dhlf(k);
-        pred::ElasticGsharePredictor elastic(k, pattern_lengths);
-        pred::HybridPredictor hybrid(
-            std::make_unique<pred::GsharePredictor>(k - 1),
-            std::make_unique<pred::BimodalPredictor>(k - 1), k - 1);
-        core::PathConditionalPredictor flp(k, 5);
-        core::DynamicPathConditionalPredictor dynamic_vlp(k);
-        core::PathConditionalPredictor vlp(k, assignment);
-
-        sim::Simulator simulator;
-        for (pred::ConditionalPredictor *predictor :
-             {static_cast<pred::ConditionalPredictor *>(&bimodal),
-              static_cast<pred::ConditionalPredictor *>(&gas),
-              static_cast<pred::ConditionalPredictor *>(&gselect),
-              static_cast<pred::ConditionalPredictor *>(&gshare),
-              static_cast<pred::ConditionalPredictor *>(&agree),
-              static_cast<pred::ConditionalPredictor *>(&bimode),
-              static_cast<pred::ConditionalPredictor *>(&dhlf),
-              static_cast<pred::ConditionalPredictor *>(&elastic),
-              static_cast<pred::ConditionalPredictor *>(&hybrid),
-              static_cast<pred::ConditionalPredictor *>(&flp),
-              static_cast<pred::ConditionalPredictor *>(&dynamic_vlp),
-              static_cast<pred::ConditionalPredictor *>(&vlp)}) {
-            simulator.addConditional(predictor);
-        }
-        test_trace.reset();
-        simulator.run(test_trace);
-
-        const auto results = simulator.conditionalResults();
-        if (first_bench) {
-            for (const auto &result : results) {
-                rows.push_back(
-                    {result.name == "fixed length path"
-                         ? "fixed length path (len 5)"
-                         : result.name});
-            }
-            first_bench = false;
-        }
-        for (std::size_t i = 0; i < results.size(); ++i)
-            rows[i].push_back(bench::rate(results[i].rate()));
+    for (const std::string &name : columns.front().names)
+        rows.push_back({name});
+    for (const ShootoutColumn &column : columns) {
+        for (std::size_t i = 0; i < column.rates.size(); ++i)
+            rows[i].push_back(bench::rate(column.rates[i]));
     }
     for (auto &row : rows)
         table.addRow(std::move(row));
@@ -127,66 +148,78 @@ conditionalShootout()
     table.print(std::cout);
 }
 
-void
-indirectShootout()
+ShootoutColumn
+indirectColumn(vlp::sim::ExperimentContext &context,
+               vlp::sim::ParallelRunner &runner,
+               const std::string &name)
 {
     constexpr std::size_t bytes = 2048;
     const unsigned k = pred::indirectIndexBits(bytes);
+    const auto &spec = workload::findBenchmark(name);
+    const auto profile_trace =
+        context.trace(spec, workload::InputKind::Profile);
+    const auto test_trace =
+        context.trace(spec, workload::InputKind::Test);
 
+    core::ProfileOptions options;
+    options.indexBits = k;
+    core::IndirectProfiler profiler(options);
+    profile_trace->reset();
+    const core::HashAssignment assignment =
+        profiler.profile(*profile_trace);
+
+    pred::BtbPredictor btb(k);
+    pred::PatternTargetCache chp_pattern(k);
+    pred::PathTargetCache chp_path(k);
+    pred::CascadedPredictor cascaded(k - 1, k - 1);
+    // Two half-size tables + selector ≈ the same budget.
+    pred::DualLengthIndirectPredictor dual(k - 1);
+    core::PathIndirectPredictor flp(k, 5);
+    core::DynamicPathIndirectPredictor dynamic_vlp(k);
+    core::PathIndirectPredictor vlp(k, assignment);
+
+    sim::Simulator simulator;
+    for (pred::IndirectPredictor *predictor :
+         {static_cast<pred::IndirectPredictor *>(&btb),
+          static_cast<pred::IndirectPredictor *>(&chp_pattern),
+          static_cast<pred::IndirectPredictor *>(&chp_path),
+          static_cast<pred::IndirectPredictor *>(&cascaded),
+          static_cast<pred::IndirectPredictor *>(&dual),
+          static_cast<pred::IndirectPredictor *>(&flp),
+          static_cast<pred::IndirectPredictor *>(&dynamic_vlp),
+          static_cast<pred::IndirectPredictor *>(&vlp)}) {
+        simulator.addIndirect(predictor);
+    }
+    test_trace->reset();
+    simulator.run(*test_trace);
+
+    ShootoutColumn column;
+    for (const auto &result : simulator.indirectResults()) {
+        runner.addPredictions(result.branches);
+        column.names.push_back(result.name == "fixed length path"
+                                   ? "fixed length path (len 5)"
+                                   : result.name);
+        column.rates.push_back(result.rate());
+    }
+    return column;
+}
+
+void
+indirectShootout(vlp::sim::ParallelRunner &runner)
+{
     util::TablePrinter table({"predictor", "gcc", "perl", "li", "gs"});
+    const auto columns = runner.map<ShootoutColumn>(
+        std::size(indBenchmarks),
+        [&](sim::ExperimentContext &context, std::size_t i) {
+            return indirectColumn(context, runner, indBenchmarks[i]);
+        });
+
     std::vector<std::vector<std::string>> rows;
-
-    bool first_bench = true;
-    for (const char *name : indBenchmarks) {
-        const auto &spec = workload::findBenchmark(name);
-        auto profile_trace = workload::generateTrace(
-            spec, workload::InputKind::Profile);
-        auto test_trace =
-            workload::generateTrace(spec, workload::InputKind::Test);
-
-        core::ProfileOptions options;
-        options.indexBits = k;
-        core::IndirectProfiler profiler(options);
-        const core::HashAssignment assignment =
-            profiler.profile(profile_trace);
-
-        pred::BtbPredictor btb(k);
-        pred::PatternTargetCache chp_pattern(k);
-        pred::PathTargetCache chp_path(k);
-        pred::CascadedPredictor cascaded(k - 1, k - 1);
-        // Two half-size tables + selector ≈ the same budget.
-        pred::DualLengthIndirectPredictor dual(k - 1);
-        core::PathIndirectPredictor flp(k, 5);
-        core::DynamicPathIndirectPredictor dynamic_vlp(k);
-        core::PathIndirectPredictor vlp(k, assignment);
-
-        sim::Simulator simulator;
-        for (pred::IndirectPredictor *predictor :
-             {static_cast<pred::IndirectPredictor *>(&btb),
-              static_cast<pred::IndirectPredictor *>(&chp_pattern),
-              static_cast<pred::IndirectPredictor *>(&chp_path),
-              static_cast<pred::IndirectPredictor *>(&cascaded),
-              static_cast<pred::IndirectPredictor *>(&dual),
-              static_cast<pred::IndirectPredictor *>(&flp),
-              static_cast<pred::IndirectPredictor *>(&dynamic_vlp),
-              static_cast<pred::IndirectPredictor *>(&vlp)}) {
-            simulator.addIndirect(predictor);
-        }
-        test_trace.reset();
-        simulator.run(test_trace);
-
-        const auto results = simulator.indirectResults();
-        if (first_bench) {
-            for (const auto &result : results) {
-                rows.push_back(
-                    {result.name == "fixed length path"
-                         ? "fixed length path (len 5)"
-                         : result.name});
-            }
-            first_bench = false;
-        }
-        for (std::size_t i = 0; i < results.size(); ++i)
-            rows[i].push_back(bench::rate(results[i].rate()));
+    for (const std::string &name : columns.front().names)
+        rows.push_back({name});
+    for (const ShootoutColumn &column : columns) {
+        for (std::size_t i = 0; i < column.rates.size(); ++i)
+            rows[i].push_back(bench::rate(column.rates[i]));
     }
     for (auto &row : rows)
         table.addRow(std::move(row));
@@ -197,14 +230,17 @@ indirectShootout()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Related-work shootout (extension, not a paper "
                   "table)",
                   "VLP vs the cited 1997/98 design space; elastic "
                   "gshare isolates per-branch length selection from "
                   "path-vs-pattern history");
-    conditionalShootout();
-    indirectShootout();
+    bench::RunSummary summary;
+    vlp::sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    conditionalShootout(runner);
+    indirectShootout(runner);
+    summary.print(runner);
     return 0;
 }

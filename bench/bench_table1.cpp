@@ -11,7 +11,7 @@
 #include "workload/benchmarks.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
@@ -19,29 +19,41 @@ main()
                   "test inputs; paper dynamic counts scaled by 1/20, "
                   "paper static counts by ~1/3 (DESIGN.md §3)");
 
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+
     util::TablePrinter table({
         "Benchmark", "cond dynamic", "cond static", "ind dynamic",
         "ind static", "paper cond dyn", "paper cond st",
         "paper ind dyn", "paper ind st",
     });
 
-    for (const auto &spec : workload::benchmarkSuite()) {
-        auto trace =
-            workload::generateTrace(spec, workload::InputKind::Test);
-        trace::TraceStats stats;
-        stats.observeAll(trace);
-        table.addRow({
-            spec.name,
-            util::formatScaled(stats.dynamicConditional()),
-            std::to_string(stats.staticConditional()),
-            util::formatScaled(stats.dynamicIndirect()),
-            std::to_string(stats.staticIndirect()),
-            util::formatScaled(spec.paperDynamicCond),
-            std::to_string(spec.paperStaticCond),
-            util::formatScaled(spec.paperDynamicIndirect),
-            std::to_string(spec.paperStaticInd),
+    // Trace generation dominates here; shard it per benchmark and
+    // assemble the rows in suite order.
+    const auto &suite = workload::benchmarkSuite();
+    const auto rows = runner.map<std::vector<std::string>>(
+        suite.size(), [&](sim::ExperimentContext &, std::size_t i) {
+            const auto &spec = suite[i];
+            auto trace = workload::generateTrace(
+                spec, workload::InputKind::Test);
+            trace::TraceStats stats;
+            stats.observeAll(trace);
+            runner.addPredictions(trace.size());
+            return std::vector<std::string>{
+                spec.name,
+                util::formatScaled(stats.dynamicConditional()),
+                std::to_string(stats.staticConditional()),
+                util::formatScaled(stats.dynamicIndirect()),
+                std::to_string(stats.staticIndirect()),
+                util::formatScaled(spec.paperDynamicCond),
+                std::to_string(spec.paperStaticCond),
+                util::formatScaled(spec.paperDynamicIndirect),
+                std::to_string(spec.paperStaticInd),
+            };
         });
-    }
+    for (const auto &row : rows)
+        table.addRow(std::vector<std::string>(row));
     table.print(std::cout);
+    summary.print(runner);
     return 0;
 }

@@ -11,7 +11,7 @@
 #include "predictors/budget.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
@@ -19,7 +19,8 @@ main()
                   "Predictor",
                   "profile inputs, average over all 16 benchmarks");
 
-    sim::ExperimentContext context;
+    bench::RunSummary summary;
+    sim::ParallelRunner context(bench::parseJobs(argc, argv));
 
     {
         util::TablePrinter table(
@@ -62,5 +63,6 @@ main()
         std::cout << "\nIndirect Branches\n";
         table.print(std::cout);
     }
+    summary.print(context);
     return 0;
 }

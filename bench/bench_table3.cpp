@@ -10,7 +10,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlp;
 
@@ -31,8 +31,15 @@ main()
         {"python", {42.87, 50.42, 34.75, 29.09}},
     };
 
-    sim::ExperimentContext context;
-    const unsigned global_length = context.globalIndirectLength(bytes);
+    bench::RunSummary summary;
+    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const unsigned global_length = runner.globalIndirectLength(bytes);
+
+    std::vector<workload::BenchmarkSpec> specs;
+    for (const auto &name : workload::indirectHeavyNames())
+        specs.push_back(workload::findBenchmark(name));
+    const auto rows =
+        runner.compareIndirectSuite(specs, bytes, global_length);
 
     util::TablePrinter table({"Benchmark", "path (%)", "pattern (%)",
                               "FLP (%)", "VLP (%)", "paper path",
@@ -40,10 +47,9 @@ main()
                               "paper VLP"});
 
     double reduction_vs_pattern_min = 1e9, reduction_vs_pattern_max = 0;
-    for (const auto &name : workload::indirectHeavyNames()) {
-        const auto &spec = workload::findBenchmark(name);
-        const auto row =
-            sim::compareIndirect(context, spec, bytes, global_length);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string &name = specs[i].name;
+        const auto &row = rows[i];
         const auto &published = paper.at(name);
         const auto &pattern = row.entry(sim::names::chpPattern);
         const auto &vlp = row.entry(sim::names::vlp);
@@ -69,5 +75,6 @@ main()
               << bench::rate(reduction_vs_pattern_min) << "% to "
               << bench::rate(reduction_vs_pattern_max)
               << "%  (paper: 24.5% to 94.9%)\n";
+    summary.print(runner);
     return 0;
 }

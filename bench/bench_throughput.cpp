@@ -8,11 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iterator>
+#include <map>
+#include <memory>
+
 #include "core/path_history.h"
 #include "core/path_predictor.h"
 #include "core/profiler.h"
 #include "predictors/gshare.h"
 #include "predictors/target_cache.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/benchmarks.h"
 
@@ -134,6 +140,50 @@ BM_ProfilerStep1(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfilerStep1)->Unit(benchmark::kMillisecond);
+
+/**
+ * The parallel experiment engine end to end: simulate gshare over four
+ * benchmarks' test traces, sharded benchmark-per-worker. Items/s is
+ * branches/s, so comparing the jobs=1 and jobs=N lines tracks the
+ * engine's speedup. Traces live in each worker's ExperimentContext
+ * cache, so generation cost is paid once per runner, not per
+ * iteration.
+ */
+void
+BM_ParallelSimulate(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    static std::map<unsigned, std::unique_ptr<sim::ParallelRunner>>
+        runners;
+    auto &runner = runners[jobs];
+    if (!runner)
+        runner = std::make_unique<sim::ParallelRunner>(jobs);
+
+    const char *const names[] = {"compress", "li", "go", "ijpeg"};
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        const auto counts = runner->map<std::uint64_t>(
+            std::size(names),
+            [&](sim::ExperimentContext &context, std::size_t i) {
+                const auto &spec = workload::findBenchmark(names[i]);
+                const auto trace =
+                    context.trace(spec, workload::InputKind::Test);
+                pred::GsharePredictor gshare(14);
+                sim::Simulator simulator;
+                simulator.addConditional(&gshare);
+                trace->reset();
+                simulator.run(*trace);
+                return simulator.conditionalResults()[0].branches;
+            });
+        for (const std::uint64_t count : counts)
+            branches += count;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+BENCHMARK(BM_ParallelSimulate)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

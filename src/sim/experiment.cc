@@ -26,7 +26,7 @@ ComparisonRow::entry(const std::string &predictor) const
     util::fatal("no such predictor in comparison: " + predictor);
 }
 
-trace::VectorTraceSource &
+std::shared_ptr<trace::VectorTraceSource>
 ExperimentContext::trace(const workload::BenchmarkSpec &spec,
                          workload::InputKind kind)
 {
@@ -35,17 +35,17 @@ ExperimentContext::trace(const workload::BenchmarkSpec &spec,
     for (auto it = traces_.begin(); it != traces_.end(); ++it) {
         if (it->key == key) {
             traces_.splice(traces_.begin(), traces_, it);
-            return *traces_.front().source;
+            return traces_.front().source;
         }
     }
     TraceEntry entry;
     entry.key = key;
-    entry.source = std::make_unique<trace::VectorTraceSource>(
+    entry.source = std::make_shared<trace::VectorTraceSource>(
         workload::generateTrace(spec, kind));
     traces_.push_front(std::move(entry));
     while (traces_.size() > traceCacheCapacity)
         traces_.pop_back();
-    return *traces_.front().source;
+    return traces_.front().source;
 }
 
 ExperimentContext::Key
@@ -91,13 +91,12 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
 {
     if (entry.step1Done)
         return;
-    trace::VectorTraceSource &profile_trace =
-        trace(spec, workload::InputKind::Profile);
-    profile_trace.reset();
+    const auto profile_trace = trace(spec, workload::InputKind::Profile);
+    profile_trace->reset();
     if (entry.conditional)
-        entry.conditional->runStep1(profile_trace);
+        entry.conditional->runStep1(*profile_trace);
     else
-        entry.indirect->runStep1(profile_trace);
+        entry.indirect->runStep1(*profile_trace);
     entry.step1Done = true;
 }
 
@@ -132,10 +131,10 @@ ExperimentContext::conditionalAssignment(
         profilerEntry(spec, index_bits, false, history);
     ensureStep1(entry, spec);
     if (!entry.assignment) {
-        trace::VectorTraceSource &profile_trace =
+        const auto profile_trace =
             trace(spec, workload::InputKind::Profile);
-        profile_trace.reset();
-        entry.assignment = entry.conditional->runStep2(profile_trace);
+        profile_trace->reset();
+        entry.assignment = entry.conditional->runStep2(*profile_trace);
     }
     return *entry.assignment;
 }
@@ -149,10 +148,10 @@ ExperimentContext::indirectAssignment(const workload::BenchmarkSpec &spec,
         profilerEntry(spec, index_bits, true, history);
     ensureStep1(entry, spec);
     if (!entry.assignment) {
-        trace::VectorTraceSource &profile_trace =
+        const auto profile_trace =
             trace(spec, workload::InputKind::Profile);
-        profile_trace.reset();
-        entry.assignment = entry.indirect->runStep2(profile_trace);
+        profile_trace->reset();
+        entry.assignment = entry.indirect->runStep2(*profile_trace);
     }
     return *entry.assignment;
 }
@@ -282,10 +281,10 @@ compareConditional(ExperimentContext &context,
         simulator.addConditional(&flp_tuned);
     simulator.addConditional(&vlp);
 
-    trace::VectorTraceSource &test_trace =
+    const auto test_trace =
         context.trace(spec, workload::InputKind::Test);
-    test_trace.reset();
-    simulator.run(test_trace);
+    test_trace->reset();
+    simulator.run(*test_trace);
 
     ComparisonRow row;
     row.benchmark = spec.name;
@@ -322,10 +321,10 @@ compareIndirect(ExperimentContext &context,
         simulator.addIndirect(&flp_tuned);
     simulator.addIndirect(&vlp);
 
-    trace::VectorTraceSource &test_trace =
+    const auto test_trace =
         context.trace(spec, workload::InputKind::Test);
-    test_trace.reset();
-    simulator.run(test_trace);
+    test_trace->reset();
+    simulator.run(*test_trace);
 
     ComparisonRow row;
     row.benchmark = spec.name;

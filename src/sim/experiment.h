@@ -64,11 +64,13 @@ class ExperimentContext
 
     /**
      * The benchmark's trace on the given input, generated on first
-     * use. A small LRU keeps the working set bounded; the reference
-     * is valid until the next trace() call.
+     * use. A small LRU keeps the working set bounded; the returned
+     * shared_ptr pins the trace, so it stays valid even after later
+     * trace() calls evict it from the cache (callers holding a trace
+     * across a nested profiling call used to read freed memory).
      */
-    trace::VectorTraceSource &trace(const workload::BenchmarkSpec &spec,
-                                    workload::InputKind kind);
+    std::shared_ptr<trace::VectorTraceSource>
+    trace(const workload::BenchmarkSpec &spec, workload::InputKind kind);
 
     /**
      * Step-1 sweep for conditional branches of @p spec at @p
@@ -141,7 +143,7 @@ class ExperimentContext
     struct TraceEntry
     {
         std::string key;
-        std::unique_ptr<trace::VectorTraceSource> source;
+        std::shared_ptr<trace::VectorTraceSource> source;
     };
 
     std::list<TraceEntry> traces_;

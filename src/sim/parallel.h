@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * The paper's methodology — profile every benchmark, then evaluate a
+ * grid of benchmark x predictor x table-budget points — is
+ * embarrassingly parallel across benchmarks. ParallelRunner shards
+ * that grid at benchmark granularity over a fixed thread pool
+ * (util::ThreadPool), gives every worker its own private
+ * ExperimentContext (so the trace and profiler caches need no locks),
+ * and merges results in deterministic benchmark order.
+ *
+ * Determinism contract: trace generation, profiling, and simulation
+ * are all pure functions of the benchmark spec (the xoshiro RNG is
+ * seeded per benchmark, never from global state), and reductions
+ * accumulate in suite order on the controlling thread. Output is
+ * therefore bit-identical for any --jobs value; --jobs 1 additionally
+ * bypasses the pool and runs the exact serial code path.
+ */
+
+#ifndef VLPSIM_SIM_PARALLEL_H
+#define VLPSIM_SIM_PARALLEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/thread_pool.h"
+#include "workload/benchmarks.h"
+
+namespace vlp {
+namespace sim {
+
+/**
+ * Shards experiment work across worker threads, each owning a private
+ * ExperimentContext, and reduces results in deterministic order.
+ *
+ * Sharding is static: item i of a map() always runs in worker
+ * i % jobs(), and each worker processes its items in increasing index
+ * order on its own context. Repeating a map over the same item list
+ * therefore hits the same worker's caches (step-1 profiles computed
+ * for the suite-average sweep are reused by the per-benchmark
+ * comparisons), and results never depend on thread scheduling.
+ */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param jobs worker count; 0 means "one per hardware thread".
+     *             jobs == 1 runs everything inline on the calling
+     *             thread with no pool — the exact serial path.
+     */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    /** Effective worker count (never 0). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Worker 0's context, for callers that mix parallel sweeps with
+     * ad-hoc serial queries (e.g. a per-benchmark tuned length).
+     */
+    ExperimentContext &context() { return *contexts_.front(); }
+
+    /**
+     * Run fn(context, i) for i in [0, count) across the pool and
+     * return the results in index order. fn must only touch the
+     * context it is handed plus its own locals; exceptions thrown by
+     * fn are rethrown (first one wins) on the calling thread after
+     * all workers finish.
+     */
+    template <typename T>
+    std::vector<T> map(std::size_t count,
+                       const std::function<T(ExperimentContext &,
+                                             std::size_t)> &fn)
+    {
+        std::vector<T> results(count);
+        runSharded(count, [&](ExperimentContext &context,
+                              std::size_t index) {
+            results[index] = fn(context, index);
+        });
+        return results;
+    }
+
+    /**
+     * compareConditional() for each of @p specs (suite order in,
+     * suite order out), sharded across workers.
+     */
+    std::vector<ComparisonRow>
+    compareConditionalSuite(const std::vector<workload::BenchmarkSpec> &specs,
+                            std::size_t bytes, unsigned global_length,
+                            bool include_tuned = false);
+
+    /** Indirect counterpart of compareConditionalSuite(). */
+    std::vector<ComparisonRow>
+    compareIndirectSuite(const std::vector<workload::BenchmarkSpec> &specs,
+                         std::size_t bytes, unsigned global_length,
+                         bool include_tuned = false);
+
+    /**
+     * ExperimentContext::averageConditionalSweep() with the
+     * per-benchmark step-1 sweeps computed in parallel. The
+     * accumulation runs in suite order on the calling thread, so the
+     * floating-point result is bit-identical to the serial method.
+     */
+    std::vector<double> averageConditionalSweep(std::size_t bytes);
+
+    /** Indirect counterpart of averageConditionalSweep(). */
+    std::vector<double> averageIndirectSweep(std::size_t bytes);
+
+    /** The global fixed path length for conditional predictors. */
+    unsigned globalConditionalLength(std::size_t bytes);
+
+    /** The global fixed path length for indirect predictors. */
+    unsigned globalIndirectLength(std::size_t bytes);
+
+    /**
+     * Dynamic predictions issued through this runner so far (one per
+     * predictor per branch), for throughput reporting. map() callers
+     * can contribute their own counts with addPredictions().
+     */
+    std::uint64_t predictions() const
+    {
+        return predictions_.load(std::memory_order_relaxed);
+    }
+
+    /** Thread-safe: add @p count predictions to the running total. */
+    void addPredictions(std::uint64_t count)
+    {
+        predictions_.fetch_add(count, std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Per-benchmark step-1 rate curves (rates[L-1] percent, L =
+     * 1..maxPathLength) plus the profiled branch count, computed in
+     * parallel over the whole suite.
+     */
+    struct SweepRates
+    {
+        std::vector<double> rates;
+        std::uint64_t branches = 0;
+    };
+
+    std::vector<SweepRates> suiteSweeps(std::size_t bytes, bool indirect);
+
+    /** Shard fn over [0, count): item i runs in worker i % jobs(). */
+    void runSharded(std::size_t count,
+                    const std::function<void(ExperimentContext &,
+                                             std::size_t)> &fn);
+
+    unsigned jobs_;
+    std::unique_ptr<util::ThreadPool> pool_; // null when jobs_ == 1
+    std::vector<std::unique_ptr<ExperimentContext>> contexts_;
+    std::map<std::string, std::vector<double>> averageSweeps_;
+    std::atomic<std::uint64_t> predictions_{0};
+};
+
+} // namespace sim
+} // namespace vlp
+
+#endif // VLPSIM_SIM_PARALLEL_H

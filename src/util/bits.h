@@ -48,13 +48,19 @@ fits(std::uint64_t value, unsigned width)
  * address T_i is rotated, *as a k-bit number*, by i-1 bits before being
  * XORed into the index.
  *
+ * A zero-width register holds no bits, so rotating it yields 0 rather
+ * than dividing by zero in the wrap-around reduction.
+ *
  * @param value  value to rotate; only the low @p width bits are used
  * @param amount rotation amount; may exceed @p width (wraps around)
- * @param width  register width in bits, 1..64
+ * @param width  register width in bits, 1..64 (0 returns 0)
  */
 constexpr std::uint64_t
 rotl(std::uint64_t value, unsigned amount, unsigned width)
 {
+    if (width == 0)
+        return 0;
+    assert(width <= 64);
     value = truncate(value, width);
     amount %= width;
     if (amount == 0)
@@ -66,6 +72,9 @@ rotl(std::uint64_t value, unsigned amount, unsigned width)
 constexpr std::uint64_t
 rotr(std::uint64_t value, unsigned amount, unsigned width)
 {
+    if (width == 0)
+        return 0;
+    assert(width <= 64);
     amount %= width;
     return rotl(value, width - amount, width);
 }

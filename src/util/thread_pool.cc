@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "util/thread_pool.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vlp {
+namespace util {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    assert(threads >= 1);
+    if (threads < 1)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    assert(task);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock,
+                  [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    const unsigned reported = std::thread::hardware_concurrency();
+    return reported == 0 ? 1 : reported;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workAvailable_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stopping_ && empty: drain complete, shut down.
+            return;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --inFlight_;
+        if (queue_.empty() && inFlight_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+} // namespace util
+} // namespace vlp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the parallel experiment engine.
+ *
+ * The pool is deliberately minimal: tasks are type-erased
+ * std::function<void()> thunks, submitted from one controlling thread,
+ * and wait() blocks that thread until every submitted task has
+ * finished. Exceptions must be handled inside the task (the experiment
+ * layer captures them into a std::exception_ptr and rethrows on the
+ * controlling thread); a task that lets an exception escape terminates
+ * the process, as with any detached thread.
+ */
+
+#ifndef VLPSIM_UTIL_THREAD_POOL_H
+#define VLPSIM_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vlp {
+namespace util {
+
+/**
+ * Fixed set of worker threads consuming a FIFO task queue.
+ *
+ * Threads are started in the constructor and joined in the destructor;
+ * the pool never grows or shrinks. Submission and wait() are intended
+ * to be called from a single controlling thread (the experiment
+ * engine's reduction thread); tasks themselves may run on any worker.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers.
+     * @p threads must be >= 1; pass defaultThreadCount() for "one per
+     * hardware thread".
+     */
+    explicit ThreadPool(unsigned threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains the queue, waits for in-flight tasks, joins workers. */
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has completed (queue
+     * empty and no task running).
+     */
+    void wait();
+
+    /**
+     * std::thread::hardware_concurrency() with a floor of 1 (the
+     * standard allows it to return 0 when unknown).
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_THREAD_POOL_H

@@ -64,6 +64,29 @@ TEST(Rotr, InverseOfRotl)
     EXPECT_EQ(rotr(0b0001, 1, 4), 0b1000u);
 }
 
+TEST(Rotl, DegenerateWidths)
+{
+    // Width 0: a zero-width register holds no bits. This used to hit
+    // `amount %= 0` — undefined behaviour — before the guard.
+    EXPECT_EQ(rotl(0b1010, 3, 0), 0u);
+    EXPECT_EQ(rotl(~std::uint64_t{0}, 0, 0), 0u);
+    EXPECT_EQ(rotr(0b1010, 3, 0), 0u);
+
+    // Width 1: the single bit is a fixed point of every rotation.
+    EXPECT_EQ(rotl(1, 0, 1), 1u);
+    EXPECT_EQ(rotl(1, 1, 1), 1u);
+    EXPECT_EQ(rotl(1, 17, 1), 1u);
+    EXPECT_EQ(rotl(0, 5, 1), 0u);
+    EXPECT_EQ(rotr(1, 13, 1), 1u);
+
+    // Width 64: full-register rotates must not shift by 64 (UB).
+    const std::uint64_t value = 0x8000000000000001ULL;
+    EXPECT_EQ(rotl(value, 0, 64), value);
+    EXPECT_EQ(rotl(value, 64, 64), value);
+    EXPECT_EQ(rotl(value, 1, 64), 0x0000000000000003ULL);
+    EXPECT_EQ(rotr(value, 1, 64), 0xC000000000000000ULL);
+}
+
 class RotationProperty : public ::testing::TestWithParam<unsigned>
 {
 };

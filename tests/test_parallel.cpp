@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: the thread pool itself,
+ * and the determinism contract — any --jobs value must reproduce the
+ * serial results bit for bit.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/parallel.h"
+#include "util/thread_pool.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace vlp;
+using namespace vlp::sim;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    util::ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    util::ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(util::ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ParallelRunner, JobsZeroMeansHardwareConcurrency)
+{
+    ParallelRunner runner(0);
+    EXPECT_EQ(runner.jobs(), util::ThreadPool::defaultThreadCount());
+}
+
+TEST(ParallelRunner, MapPreservesIndexOrder)
+{
+    ParallelRunner runner(4);
+    const auto squares = runner.map<std::size_t>(
+        17, [](ExperimentContext &, std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 17u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelRunner, MapOverZeroItems)
+{
+    ParallelRunner runner(4);
+    const auto empty = runner.map<int>(
+        0, [](ExperimentContext &, std::size_t) { return 1; });
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(ParallelRunner, ExceptionsPropagateToCaller)
+{
+    ParallelRunner runner(4);
+    EXPECT_THROW(
+        runner.map<int>(8,
+                        [](ExperimentContext &, std::size_t i) {
+                            if (i == 5)
+                                throw std::runtime_error("boom");
+                            return 0;
+                        }),
+        std::runtime_error);
+}
+
+TEST(ParallelRunner, PredictionCounterAccumulates)
+{
+    ParallelRunner runner(2);
+    EXPECT_EQ(runner.predictions(), 0u);
+    runner.map<int>(10, [&](ExperimentContext &, std::size_t) {
+        runner.addPredictions(7);
+        return 0;
+    });
+    EXPECT_EQ(runner.predictions(), 70u);
+}
+
+/** Shrinks the synthetic workloads so the suite stays fast. */
+class ParallelHarness : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setenv("VLPSIM_SCALE", "0.05", 1); }
+    void TearDown() override { unsetenv("VLPSIM_SCALE"); }
+};
+
+std::vector<workload::BenchmarkSpec>
+testSpecs()
+{
+    std::vector<workload::BenchmarkSpec> specs;
+    for (const char *name : {"compress", "li", "go"})
+        specs.push_back(workload::findBenchmark(name));
+    return specs;
+}
+
+void
+expectIdenticalRows(const std::vector<ComparisonRow> &serial,
+                    const std::vector<ComparisonRow> &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+        ASSERT_EQ(serial[i].entries.size(), parallel[i].entries.size());
+        for (std::size_t j = 0; j < serial[i].entries.size(); ++j) {
+            const auto &a = serial[i].entries[j];
+            const auto &b = parallel[i].entries[j];
+            EXPECT_EQ(a.predictor, b.predictor);
+            EXPECT_EQ(a.branches, b.branches);
+            EXPECT_EQ(a.mispredictions, b.mispredictions);
+            // Bit-identical, not just close: the determinism
+            // contract promises the exact serial arithmetic.
+            EXPECT_EQ(a.rate, b.rate);
+        }
+    }
+}
+
+TEST_F(ParallelHarness, ConditionalRowsBitIdenticalAcrossJobs)
+{
+    const auto specs = testSpecs();
+    ParallelRunner serial(1);
+    ParallelRunner parallel(4);
+    const unsigned serial_length =
+        serial.globalConditionalLength(4096);
+    const unsigned parallel_length =
+        parallel.globalConditionalLength(4096);
+    EXPECT_EQ(serial_length, parallel_length);
+    expectIdenticalRows(
+        serial.compareConditionalSuite(specs, 4096, serial_length),
+        parallel.compareConditionalSuite(specs, 4096,
+                                         parallel_length));
+}
+
+TEST_F(ParallelHarness, IndirectRowsBitIdenticalAcrossJobs)
+{
+    const auto specs = testSpecs();
+    ParallelRunner serial(1);
+    ParallelRunner parallel(4);
+    const unsigned serial_length = serial.globalIndirectLength(512);
+    const unsigned parallel_length =
+        parallel.globalIndirectLength(512);
+    EXPECT_EQ(serial_length, parallel_length);
+    expectIdenticalRows(
+        serial.compareIndirectSuite(specs, 512, serial_length),
+        parallel.compareIndirectSuite(specs, 512, parallel_length));
+}
+
+TEST_F(ParallelHarness, AverageSweepBitIdenticalAcrossJobs)
+{
+    ParallelRunner serial(1);
+    ParallelRunner parallel(4);
+    const auto serial_sweep = serial.averageConditionalSweep(4096);
+    const auto parallel_sweep =
+        parallel.averageConditionalSweep(4096);
+    ASSERT_EQ(serial_sweep.size(), parallel_sweep.size());
+    for (std::size_t i = 0; i < serial_sweep.size(); ++i)
+        EXPECT_EQ(serial_sweep[i], parallel_sweep[i]);
+}
+
+TEST_F(ParallelHarness, SerialRunnerMatchesPlainContext)
+{
+    // --jobs 1 must be the exact serial code path.
+    ParallelRunner runner(1);
+    ExperimentContext context;
+    const auto &spec = workload::findBenchmark("compress");
+    const auto direct = compareConditional(context, spec, 4096, 4);
+    const auto via_runner =
+        runner.compareConditionalSuite({spec}, 4096, 4);
+    ASSERT_EQ(via_runner.size(), 1u);
+    expectIdenticalRows({direct}, via_runner);
+}
+
+} // anonymous namespace

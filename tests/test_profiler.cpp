@@ -5,6 +5,7 @@
  * assignment quality on crafted traces.
  */
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "core/path_predictor.h"
@@ -84,6 +85,19 @@ TEST(FixedLengthSweep, RateAndBestLength)
     EXPECT_DOUBLE_EQ(sweep.rate(1), 15.0);
     EXPECT_DOUBLE_EQ(sweep.rate(2), 5.0);
     EXPECT_EQ(sweep.bestLength(), 2u);
+}
+
+TEST(FixedLengthSweep, ZeroBranchesRateIsZeroNotNan)
+{
+    // A benchmark with no branches of the profiled class must report
+    // 0 %, not 0/0 = NaN, so suite averages stay finite.
+    FixedLengthSweep sweep;
+    sweep.mispredictions = {0, 0, 0};
+    sweep.branches = 0;
+    for (unsigned length = 1; length <= 3; ++length) {
+        EXPECT_FALSE(std::isnan(sweep.rate(length)));
+        EXPECT_DOUBLE_EQ(sweep.rate(length), 0.0);
+    }
 }
 
 TEST(FixedLengthSweep, TiesPreferShorterLength)

@@ -3,6 +3,7 @@
  * Tests for the simulator and the experiment harness.
  */
 
+#include <cmath>
 #include <cstdlib>
 #include <gtest/gtest.h>
 
@@ -317,19 +318,69 @@ TEST_F(ExperimentHarness, TraceCacheSurvivesEviction)
     // eviction invisible).
     ExperimentContext context;
     const auto &first = workload::findBenchmark("compress");
-    trace::VectorTraceSource &initial =
-        context.trace(first, workload::InputKind::Test);
-    const std::size_t initial_size = initial.size();
-    const trace::BranchRecord first_record = initial.records().front();
+    const auto initial = context.trace(first, workload::InputKind::Test);
+    const std::size_t initial_size = initial->size();
+    const trace::BranchRecord first_record = initial->records().front();
 
     for (const char *name : {"li", "pgp", "go", "plot", "ss"}) {
         context.trace(workload::findBenchmark(name),
                       workload::InputKind::Test);
     }
-    trace::VectorTraceSource &again =
-        context.trace(first, workload::InputKind::Test);
-    EXPECT_EQ(again.size(), initial_size);
-    EXPECT_EQ(again.records().front(), first_record);
+    const auto again = context.trace(first, workload::InputKind::Test);
+    EXPECT_EQ(again->size(), initial_size);
+    EXPECT_EQ(again->records().front(), first_record);
+}
+
+TEST_F(ExperimentHarness, TraceReferenceSurvivesEviction)
+{
+    // Regression: trace() used to return a bare reference that dangled
+    // as soon as the 4-entry LRU evicted the benchmark — a caller
+    // holding a trace across a nested profiling call read freed
+    // memory. The shared_ptr return pins the trace for as long as the
+    // caller needs it.
+    ExperimentContext context;
+    const auto &first = workload::findBenchmark("compress");
+    const auto held = context.trace(first, workload::InputKind::Test);
+    const std::size_t held_size = held->size();
+    const trace::BranchRecord first_record = held->records().front();
+    const trace::BranchRecord last_record = held->records().back();
+
+    // Evict "compress" by touching more benchmarks than the LRU holds
+    // (the capacity is 4), while the original pointer stays live.
+    for (const char *name : {"li", "pgp", "go", "plot", "ss", "tex"}) {
+        context.trace(workload::findBenchmark(name),
+                      workload::InputKind::Test);
+    }
+
+    // The held trace must still be fully readable.
+    EXPECT_EQ(held->size(), held_size);
+    EXPECT_EQ(held->records().front(), first_record);
+    EXPECT_EQ(held->records().back(), last_record);
+    held->reset();
+    trace::BranchRecord record;
+    std::size_t count = 0;
+    while (held->next(record))
+        ++count;
+    EXPECT_EQ(count, held_size);
+
+    // And a re-fetch regenerates an identical trace in a new entry.
+    const auto again = context.trace(first, workload::InputKind::Test);
+    EXPECT_NE(again.get(), held.get());
+    EXPECT_EQ(again->size(), held_size);
+    EXPECT_EQ(again->records().front(), first_record);
+}
+
+TEST(PredictorResultRate, ZeroBranchesIsZeroNotNan)
+{
+    // An empty filtered trace (e.g. a benchmark with no indirect
+    // branches) must report a 0.0 rate, not NaN, so ASCII tables and
+    // CSV never print "nan".
+    PredictorResult result;
+    result.name = "empty";
+    EXPECT_EQ(result.branches, 0u);
+    const double rate = result.rate();
+    EXPECT_FALSE(std::isnan(rate));
+    EXPECT_EQ(rate, 0.0);
 }
 
 } // anonymous namespace

@@ -20,12 +20,19 @@
  *       Rank the conditional branches by their contribution to
  *       gshare's mispredictions and show what a path predictor does
  *       with each — the per-branch view behind the paper's averages.
+ *   suite <cond|ind> <bytes> [--jobs N]
+ *       Profile and compare the paper's predictors over the whole
+ *       benchmark suite, sharded benchmark-per-worker across the
+ *       parallel experiment engine (--jobs 1 forces the serial path;
+ *       the default is one worker per hardware thread). Output is
+ *       bit-identical for every --jobs value.
  *   import <in.txt> <out.vbt> / export <in.vbt> <out.txt>
  *       Convert between the text trace format (one branch per line —
  *       the adapter path for external tools) and the binary format.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -38,6 +45,8 @@
 #include "predictors/budget.h"
 #include "predictors/gshare.h"
 #include "predictors/target_cache.h"
+#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
@@ -62,9 +71,38 @@ usage()
         "  vlpsim profile <trace.vbt> <bytes> <cond|ind> <out.asgn>\n"
         "  vlpsim eval <trace.vbt> <bytes> <cond|ind> [assignment]\n"
         "  vlpsim top <trace.vbt> <bytes> [count]\n"
+        "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
         "  vlpsim import <in.txt> <out.vbt>\n"
         "  vlpsim export <in.vbt> <out.txt>\n";
     return 2;
+}
+
+/**
+ * Parse a `--jobs N` / `--jobs=N` flag anywhere on the command line.
+ * Returns 0 (one worker per hardware thread) when absent.
+ */
+unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string argument = argv[i];
+        std::string value;
+        if (argument == "--jobs") {
+            if (i + 1 >= argc)
+                util::fatal("--jobs requires a worker count");
+            value = argv[i + 1];
+        } else if (argument.rfind("--jobs=", 0) == 0) {
+            value = argument.substr(7);
+        } else {
+            continue;
+        }
+        char *end = nullptr;
+        const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || jobs > 4096)
+            util::fatal("malformed --jobs value: " + value);
+        return static_cast<unsigned>(jobs);
+    }
+    return 0;
 }
 
 workload::InputKind
@@ -289,6 +327,60 @@ cmdTop(int argc, char **argv)
 }
 
 int
+cmdSuite(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const bool indirect = parseIndirect(argv[2]);
+    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+    if (bytes == 0)
+        util::fatal("table budget must be a positive byte count");
+
+    const auto start = std::chrono::steady_clock::now();
+    sim::ParallelRunner runner(parseJobs(argc, argv));
+    const auto &suite = workload::benchmarkSuite();
+
+    const unsigned global_length = indirect
+        ? runner.globalIndirectLength(bytes)
+        : runner.globalConditionalLength(bytes);
+    const auto rows = indirect
+        ? runner.compareIndirectSuite(suite, bytes, global_length)
+        : runner.compareConditionalSuite(suite, bytes, global_length);
+
+    std::cout << (indirect ? "indirect" : "conditional")
+              << " predictors, " << bytes
+              << " byte tables, test inputs (global fixed path length "
+              << global_length << "):\n";
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &entry : rows.front().entries)
+        header.push_back(entry.predictor + " (%)");
+    util::TablePrinter table(header);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells = {row.benchmark};
+        for (const auto &entry : row.entries)
+            cells.push_back(util::formatDouble(entry.rate, 2));
+        table.addRow(std::move(cells));
+    }
+    table.print(std::cout);
+
+    // Throughput goes to stderr so stdout stays bit-identical across
+    // --jobs values.
+    const double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    const double per_second = seconds > 0.0
+        ? static_cast<double>(runner.predictions()) / seconds
+        : 0.0;
+    std::cerr << "run summary: "
+              << util::formatCount(runner.predictions())
+              << " branch predictions in "
+              << util::formatDouble(seconds, 2) << " s ("
+              << util::formatScaled(
+                     static_cast<std::uint64_t>(per_second))
+              << " branches/s; jobs=" << runner.jobs() << ")\n";
+    return 0;
+}
+
+int
 cmdImport(int argc, char **argv)
 {
     if (argc < 4)
@@ -333,6 +425,8 @@ main(int argc, char **argv)
             return cmdEval(argc, argv);
         if (command == "top")
             return cmdTop(argc, argv);
+        if (command == "suite")
+            return cmdSuite(argc, argv);
         if (command == "import")
             return cmdImport(argc, argv);
         if (command == "export")
