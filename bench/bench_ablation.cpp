@@ -97,6 +97,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const auto &spec = workload::findBenchmark("gcc");
 
     core::ProfileOptions base;
@@ -214,5 +215,6 @@ main(int argc, char **argv)
         hfnt_table.print(std::cout);
     }
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

@@ -10,12 +10,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "predictors/budget.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
+#include "store/artifact_store.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -91,6 +93,118 @@ parseJobs(int argc, char **argv)
         return static_cast<unsigned>(jobs);
     }
     return 0;
+}
+
+/**
+ * Artifact-cache configuration parsed from the command line:
+ * `--cache-dir DIR` (or `--cache-dir=DIR`) enables the on-disk store,
+ * `--cache-max-bytes N` bounds it (LRU eviction; 0 = unbounded), and
+ * `--no-cache` disables it even if VLPSIM_CACHE_DIR is set in the
+ * environment.
+ */
+struct CacheConfig
+{
+    std::string directory;
+    std::uint64_t maxBytes = 0;
+    bool disabled = false;
+
+    bool enabled() const { return !disabled && !directory.empty(); }
+};
+
+/** Parse a flag's value at argv[i], advancing @p i for the
+ *  space-separated form. Exits with a usage error when missing. */
+inline std::string
+flagValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    const std::string argument = argv[i];
+    if (argument.size() > flag.size())
+        return argument.substr(flag.size() + 1); // "--flag=value"
+    if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+/**
+ * Parse the cache flags from the command line. VLPSIM_CACHE_DIR in the
+ * environment supplies the directory when no --cache-dir flag is
+ * given, so whole suites can be cached without editing every command.
+ */
+inline CacheConfig
+parseCacheConfig(int argc, char **argv)
+{
+    CacheConfig config;
+    if (const char *env = std::getenv("VLPSIM_CACHE_DIR"))
+        config.directory = env;
+    for (int i = 1; i < argc; ++i) {
+        const std::string argument = argv[i];
+        if (argument == "--no-cache") {
+            config.disabled = true;
+        } else if (argument == "--cache-dir"
+                   || argument.rfind("--cache-dir=", 0) == 0) {
+            config.directory =
+                flagValue(argc, argv, i, "--cache-dir");
+        } else if (argument == "--cache-max-bytes"
+                   || argument.rfind("--cache-max-bytes=", 0) == 0) {
+            const std::string value =
+                flagValue(argc, argv, i, "--cache-max-bytes");
+            char *end = nullptr;
+            config.maxBytes = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                std::cerr << "error: malformed --cache-max-bytes "
+                             "value: "
+                          << value << "\n";
+                std::exit(2);
+            }
+        }
+    }
+    return config;
+}
+
+/**
+ * Open the configured artifact store (if any) and attach it to every
+ * worker context of @p runner. Returns the store so the caller can
+ * keep it alive and report counters; null when caching is off.
+ */
+inline std::shared_ptr<vlp::store::ArtifactStore>
+attachCache(vlp::sim::ParallelRunner &runner, const CacheConfig &config)
+{
+    if (!config.enabled())
+        return nullptr;
+    vlp::store::StoreOptions options;
+    options.directory = config.directory;
+    options.maxBytes = config.maxBytes;
+    auto store = std::make_shared<vlp::store::ArtifactStore>(options);
+    runner.setStore(store);
+    return store;
+}
+
+/** Convenience: parse flags and attach in one call. */
+inline std::shared_ptr<vlp::store::ArtifactStore>
+attachCache(vlp::sim::ParallelRunner &runner, int argc, char **argv)
+{
+    return attachCache(runner, parseCacheConfig(argc, argv));
+}
+
+/**
+ * One-line cache activity report on stderr (stdout stays
+ * byte-identical between cold and warm runs). No-op for null stores.
+ */
+inline void
+reportCache(const std::shared_ptr<vlp::store::ArtifactStore> &store)
+{
+    if (!store)
+        return;
+    const vlp::store::StoreCounters counters = store->counters();
+    std::cerr << "cache: " << counters.hits << " hits, "
+              << counters.misses << " misses, " << counters.inserts
+              << " inserts";
+    if (counters.corrupt > 0)
+        std::cerr << ", " << counters.corrupt << " corrupt";
+    if (counters.evicted > 0)
+        std::cerr << ", " << counters.evicted << " evicted";
+    std::cerr << "\n";
 }
 
 /**

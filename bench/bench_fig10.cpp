@@ -30,6 +30,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const auto &spec = workload::findBenchmark("gcc");
 
     util::TablePrinter table({"Size (KB)", "path CHP (%)",
@@ -91,5 +92,6 @@ main(int argc, char **argv)
               << bench::rate(flp_cut_at_32k) << "% (paper 29%), VLP "
               << bench::rate(vlp_cut_at_32k) << "% (paper 51%)\n";
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

@@ -20,6 +20,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const unsigned global_length =
         runner.globalConditionalLength(bytes);
     std::cout << "global fixed path length: " << global_length << "\n";
@@ -80,5 +81,6 @@ main(int argc, char **argv)
               << "smallest reduction: " << bench::rate(worst_reduction)
               << "% for " << worst_name << "  (paper: 7.4% for pgp)\n";
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const unsigned global_length = runner.globalIndirectLength(bytes);
     std::cout << "global fixed path length: " << global_length << "\n";
 
@@ -55,5 +56,6 @@ main(int argc, char **argv)
         table.print(std::cout);
     }
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

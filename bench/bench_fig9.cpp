@@ -19,6 +19,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const auto &spec = workload::findBenchmark("gcc");
 
     util::TablePrinter table({"Size (KB)", "gshare (%)",
@@ -64,5 +65,6 @@ main(int argc, char **argv)
                  "VLP 6.5/4.3/3.6/3.2/3 — the paper's gcc headline is "
                  "VLP 4.3% vs gshare 8.8% at 4K bytes\n";
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

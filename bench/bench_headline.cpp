@@ -21,6 +21,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const auto &spec = workload::findBenchmark("gcc");
 
     // The conditional and indirect headlines are independent
@@ -70,5 +71,6 @@ main(int argc, char **argv)
     for (const std::string &block : blocks)
         std::cout << block;
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

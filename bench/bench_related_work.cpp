@@ -239,8 +239,10 @@ main(int argc, char **argv)
                   "path-vs-pattern history");
     bench::RunSummary summary;
     vlp::sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     conditionalShootout(runner);
     indirectShootout(runner);
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

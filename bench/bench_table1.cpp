@@ -21,6 +21,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
 
     util::TablePrinter table({
         "Benchmark", "cond dynamic", "cond static", "ind dynamic",
@@ -55,5 +56,6 @@ main(int argc, char **argv)
         table.addRow(std::vector<std::string>(row));
     table.print(std::cout);
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

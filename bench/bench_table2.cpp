@@ -21,6 +21,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner context(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(context, argc, argv);
 
     {
         util::TablePrinter table(
@@ -64,5 +65,6 @@ main(int argc, char **argv)
         table.print(std::cout);
     }
     summary.print(context);
+    bench::reportCache(cache);
     return 0;
 }

@@ -33,6 +33,7 @@ main(int argc, char **argv)
 
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
     const unsigned global_length = runner.globalIndirectLength(bytes);
 
     std::vector<workload::BenchmarkSpec> specs;
@@ -76,5 +77,6 @@ main(int argc, char **argv)
               << bench::rate(reduction_vs_pattern_max)
               << "%  (paper: 24.5% to 94.9%)\n";
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

@@ -11,7 +11,9 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/path_history.h"
 #include "core/path_predictor.h"
 #include "core/profiler.h"
@@ -25,6 +27,14 @@
 namespace {
 
 using namespace vlp;
+
+/** Artifact store shared by BM_ParallelSimulate runners (may be null). */
+std::shared_ptr<store::ArtifactStore> &
+throughputStore()
+{
+    static std::shared_ptr<store::ArtifactStore> store;
+    return store;
+}
 
 trace::VectorTraceSource &
 sharedTrace()
@@ -156,8 +166,10 @@ BM_ParallelSimulate(benchmark::State &state)
     static std::map<unsigned, std::unique_ptr<sim::ParallelRunner>>
         runners;
     auto &runner = runners[jobs];
-    if (!runner)
+    if (!runner) {
         runner = std::make_unique<sim::ParallelRunner>(jobs);
+        runner->setStore(throughputStore());
+    }
 
     const char *const names[] = {"compress", "li", "go", "ijpeg"};
     std::uint64_t branches = 0;
@@ -187,4 +199,48 @@ BENCHMARK(BM_ParallelSimulate)
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but the vlpsim cache flags are consumed
+ * before google-benchmark sees the command line (it rejects unknown
+ * flags).
+ */
+int
+main(int argc, char **argv)
+{
+    const bench::CacheConfig config =
+        bench::parseCacheConfig(argc, argv);
+    if (config.enabled()) {
+        store::StoreOptions options;
+        options.directory = config.directory;
+        options.maxBytes = config.maxBytes;
+        throughputStore() =
+            std::make_shared<store::ArtifactStore>(options);
+    }
+
+    std::vector<char *> filtered;
+    for (int i = 0; i < argc; ++i) {
+        const std::string argument = argv[i];
+        if (argument == "--no-cache")
+            continue;
+        if (argument == "--cache-dir"
+            || argument == "--cache-max-bytes") {
+            ++i; // skip the flag's value too
+            continue;
+        }
+        if (argument.rfind("--cache-dir=", 0) == 0
+            || argument.rfind("--cache-max-bytes=", 0) == 0) {
+            continue;
+        }
+        filtered.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(filtered.size());
+    filtered.push_back(nullptr);
+
+    benchmark::Initialize(&filtered_argc, filtered.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               filtered.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -28,6 +28,7 @@ main(int argc, char **argv)
     sim::TimingParameters parameters;
     bench::RunSummary summary;
     sim::ParallelRunner runner(bench::parseJobs(argc, argv));
+    const auto cache = bench::attachCache(runner, argc, argv);
 
     util::TablePrinter table({"benchmark", "gshare IPC", "VLP IPC",
                               "VLP IPC (with HFNT bubbles)",
@@ -94,5 +95,6 @@ main(int argc, char **argv)
     std::cout << "\nEven charging every HFNT mismatch a re-predict "
                  "bubble, the accuracy win dominates.\n";
     summary.print(runner);
+    bench::reportCache(cache);
     return 0;
 }

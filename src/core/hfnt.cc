@@ -6,6 +6,7 @@
 #include "core/hfnt.h"
 
 #include "util/bits.h"
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace vlp {
@@ -51,6 +52,19 @@ std::size_t
 HashFunctionNumberTable::sizeBytes() const
 {
     return (table_.size() * 5 + 7) / 8;
+}
+
+void
+HashFunctionNumberTable::restore(std::vector<std::uint8_t> table,
+                                 std::uint64_t lookups,
+                                 std::uint64_t mismatches)
+{
+    if (table.size() != std::size_t{1} << indexBits_)
+        util::fatal("restored HFNT table size does not match its "
+                    "index width");
+    table_ = std::move(table);
+    lookups_ = lookups;
+    mismatches_ = mismatches;
 }
 
 } // namespace core

@@ -56,6 +56,22 @@ class HashFunctionNumberTable
     /** Hardware cost: 5 bits per entry (numbers 1..32). */
     std::size_t sizeBytes() const;
 
+    /** Index width j in bits. */
+    unsigned indexBits() const { return indexBits_; }
+
+    /** Raw table contents (serialization hook for the artifact
+     *  store). */
+    const std::vector<std::uint8_t> &rawTable() const { return table_; }
+
+    /**
+     * Adopt previously captured contents and counters (the inverse of
+     * rawTable()/lookups()/mismatches()).
+     * @throws std::runtime_error if the table size does not match
+     *         this table's index width
+     */
+    void restore(std::vector<std::uint8_t> table, std::uint64_t lookups,
+                 std::uint64_t mismatches);
+
   private:
     std::size_t index(std::uint64_t pc) const;
 

@@ -19,7 +19,7 @@ namespace core {
 double
 FixedLengthSweep::rate(unsigned length) const
 {
-    assert(length >= 1 && length <= mispredictions.size());
+    assert(length >= minLength && length <= mispredictions.size());
     if (branches == 0)
         return 0.0;
     return 100.0 * static_cast<double>(mispredictions[length - 1])
@@ -29,10 +29,10 @@ FixedLengthSweep::rate(unsigned length) const
 unsigned
 FixedLengthSweep::bestLength() const
 {
-    assert(!mispredictions.empty());
-    unsigned best = 1;
-    for (unsigned length = 2; length <= mispredictions.size();
-         ++length) {
+    assert(minLength >= 1 && minLength <= mispredictions.size());
+    unsigned best = minLength;
+    for (unsigned length = minLength + 1;
+         length <= mispredictions.size(); ++length) {
         if (mispredictions[length - 1] < mispredictions[best - 1])
             best = length;
     }
@@ -44,8 +44,19 @@ namespace {
 void
 validateOptions(const ProfileOptions &options)
 {
-    if (options.maxLength < 1 || options.maxLength > maxPathLength)
+    if (options.indexBits < 1 || options.indexBits > 30)
+        util::fatal("profile indexBits must be 1..30");
+    if (options.minLength < 1)
+        util::fatal("profile length range must not start at zero");
+    if (options.maxLength > maxPathLength)
         util::fatal("profile maxLength must be 1..32");
+    if (options.minLength > options.maxLength) {
+        util::fatal("profile length range is descending (minLength "
+                    + std::to_string(options.minLength)
+                    + " > maxLength "
+                    + std::to_string(options.maxLength)
+                    + "); it would produce an empty sweep");
+    }
     if (options.candidates < 1)
         util::fatal("profile candidate count must be >= 1");
     if (options.iterations < 1)
@@ -83,6 +94,7 @@ ConditionalProfiler::runStep1(trace::TraceSource &profile_trace)
 
     FixedLengthSweep sweep;
     sweep.mispredictions.assign(num_lengths, 0);
+    sweep.minLength = options_.minLength;
     profiles_.clear();
 
     profile_trace.reset();
@@ -92,7 +104,8 @@ ConditionalProfiler::runStep1(trace::TraceSource &profile_trace)
             BranchProfile &profile = profiles_[record.pc];
             ++profile.executions;
             ++sweep.branches;
-            for (unsigned length = 1; length <= num_lengths; ++length) {
+            for (unsigned length = options_.minLength;
+                 length <= num_lengths; ++length) {
                 const std::size_t idx =
                     static_cast<std::size_t>(bank.index(length));
                 util::SaturatingCounter &counter =
@@ -149,6 +162,33 @@ ConditionalProfiler::profile(trace::TraceSource &profile_trace)
     return runStep2(profile_trace);
 }
 
+namespace {
+
+/** Shared restoreStep1() sanity check. */
+void
+validateRestoredSweep(const FixedLengthSweep &sweep,
+                      const ProfileOptions &options)
+{
+    if (sweep.mispredictions.size() != options.maxLength
+        || sweep.minLength != options.minLength) {
+        util::fatal("restored step-1 sweep does not match the "
+                    "profiler's configured length range");
+    }
+}
+
+} // anonymous namespace
+
+void
+ConditionalProfiler::restoreStep1(
+        FixedLengthSweep sweep,
+        std::unordered_map<std::uint64_t, BranchProfile> profiles)
+{
+    validateRestoredSweep(sweep, options_);
+    sweep_ = std::move(sweep);
+    profiles_ = std::move(profiles);
+    step1Done_ = true;
+}
+
 IndirectProfiler::IndirectProfiler(ProfileOptions options)
     : options_(options)
 {
@@ -167,6 +207,7 @@ IndirectProfiler::runStep1(trace::TraceSource &profile_trace)
 
     FixedLengthSweep sweep;
     sweep.mispredictions.assign(num_lengths, 0);
+    sweep.minLength = options_.minLength;
     profiles_.clear();
 
     profile_trace.reset();
@@ -178,7 +219,8 @@ IndirectProfiler::runStep1(trace::TraceSource &profile_trace)
             ++sweep.branches;
             const std::uint32_t actual =
                 static_cast<std::uint32_t>(record.nextPc);
-            for (unsigned length = 1; length <= num_lengths; ++length) {
+            for (unsigned length = options_.minLength;
+                 length <= num_lengths; ++length) {
                 const std::size_t idx =
                     static_cast<std::size_t>(bank.index(length));
                 std::uint32_t &entry = tables[length - 1][idx];
@@ -235,6 +277,17 @@ IndirectProfiler::profile(trace::TraceSource &profile_trace)
     return runStep2(profile_trace);
 }
 
+void
+IndirectProfiler::restoreStep1(
+        FixedLengthSweep sweep,
+        std::unordered_map<std::uint64_t, BranchProfile> profiles)
+{
+    validateRestoredSweep(sweep, options_);
+    sweep_ = std::move(sweep);
+    profiles_ = std::move(profiles);
+    step1Done_ = true;
+}
+
 CandidateSelector::CandidateSelector(
         const std::unordered_map<std::uint64_t, BranchProfile> &profiles,
         const FixedLengthSweep &sweep, unsigned candidates,
@@ -242,11 +295,16 @@ CandidateSelector::CandidateSelector(
     : defaultLength_(sweep.bestLength())
 {
     for (const auto &[pc, profile] : profiles) {
-        // Rank lengths by step-1 correct count, descending; ties go to
-        // the shorter (cheaper-to-train) length.
-        std::vector<unsigned> order(max_length);
-        for (unsigned length = 1; length <= max_length; ++length)
-            order[length - 1] = length;
+        // Rank the swept lengths by step-1 correct count, descending;
+        // ties go to the shorter (cheaper-to-train) length. Lengths
+        // below the sweep's minLength were never simulated and are
+        // not candidates.
+        std::vector<unsigned> order;
+        order.reserve(max_length - sweep.minLength + 1);
+        for (unsigned length = sweep.minLength; length <= max_length;
+             ++length) {
+            order.push_back(length);
+        }
         std::stable_sort(order.begin(), order.end(),
             [&profile](unsigned a, unsigned b) {
                 if (profile.correct[a - 1] != profile.correct[b - 1])
@@ -256,8 +314,8 @@ CandidateSelector::CandidateSelector(
             });
 
         Entry entry;
-        const unsigned keep =
-            std::min<unsigned>(candidates, max_length);
+        const unsigned keep = std::min<unsigned>(
+            candidates, static_cast<unsigned>(order.size()));
         entry.lengths.assign(order.begin(), order.begin() + keep);
         entry.recorded.assign(keep, untested);
         entries_.emplace(pc, std::move(entry));

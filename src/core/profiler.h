@@ -41,12 +41,21 @@
 namespace vlp {
 namespace core {
 
-/** Profiling parameters. */
+/**
+ * Profiling parameters.
+ *
+ * Validated when a profiler is constructed: a zero or descending
+ * length range (minLength == 0, or minLength > maxLength) is rejected
+ * with an error instead of silently producing an empty sweep, and
+ * indexBits must be 1..30 so the per-length tables stay allocatable.
+ */
 struct ProfileOptions
 {
-    /** Predictor-table index width k. */
+    /** Predictor-table index width k (1..30). */
     unsigned indexBits = 14;
-    /** Number of hash functions N (1..32). */
+    /** Shortest path length swept in step 1 (>= 1). */
+    unsigned minLength = 1;
+    /** Number of hash functions N (minLength..32). */
     unsigned maxLength = maxPathLength;
     /** Candidates kept per static branch after step 1. */
     unsigned candidates = 3;
@@ -57,18 +66,26 @@ struct ProfileOptions
     PathHistoryOptions history = {};
 };
 
-/** Result of simulating all N fixed-length predictors over a trace. */
+/**
+ * Result of simulating the fixed-length predictors for every path
+ * length in [minLength, maxLength] over a trace.
+ */
 struct FixedLengthSweep
 {
-    /** mispredictions[L-1]: total mispredictions at path length L. */
+    /** mispredictions[L-1]: total mispredictions at path length L.
+     *  Entries below minLength were not simulated and stay zero. */
     std::vector<std::uint64_t> mispredictions;
     /** Dynamic branches of the profiled class seen. */
     std::uint64_t branches = 0;
+    /** First path length actually swept. */
+    unsigned minLength = 1;
 
-    /** Misprediction rate (%) at path length @p length. */
+    /** Misprediction rate (%) at path length @p length (must be in
+     *  [minLength, mispredictions.size()]). */
     double rate(unsigned length) const;
 
-    /** Path length with the fewest mispredictions (ties: shortest). */
+    /** Swept path length with the fewest mispredictions (ties:
+     *  shortest). */
     unsigned bestLength() const;
 };
 
@@ -118,6 +135,18 @@ class ConditionalProfiler
         return profiles_;
     }
 
+    /**
+     * Adopt step-1 results computed earlier (e.g. loaded from the
+     * artifact store) instead of running runStep1(). The sweep must
+     * match this profiler's configured length range.
+     */
+    void restoreStep1(
+        FixedLengthSweep sweep,
+        std::unordered_map<std::uint64_t, BranchProfile> profiles);
+
+    /** The options this profiler was constructed with. */
+    const ProfileOptions &options() const { return options_; }
+
   private:
     ProfileOptions options_;
     std::unordered_map<std::uint64_t, BranchProfile> profiles_;
@@ -152,6 +181,15 @@ class IndirectProfiler
     {
         return profiles_;
     }
+
+    /** Adopt step-1 results computed earlier (see
+     *  ConditionalProfiler::restoreStep1()). */
+    void restoreStep1(
+        FixedLengthSweep sweep,
+        std::unordered_map<std::uint64_t, BranchProfile> profiles);
+
+    /** The options this profiler was constructed with. */
+    const ProfileOptions &options() const { return options_; }
 
   private:
     ProfileOptions options_;

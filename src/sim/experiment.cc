@@ -6,15 +6,91 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/path_predictor.h"
 #include "predictors/budget.h"
 #include "predictors/gshare.h"
 #include "predictors/target_cache.h"
+#include "store/artifact_store.h"
+#include "store/cache_key.h"
+#include "store/serialize.h"
 #include "util/logging.h"
 
 namespace vlp {
 namespace sim {
+
+namespace {
+
+/**
+ * Cache-key prefix identifying the workload: benchmark name, trace
+ * generator version, and the global VLPSIM_SCALE (traces are a pure
+ * function of these).
+ */
+store::KeyBuilder
+workloadKey(const std::string &kind,
+            const workload::BenchmarkSpec &spec)
+{
+    store::KeyBuilder builder(kind);
+    builder.field("workload", spec.name)
+        .field("generator",
+               std::uint64_t{workload::generatorVersion})
+        .field("scale", util::workloadScale());
+    return builder;
+}
+
+void
+addProfileFields(store::KeyBuilder &builder,
+                 const core::ProfileOptions &options, bool indirect)
+{
+    builder.field("class", std::string(indirect ? "ind" : "cond"))
+        .field("indexBits", std::uint64_t{options.indexBits})
+        .field("minLength", std::uint64_t{options.minLength})
+        .field("maxLength", std::uint64_t{options.maxLength})
+        .field("rotate", options.history.rotateTargets)
+        .field("returns", options.history.includeReturns)
+        .field("stack", options.history.historyStack)
+        .field("stackDepth",
+               std::uint64_t{options.history.historyStackDepth});
+}
+
+/** Key for a step-1 profile (independent of step-2 parameters). */
+store::CacheKey
+profileKey(const workload::BenchmarkSpec &spec,
+           const core::ProfileOptions &options, bool indirect)
+{
+    store::KeyBuilder builder = workloadKey("profile", spec);
+    addProfileFields(builder, options, indirect);
+    return builder.build();
+}
+
+/** Key for a step-2 assignment (depends on all profile options). */
+store::CacheKey
+assignmentKey(const workload::BenchmarkSpec &spec,
+              const core::ProfileOptions &options, bool indirect)
+{
+    store::KeyBuilder builder = workloadKey("assignment", spec);
+    addProfileFields(builder, options, indirect);
+    builder.field("candidates", std::uint64_t{options.candidates})
+        .field("iterations", std::uint64_t{options.iterations});
+    return builder.build();
+}
+
+/** Key for a full predictor-comparison row. */
+store::CacheKey
+comparisonKey(const workload::BenchmarkSpec &spec, bool indirect,
+              std::size_t bytes, unsigned global_length,
+              bool include_tuned)
+{
+    store::KeyBuilder builder = workloadKey("comparison", spec);
+    builder.field("class", std::string(indirect ? "ind" : "cond"))
+        .field("bytes", std::uint64_t{bytes})
+        .field("globalLength", std::uint64_t{global_length})
+        .field("tuned", include_tuned);
+    return builder.build();
+}
+
+} // anonymous namespace
 
 const RateEntry &
 ComparisonRow::entry(const std::string &predictor) const
@@ -91,6 +167,37 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
 {
     if (entry.step1Done)
         return;
+
+    const bool indirect = entry.indirect != nullptr;
+    const core::ProfileOptions &options =
+        indirect ? entry.indirect->options()
+                 : entry.conditional->options();
+    std::optional<store::CacheKey> key;
+    if (store_) {
+        key = profileKey(spec, options, indirect);
+        if (const auto payload = store_->fetch(*key)) {
+            try {
+                core::FixedLengthSweep sweep;
+                std::unordered_map<std::uint64_t, core::BranchProfile>
+                    profiles;
+                store::decodeStep1Profile(*payload, sweep, profiles);
+                if (indirect) {
+                    entry.indirect->restoreStep1(std::move(sweep),
+                                                 std::move(profiles));
+                } else {
+                    entry.conditional->restoreStep1(
+                        std::move(sweep), std::move(profiles));
+                }
+                entry.step1Done = true;
+                return;
+            } catch (const std::exception &error) {
+                util::warn(std::string("discarding unusable cached "
+                                       "profile: ")
+                           + error.what());
+            }
+        }
+    }
+
     const auto profile_trace = trace(spec, workload::InputKind::Profile);
     profile_trace->reset();
     if (entry.conditional)
@@ -98,6 +205,17 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
     else
         entry.indirect->runStep1(*profile_trace);
     entry.step1Done = true;
+
+    if (store_ && key) {
+        const core::FixedLengthSweep &sweep =
+            indirect ? entry.indirect->step1Sweep()
+                     : entry.conditional->step1Sweep();
+        const auto &profiles = indirect
+            ? entry.indirect->branchProfiles()
+            : entry.conditional->branchProfiles();
+        store_->insert(*key,
+                       store::encodeStep1Profile(sweep, profiles));
+    }
 }
 
 const core::FixedLengthSweep &
@@ -129,13 +247,32 @@ ExperimentContext::conditionalAssignment(
 {
     ProfilerEntry &entry =
         profilerEntry(spec, index_bits, false, history);
-    ensureStep1(entry, spec);
-    if (!entry.assignment) {
-        const auto profile_trace =
-            trace(spec, workload::InputKind::Profile);
-        profile_trace->reset();
-        entry.assignment = entry.conditional->runStep2(*profile_trace);
+    if (entry.assignment)
+        return *entry.assignment;
+
+    // A cached assignment short-circuits both profiling steps; only
+    // probe step 1 (and possibly recompute it) on a miss.
+    std::optional<store::CacheKey> key;
+    if (store_) {
+        key = assignmentKey(spec, entry.conditional->options(), false);
+        if (const auto payload = store_->fetch(*key)) {
+            try {
+                entry.assignment = store::decodeAssignment(*payload);
+                return *entry.assignment;
+            } catch (const std::exception &error) {
+                util::warn(std::string("discarding unusable cached "
+                                       "assignment: ")
+                           + error.what());
+            }
+        }
     }
+
+    ensureStep1(entry, spec);
+    const auto profile_trace = trace(spec, workload::InputKind::Profile);
+    profile_trace->reset();
+    entry.assignment = entry.conditional->runStep2(*profile_trace);
+    if (store_ && key)
+        store_->insert(*key, store::encodeAssignment(*entry.assignment));
     return *entry.assignment;
 }
 
@@ -146,13 +283,30 @@ ExperimentContext::indirectAssignment(const workload::BenchmarkSpec &spec,
 {
     ProfilerEntry &entry =
         profilerEntry(spec, index_bits, true, history);
-    ensureStep1(entry, spec);
-    if (!entry.assignment) {
-        const auto profile_trace =
-            trace(spec, workload::InputKind::Profile);
-        profile_trace->reset();
-        entry.assignment = entry.indirect->runStep2(*profile_trace);
+    if (entry.assignment)
+        return *entry.assignment;
+
+    std::optional<store::CacheKey> key;
+    if (store_) {
+        key = assignmentKey(spec, entry.indirect->options(), true);
+        if (const auto payload = store_->fetch(*key)) {
+            try {
+                entry.assignment = store::decodeAssignment(*payload);
+                return *entry.assignment;
+            } catch (const std::exception &error) {
+                util::warn(std::string("discarding unusable cached "
+                                       "assignment: ")
+                           + error.what());
+            }
+        }
     }
+
+    ensureStep1(entry, spec);
+    const auto profile_trace = trace(spec, workload::InputKind::Profile);
+    profile_trace->reset();
+    entry.assignment = entry.indirect->runStep2(*profile_trace);
+    if (store_ && key)
+        store_->insert(*key, store::encodeAssignment(*entry.assignment));
     return *entry.assignment;
 }
 
@@ -256,12 +410,41 @@ toRateEntry(const PredictorResult &result)
 
 } // anonymous namespace
 
+namespace {
+
+/** Fetch a cached comparison row, or nullopt on miss/corruption. */
+std::optional<ComparisonRow>
+fetchComparisonRow(store::ArtifactStore *store,
+                   const store::CacheKey &key)
+{
+    if (!store)
+        return std::nullopt;
+    const auto payload = store->fetch(key);
+    if (!payload)
+        return std::nullopt;
+    try {
+        return store::decodeComparisonRow(*payload);
+    } catch (const std::exception &error) {
+        util::warn(std::string("discarding unusable cached comparison "
+                               "row: ")
+                   + error.what());
+        return std::nullopt;
+    }
+}
+
+} // anonymous namespace
+
 ComparisonRow
 compareConditional(ExperimentContext &context,
                    const workload::BenchmarkSpec &spec,
                    std::size_t bytes, unsigned global_length,
                    bool include_tuned)
 {
+    const store::CacheKey key =
+        comparisonKey(spec, false, bytes, global_length, include_tuned);
+    if (auto cached = fetchComparisonRow(context.store(), key))
+        return *cached;
+
     const unsigned index_bits = pred::conditionalIndexBits(bytes);
 
     const unsigned tuned_length =
@@ -292,6 +475,8 @@ compareConditional(ExperimentContext &context,
         row.entries.push_back(toRateEntry(result));
     if (include_tuned)
         row.entries[2].predictor = names::flpTuned;
+    if (auto *store = context.store())
+        store->insert(key, store::encodeComparisonRow(row));
     return row;
 }
 
@@ -300,6 +485,11 @@ compareIndirect(ExperimentContext &context,
                 const workload::BenchmarkSpec &spec, std::size_t bytes,
                 unsigned global_length, bool include_tuned)
 {
+    const store::CacheKey key =
+        comparisonKey(spec, true, bytes, global_length, include_tuned);
+    if (auto cached = fetchComparisonRow(context.store(), key))
+        return *cached;
+
     const unsigned index_bits = pred::indirectIndexBits(bytes);
 
     const unsigned tuned_length =
@@ -332,6 +522,8 @@ compareIndirect(ExperimentContext &context,
         row.entries.push_back(toRateEntry(result));
     if (include_tuned)
         row.entries[3].predictor = names::flpTuned;
+    if (auto *store = context.store())
+        store->insert(key, store::encodeComparisonRow(row));
     return row;
 }
 

@@ -71,6 +71,17 @@ class ParallelRunner
     ExperimentContext &context() { return *contexts_.front(); }
 
     /**
+     * Attach one artifact store to every worker context (the store is
+     * internally synchronized; pass nullptr to detach). Call before
+     * submitting work.
+     */
+    void setStore(std::shared_ptr<store::ArtifactStore> store)
+    {
+        for (auto &context : contexts_)
+            context->setStore(store);
+    }
+
+    /**
      * Run fn(context, i) for i in [0, count) across the pool and
      * return the results in index order. fn must only touch the
      * context it is handed plus its own locals; exceptions thrown by

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Artifact store implementation.
+ */
+
+#include "store/artifact_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unistd.h>
+
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace vlp {
+namespace store {
+
+namespace {
+
+constexpr char entryMagic[8] = {'V', 'L', 'P', 'S', 'T', 'O', 'R', '1'};
+constexpr const char *entrySuffix = ".vlpa";
+constexpr const char *statsLogName = "stats.log";
+
+void
+putU32(std::uint8_t *buffer, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void
+putU64(std::uint8_t *buffer, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *buffer)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *buffer)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+/** Entry header: magic, format version, key length. */
+constexpr std::size_t headerBytes = sizeof(entryMagic) + 4 + 4;
+
+std::vector<std::uint8_t>
+buildEntry(const CacheKey &key, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> entry;
+    entry.resize(headerBytes + key.text().size() + 16 + payload.size());
+    std::uint8_t *cursor = entry.data();
+    std::copy(std::begin(entryMagic), std::end(entryMagic), cursor);
+    cursor += sizeof(entryMagic);
+    putU32(cursor, artifactFormatVersion);
+    cursor += 4;
+    putU32(cursor, static_cast<std::uint32_t>(key.text().size()));
+    cursor += 4;
+    std::copy(key.text().begin(), key.text().end(), cursor);
+    cursor += key.text().size();
+    putU64(cursor, payload.size());
+    cursor += 8;
+    putU64(cursor, util::fnv1a(payload.data(), payload.size()));
+    cursor += 8;
+    std::copy(payload.begin(), payload.end(), cursor);
+    return entry;
+}
+
+struct ParsedEntry
+{
+    std::string key;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Read and validate one entry file. nullopt means the file is absent;
+ * a present-but-invalid file sets @p corrupt.
+ */
+std::optional<ParsedEntry>
+readEntry(const fs::path &path, bool &corrupt)
+{
+    corrupt = false;
+    std::FILE *file = std::fopen(path.string().c_str(), "rb");
+    if (file == nullptr)
+        return std::nullopt;
+    std::vector<std::uint8_t> raw;
+    std::uint8_t buffer[1 << 16];
+    std::size_t read;
+    while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        raw.insert(raw.end(), buffer, buffer + read);
+    std::fclose(file);
+
+    if (raw.size() < headerBytes
+        || !std::equal(std::begin(entryMagic), std::end(entryMagic),
+                       raw.begin())
+        || getU32(raw.data() + sizeof(entryMagic))
+               != artifactFormatVersion) {
+        corrupt = true;
+        return std::nullopt;
+    }
+    const std::size_t key_size = getU32(raw.data() + sizeof(entryMagic)
+                                        + 4);
+    if (raw.size() < headerBytes + key_size + 16) {
+        corrupt = true;
+        return std::nullopt;
+    }
+    ParsedEntry entry;
+    entry.key.assign(
+        reinterpret_cast<const char *>(raw.data() + headerBytes),
+        key_size);
+    const std::uint8_t *cursor = raw.data() + headerBytes + key_size;
+    const std::uint64_t payload_size = getU64(cursor);
+    const std::uint64_t checksum = getU64(cursor + 8);
+    if (raw.size() != headerBytes + key_size + 16 + payload_size) {
+        corrupt = true;
+        return std::nullopt;
+    }
+    entry.payload.assign(cursor + 16, cursor + 16 + payload_size);
+    if (util::fnv1a(entry.payload.data(), entry.payload.size())
+        != checksum) {
+        corrupt = true;
+        return std::nullopt;
+    }
+    return entry;
+}
+
+void
+removeQuietly(const fs::path &path)
+{
+    std::error_code error;
+    fs::remove(path, error);
+}
+
+/** All entry files under @p directory/objects. */
+std::vector<fs::path>
+entryFiles(const std::string &directory)
+{
+    std::vector<fs::path> entries;
+    const fs::path objects = fs::path(directory) / "objects";
+    std::error_code error;
+    if (!fs::is_directory(objects, error))
+        return entries;
+    for (fs::recursive_directory_iterator
+             it(objects, fs::directory_options::skip_permission_denied,
+                error),
+         end;
+         it != end; it.increment(error)) {
+        if (error)
+            break;
+        if (it->is_regular_file(error)
+            && it->path().extension() == entrySuffix) {
+            entries.push_back(it->path());
+        }
+    }
+    return entries;
+}
+
+} // anonymous namespace
+
+ArtifactStore::ArtifactStore(StoreOptions options)
+    : directory_(options.directory), maxBytes_(options.maxBytes)
+{
+    if (directory_.empty())
+        util::fatal("artifact store requires a cache directory");
+    std::error_code error;
+    fs::create_directories(fs::path(directory_) / "objects", error);
+    if (error) {
+        util::fatal("cannot create cache directory: " + directory_
+                    + " (" + error.message() + ")");
+    }
+}
+
+ArtifactStore::~ArtifactStore()
+{
+    flushStats();
+}
+
+std::string
+ArtifactStore::objectPath(const CacheKey &key) const
+{
+    return (fs::path(directory_) / key.relativePath()).string();
+}
+
+std::optional<std::vector<std::uint8_t>>
+ArtifactStore::fetch(const CacheKey &key)
+{
+    const fs::path path = objectPath(key);
+    bool corrupt = false;
+    auto entry = readEntry(path, corrupt);
+    // The canonical key string stored in the entry must match the
+    // request: a hash collision (or a renamed file) degrades to a
+    // miss, never to a wrong artifact.
+    if (entry && entry->key != key.text()) {
+        corrupt = true;
+        entry.reset();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (corrupt) {
+        removeQuietly(path);
+        ++counters_.corrupt;
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    if (!entry) {
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    ++counters_.hits;
+    // Refresh the LRU clock; best effort only.
+    std::error_code error;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), error);
+    return std::move(entry->payload);
+}
+
+void
+ArtifactStore::insert(const CacheKey &key,
+                      const std::vector<std::uint8_t> &payload)
+{
+    const fs::path path = objectPath(key);
+    std::error_code error;
+    fs::create_directories(path.parent_path(), error);
+    if (error) {
+        util::warn("cache insert failed (mkdir): " + error.message());
+        return;
+    }
+
+    std::uint64_t temp_id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        temp_id = ++tempCounter_;
+    }
+    // Unique temp name per process and per insert, in the same
+    // directory as the final name so the rename is atomic.
+    const fs::path temp = path.parent_path()
+        / (path.filename().string() + ".tmp."
+           + std::to_string(static_cast<long>(getpid())) + "."
+           + std::to_string(temp_id));
+
+    const std::vector<std::uint8_t> entry = buildEntry(key, payload);
+    std::FILE *file = std::fopen(temp.string().c_str(), "wb");
+    if (file == nullptr) {
+        util::warn("cache insert failed (open): " + temp.string());
+        return;
+    }
+    const bool wrote =
+        std::fwrite(entry.data(), 1, entry.size(), file) == entry.size();
+    const bool flushed = std::fclose(file) == 0;
+    if (!wrote || !flushed) {
+        util::warn("cache insert failed (write): " + temp.string());
+        removeQuietly(temp);
+        return;
+    }
+    fs::rename(temp, path, error);
+    if (error) {
+        util::warn("cache insert failed (rename): " + error.message());
+        removeQuietly(temp);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.inserts;
+    }
+    if (maxBytes_ > 0)
+        collectGarbage();
+}
+
+void
+ArtifactStore::collectGarbage()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    struct Aged
+    {
+        fs::file_time_type mtime;
+        std::uint64_t bytes;
+        fs::path path;
+    };
+    std::vector<Aged> aged;
+    std::uint64_t total = 0;
+    std::error_code error;
+    for (const fs::path &path : entryFiles(directory_)) {
+        Aged entry;
+        entry.path = path;
+        entry.bytes = fs::file_size(path, error);
+        if (error)
+            continue;
+        entry.mtime = fs::last_write_time(path, error);
+        if (error)
+            continue;
+        total += entry.bytes;
+        aged.push_back(std::move(entry));
+    }
+    if (total <= maxBytes_)
+        return;
+    // Oldest first; ties broken by path so eviction is deterministic.
+    std::sort(aged.begin(), aged.end(),
+              [](const Aged &a, const Aged &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    for (const Aged &entry : aged) {
+        if (total <= maxBytes_)
+            break;
+        removeQuietly(entry.path);
+        total -= entry.bytes;
+        ++counters_.evicted;
+    }
+}
+
+StoreCounters
+ArtifactStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+ArtifactStore::flushStats()
+{
+    StoreCounters flushed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flushed = counters_;
+        counters_ = StoreCounters{};
+    }
+    if (flushed.hits == 0 && flushed.misses == 0 && flushed.inserts == 0
+        && flushed.corrupt == 0 && flushed.evicted == 0) {
+        return;
+    }
+    std::ofstream log(fs::path(directory_) / statsLogName,
+                      std::ios::app);
+    if (!log) {
+        util::warn("cannot append to cache stats log in " + directory_);
+        return;
+    }
+    log << "hits=" << flushed.hits << " misses=" << flushed.misses
+        << " inserts=" << flushed.inserts << " corrupt="
+        << flushed.corrupt << " evicted=" << flushed.evicted << "\n";
+}
+
+ArtifactStore::Summary
+ArtifactStore::summarize(const std::string &directory)
+{
+    Summary summary;
+    std::error_code error;
+    for (const fs::path &path : entryFiles(directory)) {
+        ++summary.entries;
+        summary.bytes += fs::file_size(path, error);
+    }
+    std::ifstream log(fs::path(directory) / statsLogName);
+    std::string line;
+    while (std::getline(log, line)) {
+        std::istringstream fields(line);
+        std::string field;
+        while (fields >> field) {
+            const auto equals = field.find('=');
+            if (equals == std::string::npos)
+                continue;
+            const std::string name = field.substr(0, equals);
+            const std::uint64_t value =
+                std::strtoull(field.c_str() + equals + 1, nullptr, 10);
+            if (name == "hits")
+                summary.lifetime.hits += value;
+            else if (name == "misses")
+                summary.lifetime.misses += value;
+            else if (name == "inserts")
+                summary.lifetime.inserts += value;
+            else if (name == "corrupt")
+                summary.lifetime.corrupt += value;
+            else if (name == "evicted")
+                summary.lifetime.evicted += value;
+        }
+    }
+    return summary;
+}
+
+ArtifactStore::VerifyResult
+ArtifactStore::verify(const std::string &directory)
+{
+    VerifyResult result;
+    for (const fs::path &path : entryFiles(directory)) {
+        bool corrupt = false;
+        const auto entry = readEntry(path, corrupt);
+        if (entry && !corrupt) {
+            ++result.ok;
+        } else {
+            ++result.corrupt;
+            removeQuietly(path);
+        }
+    }
+    return result;
+}
+
+std::uint64_t
+ArtifactStore::clear(const std::string &directory)
+{
+    const std::uint64_t entries = entryFiles(directory).size();
+    std::error_code error;
+    fs::remove_all(fs::path(directory) / "objects", error);
+    fs::remove(fs::path(directory) / statsLogName, error);
+    return entries;
+}
+
+} // namespace store
+} // namespace vlp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cache-key derivation for the artifact store.
+ *
+ * A key is a canonical "name=value;" string naming everything the
+ * cached artifact depends on — artifact kind and format version,
+ * workload/trace identity, profiling options, predictor/budget
+ * configuration — plus a 128-bit content hash of that string that
+ * doubles as the entry's on-disk name. The canonical string is stored
+ * inside each entry and compared on every fetch, so even a full hash
+ * collision degrades to a cache miss, never to a wrong artifact.
+ *
+ * Invalidation is by construction: any field change (including a bump
+ * of artifactFormatVersion, stamped into every key) produces a
+ * different hash, so stale entries are simply never addressed again
+ * and age out through the LRU garbage collector.
+ */
+
+#ifndef VLPSIM_STORE_CACHE_KEY_H
+#define VLPSIM_STORE_CACHE_KEY_H
+
+#include <cstdint>
+#include <string>
+
+namespace vlp {
+namespace store {
+
+/**
+ * Version tag stamped into every cache key and entry header. Bump it
+ * whenever serialized artifact layouts or simulation semantics change
+ * so that old entries are invalidated instead of misread.
+ */
+inline constexpr std::uint32_t artifactFormatVersion = 1;
+
+/** A finished cache key: canonical text plus its content hash. */
+class CacheKey
+{
+  public:
+    CacheKey() = default;
+    CacheKey(std::string text, std::uint64_t low, std::uint64_t high)
+        : text_(std::move(text)), low_(low), high_(high)
+    {
+    }
+
+    /** The canonical "name=value;" description. */
+    const std::string &text() const { return text_; }
+
+    /** 32-hex-digit content hash of text(). */
+    std::string hashHex() const;
+
+    /**
+     * Entry location relative to the cache root:
+     * "objects/<first two hex digits>/<hash>.vlpa".
+     */
+    std::string relativePath() const;
+
+  private:
+    std::string text_;
+    std::uint64_t low_ = 0;
+    std::uint64_t high_ = 0;
+};
+
+/**
+ * Builds a CacheKey from ordered fields. The artifact kind and
+ * artifactFormatVersion are stamped first; callers append every input
+ * the artifact depends on. Field order is part of the canonical form,
+ * so derive keys from one place per artifact kind.
+ */
+class KeyBuilder
+{
+  public:
+    /** @param kind artifact kind tag ("profile", "assignment", ...) */
+    explicit KeyBuilder(const std::string &kind);
+
+    KeyBuilder &field(const std::string &name, const std::string &value);
+    KeyBuilder &field(const std::string &name, std::uint64_t value);
+    KeyBuilder &field(const std::string &name, bool value);
+    /** Doubles are canonicalized with %.17g (round-trip exact). */
+    KeyBuilder &field(const std::string &name, double value);
+
+    CacheKey build() const;
+
+  private:
+    std::string text_;
+};
+
+} // namespace store
+} // namespace vlp
+
+#endif // VLPSIM_STORE_CACHE_KEY_H

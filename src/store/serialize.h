@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Binary serialization of profiling artifacts for the artifact store.
+ *
+ * Encodings are little-endian, deterministic (hash-map contents are
+ * written in sorted pc order so identical artifacts always produce
+ * identical bytes — a requirement for a content-checksummed store),
+ * and self-contained: a Decoder throws on truncation and every
+ * artifact decoder calls expectEnd(), so a payload that passed the
+ * store's checksum but has the wrong shape still fails loudly and the
+ * caller falls back to recomputing.
+ */
+
+#ifndef VLPSIM_STORE_SERIALIZE_H
+#define VLPSIM_STORE_SERIALIZE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hfnt.h"
+#include "core/hash_assignment.h"
+#include "core/profiler.h"
+#include "sim/experiment.h"
+
+namespace vlp {
+namespace store {
+
+/** Appends little-endian fields to a byte buffer. */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    /** Doubles are stored as their IEEE-754 bit pattern. */
+    void f64(double value);
+    /** Length-prefixed (u32) byte string. */
+    void str(const std::string &value);
+    void bytes(const std::uint8_t *data, std::size_t size);
+
+    const std::vector<std::uint8_t> &buffer() const { return buffer_; }
+    std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+/** Reads fields written by Encoder; throws on truncation. */
+class Decoder
+{
+  public:
+    explicit Decoder(const std::vector<std::uint8_t> &buffer)
+        : buffer_(buffer)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** Bytes left to read. */
+    std::size_t remaining() const { return buffer_.size() - offset_; }
+
+    /** @throws std::runtime_error if any bytes remain */
+    void expectEnd() const;
+
+  private:
+    const std::uint8_t *need(std::size_t size);
+
+    const std::vector<std::uint8_t> &buffer_;
+    std::size_t offset_ = 0;
+};
+
+/**
+ * Step-1 profiling result: the aggregate sweep plus the per-branch
+ * records — everything restoreStep1() needs.
+ */
+std::vector<std::uint8_t> encodeStep1Profile(
+    const core::FixedLengthSweep &sweep,
+    const std::unordered_map<std::uint64_t, core::BranchProfile>
+        &profiles);
+void decodeStep1Profile(
+    const std::vector<std::uint8_t> &payload,
+    core::FixedLengthSweep &sweep,
+    std::unordered_map<std::uint64_t, core::BranchProfile> &profiles);
+
+/** Step-2 result: the per-branch hash-number assignment. */
+std::vector<std::uint8_t>
+encodeAssignment(const core::HashAssignment &assignment);
+core::HashAssignment
+decodeAssignment(const std::vector<std::uint8_t> &payload);
+
+/** A full predictor-comparison row (suite benchmark result). */
+std::vector<std::uint8_t>
+encodeComparisonRow(const sim::ComparisonRow &row);
+sim::ComparisonRow
+decodeComparisonRow(const std::vector<std::uint8_t> &payload);
+
+/** HFNT contents and counters (bench_ablation / timing artifacts). */
+std::vector<std::uint8_t>
+encodeHfnt(const core::HashFunctionNumberTable &table);
+core::HashFunctionNumberTable
+decodeHfnt(const std::vector<std::uint8_t> &payload);
+
+} // namespace store
+} // namespace vlp
+
+#endif // VLPSIM_STORE_SERIALIZE_H

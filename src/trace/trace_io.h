@@ -2,14 +2,22 @@
  * @file
  * Binary trace file format (.vbt — "vlpsim branch trace").
  *
- * Layout (little-endian):
- *   bytes 0..3   magic "VBT1"
- *   bytes 4..11  record count (uint64)
+ * Current layout (little-endian), version 2:
+ *   bytes 0..3    magic "VBT2"
+ *   bytes 4..11   record count (uint64)
+ *   bytes 12..19  FNV-1a checksum of all record bytes (uint64)
  *   then, per record:
  *     uint8  kind        (BranchKind)
  *     uint8  taken       (0 or 1)
  *     uint64 pc
  *     uint64 nextPc
+ *
+ * Version-1 files ("VBT1" magic, no checksum field) are still read.
+ * The reader validates the file size against the header's record count
+ * at open — a truncated or torn file fails immediately with a clear
+ * error instead of a partial read — and, for VBT2 files, verifies the
+ * checksum once the last record has been consumed, so bit flips
+ * anywhere in the record stream are detected.
  *
  * The format is deliberately trivial so that external traces (e.g.
  * branch streams extracted from ChampSim-style instruction traces) can
@@ -25,11 +33,12 @@
 
 #include "trace/branch_record.h"
 #include "trace/trace_source.h"
+#include "util/checksum.h"
 
 namespace vlp {
 namespace trace {
 
-/** Writes .vbt trace files. */
+/** Writes .vbt trace files (always the current VBT2 format). */
 class TraceWriter
 {
   public:
@@ -39,7 +48,7 @@ class TraceWriter
      */
     explicit TraceWriter(const std::string &path);
 
-    /** Finalizes the record count in the header. */
+    /** Finalizes the record count and checksum in the header. */
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -58,6 +67,7 @@ class TraceWriter
   private:
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;
+    util::Fnv1a checksum_;
 };
 
 /** Reads .vbt trace files as a TraceSource. */
@@ -65,8 +75,10 @@ class TraceReader : public TraceSource
 {
   public:
     /**
-     * Open @p path and validate the header.
-     * @throws std::runtime_error on missing file or bad magic
+     * Open @p path and validate the header, including that the file
+     * holds exactly the record bytes the header promises.
+     * @throws std::runtime_error on missing file, bad magic, or a
+     *         truncated/oversized record stream
      */
     explicit TraceReader(const std::string &path);
 
@@ -75,6 +87,10 @@ class TraceReader : public TraceSource
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
+    /**
+     * @throws std::runtime_error on a corrupt record, or — after the
+     *         final record of a VBT2 file — on a checksum mismatch
+     */
     bool next(BranchRecord &record) override;
 
     void reset() override;
@@ -86,6 +102,11 @@ class TraceReader : public TraceSource
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
+    /** Expected record-stream checksum; 0 for VBT1 (not verified). */
+    std::uint64_t expectedChecksum_ = 0;
+    bool hasChecksum_ = false;
+    long headerBytes_ = 0;
+    util::Fnv1a checksum_;
 };
 
 /** Convenience: read an entire trace file into memory. */

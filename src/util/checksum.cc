@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FNV-1a implementation.
+ */
+
+#include "util/checksum.h"
+
+namespace vlp {
+namespace util {
+
+void
+Fnv1a::update(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t state = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= bytes[i];
+        state *= prime;
+    }
+    state_ = state;
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t seed)
+{
+    Fnv1a hasher(seed);
+    hasher.update(data, size);
+    return hasher.digest();
+}
+
+std::uint64_t
+fnv1a(const std::string &text, std::uint64_t seed)
+{
+    return fnv1a(text.data(), text.size(), seed);
+}
+
+} // namespace util
+} // namespace vlp

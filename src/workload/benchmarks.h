@@ -58,6 +58,14 @@ struct BenchmarkSpec
     std::uint64_t dynamicBudget(double extra = 1.0) const;
 };
 
+/**
+ * Version of the synthetic trace generator, part of every artifact-
+ * cache key. Bump it whenever generateTrace() output can change for an
+ * unchanged (spec, kind, scale) so stale cached profiles are
+ * invalidated instead of reused.
+ */
+constexpr unsigned generatorVersion = 1;
+
 /** Default scale between paper dynamic counts and simulated counts. */
 constexpr double baseScale = 1.0 / 20.0;
 

@@ -124,6 +124,66 @@ TEST(ProfileOptions, Validation)
     EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
 }
 
+TEST(ProfileOptions, RejectsZeroOrDescendingLengthRange)
+{
+    // A zero minimum would sweep "length 0" predictors that cannot
+    // exist; a descending range would silently produce an empty sweep.
+    // Both must fail at construction, for both profiler classes.
+    ProfileOptions bad;
+    bad.minLength = 0;
+    EXPECT_THROW(ConditionalProfiler{bad}, std::runtime_error);
+    EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
+
+    bad = ProfileOptions{};
+    bad.minLength = 9;
+    bad.maxLength = 4;
+    try {
+        ConditionalProfiler profiler(bad);
+        FAIL() << "expected a descending range to be rejected";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("descending"),
+                  std::string::npos)
+            << error.what();
+    }
+    EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
+}
+
+TEST(ProfileOptions, RejectsBadIndexBits)
+{
+    ProfileOptions bad;
+    bad.indexBits = 0;
+    EXPECT_THROW(ConditionalProfiler{bad}, std::runtime_error);
+    bad = ProfileOptions{};
+    bad.indexBits = 31; // a per-length table would need 2^31 entries
+    EXPECT_THROW(IndirectProfiler{bad}, std::runtime_error);
+}
+
+TEST(ConditionalProfiler, RestrictedLengthRangeSweeps)
+{
+    auto trace = twoDistanceTrace(4, 4, 1500, 42);
+    ProfileOptions options;
+    options.indexBits = 12;
+    options.minLength = 3;
+    options.maxLength = 8;
+    ConditionalProfiler profiler(options);
+    const FixedLengthSweep &sweep = profiler.runStep1(trace);
+    EXPECT_EQ(sweep.minLength, 3u);
+    // Lengths below the range were never simulated...
+    EXPECT_EQ(sweep.mispredictions[0], 0u);
+    EXPECT_EQ(sweep.mispredictions[1], 0u);
+    // ...and the best length comes from the swept range only.
+    const unsigned best = sweep.bestLength();
+    EXPECT_GE(best, 3u);
+    EXPECT_LE(best, 8u);
+
+    // The restricted profile still yields a usable assignment whose
+    // lengths all fall inside the range.
+    trace.reset();
+    const auto assignment = profiler.runStep2(trace);
+    EXPECT_GE(assignment.defaultLength(), 3u);
+    EXPECT_LE(assignment.defaultLength(), 8u);
+}
+
 TEST(ConditionalProfiler, Step2RequiresStep1)
 {
     ProfileOptions options;

@@ -1,0 +1,604 @@
+/**
+ * @file
+ * Tests for the artifact store: key derivation, artifact codecs, the
+ * on-disk store itself (hits, corruption recovery, garbage
+ * collection), and the end-to-end caching contract — a warm rerun
+ * must reproduce a cold run bit for bit, serial or parallel.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "sim/experiment.h"
+#include "sim/parallel.h"
+#include "store/artifact_store.h"
+#include "store/cache_key.h"
+#include "store/serialize.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace vlp;
+using namespace vlp::store;
+
+/** A fresh cache directory per test, removed on teardown. */
+class StoreHarness : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        directory_ = testing::TempDir() + "/vlpsim_store_"
+            + ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+        fs::remove_all(directory_);
+    }
+
+    void TearDown() override { fs::remove_all(directory_); }
+
+    ArtifactStore open(std::uint64_t max_bytes = 0)
+    {
+        StoreOptions options;
+        options.directory = directory_;
+        options.maxBytes = max_bytes;
+        return ArtifactStore(options);
+    }
+
+    std::vector<fs::path> entryFiles() const
+    {
+        std::vector<fs::path> files;
+        const fs::path objects = fs::path(directory_) / "objects";
+        if (!fs::exists(objects))
+            return files;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(objects)) {
+            if (entry.is_regular_file()
+                && entry.path().extension() == ".vlpa") {
+                files.push_back(entry.path());
+            }
+        }
+        return files;
+    }
+
+    std::string directory_;
+};
+
+CacheKey
+sampleKey(const std::string &workload = "gcc")
+{
+    KeyBuilder builder("profile");
+    builder.field("workload", workload)
+        .field("indexBits", std::uint64_t{14})
+        .field("scale", 0.05);
+    return builder.build();
+}
+
+std::vector<std::uint8_t>
+samplePayload(std::size_t size = 64, std::uint8_t seed = 7)
+{
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i)
+        payload[i] = static_cast<std::uint8_t>(seed + i * 13);
+    return payload;
+}
+
+TEST(CacheKeyTest, TextIsCanonicalAndVersioned)
+{
+    const CacheKey key = sampleKey();
+    // The artifact kind and format version lead every key, so a
+    // version bump re-addresses every artifact at once.
+    EXPECT_EQ(key.text().rfind("kind=profile;", 0), 0u) << key.text();
+    EXPECT_NE(key.text().find(
+                  "version=" + std::to_string(artifactFormatVersion)),
+              std::string::npos)
+        << key.text();
+    EXPECT_NE(key.text().find("workload=gcc;"), std::string::npos);
+}
+
+TEST(CacheKeyTest, HashIsStableAndFieldSensitive)
+{
+    EXPECT_EQ(sampleKey().hashHex(), sampleKey().hashHex());
+    EXPECT_EQ(sampleKey().hashHex().size(), 32u);
+    EXPECT_NE(sampleKey("gcc").hashHex(), sampleKey("perl").hashHex());
+
+    // Field order and naming matter: a value moving between fields
+    // must not alias.
+    KeyBuilder a("profile");
+    a.field("x", std::uint64_t{1}).field("y", std::uint64_t{2});
+    KeyBuilder b("profile");
+    b.field("x", std::uint64_t{2}).field("y", std::uint64_t{1});
+    EXPECT_NE(a.build().hashHex(), b.build().hashHex());
+}
+
+TEST(CacheKeyTest, RelativePathUsesHashFanout)
+{
+    const CacheKey key = sampleKey();
+    const std::string hex = key.hashHex();
+    EXPECT_EQ(key.relativePath(),
+              "objects/" + hex.substr(0, 2) + "/" + hex + ".vlpa");
+}
+
+TEST(CacheKeyTest, RejectsReservedCharacters)
+{
+    KeyBuilder builder("profile");
+    EXPECT_THROW(builder.field("work=load", std::string("x")),
+                 std::runtime_error);
+    EXPECT_THROW(builder.field("workload", std::string("a;b")),
+                 std::runtime_error);
+}
+
+TEST(SerializeTest, Step1ProfileRoundTrip)
+{
+    core::FixedLengthSweep sweep;
+    sweep.minLength = 2;
+    sweep.mispredictions = {0, 40, 30, 20};
+    sweep.branches = 500;
+    std::unordered_map<std::uint64_t, core::BranchProfile> profiles;
+    for (std::uint64_t pc : {0x400000ull, 0x400040ull, 0x123ull}) {
+        core::BranchProfile profile;
+        profile.executions = static_cast<std::uint32_t>(pc & 0xffff);
+        for (unsigned i = 0; i < core::maxPathLength; ++i)
+            profile.correct[i] = static_cast<std::uint32_t>(pc + i);
+        profiles.emplace(pc, profile);
+    }
+
+    const auto payload = encodeStep1Profile(sweep, profiles);
+    core::FixedLengthSweep decoded_sweep;
+    std::unordered_map<std::uint64_t, core::BranchProfile> decoded;
+    decodeStep1Profile(payload, decoded_sweep, decoded);
+
+    EXPECT_EQ(decoded_sweep.minLength, sweep.minLength);
+    EXPECT_EQ(decoded_sweep.mispredictions, sweep.mispredictions);
+    EXPECT_EQ(decoded_sweep.branches, sweep.branches);
+    ASSERT_EQ(decoded.size(), profiles.size());
+    for (const auto &[pc, profile] : profiles) {
+        ASSERT_TRUE(decoded.count(pc));
+        EXPECT_EQ(decoded.at(pc).executions, profile.executions);
+        EXPECT_EQ(decoded.at(pc).correct, profile.correct);
+    }
+
+    // Deterministic bytes regardless of hash-map iteration order.
+    EXPECT_EQ(encodeStep1Profile(decoded_sweep, decoded), payload);
+}
+
+TEST(SerializeTest, AssignmentRoundTrip)
+{
+    core::HashAssignment assignment(5);
+    assignment.assign(0x400000, 3);
+    assignment.assign(0x400040, 17);
+
+    const auto payload = encodeAssignment(assignment);
+    const core::HashAssignment decoded = decodeAssignment(payload);
+    EXPECT_EQ(decoded.defaultLength(), 5u);
+    EXPECT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded.lookup(0x400000), 3u);
+    EXPECT_EQ(decoded.lookup(0x400040), 17u);
+    EXPECT_EQ(decoded.lookup(0x999999), 5u); // default
+}
+
+TEST(SerializeTest, ComparisonRowRoundTrip)
+{
+    sim::ComparisonRow row;
+    row.benchmark = "gcc";
+    sim::RateEntry entry;
+    entry.predictor = "gshare";
+    entry.branches = 123456;
+    entry.mispredictions = 789;
+    entry.rate = 0.639094; // arbitrary bit pattern, must round-trip
+    row.entries.push_back(entry);
+    entry.predictor = "variable length path";
+    entry.mispredictions = 456;
+    entry.rate = 0.369327;
+    row.entries.push_back(entry);
+
+    const sim::ComparisonRow decoded =
+        decodeComparisonRow(encodeComparisonRow(row));
+    EXPECT_EQ(decoded.benchmark, "gcc");
+    ASSERT_EQ(decoded.entries.size(), 2u);
+    for (std::size_t i = 0; i < row.entries.size(); ++i) {
+        EXPECT_EQ(decoded.entries[i].predictor,
+                  row.entries[i].predictor);
+        EXPECT_EQ(decoded.entries[i].branches,
+                  row.entries[i].branches);
+        EXPECT_EQ(decoded.entries[i].mispredictions,
+                  row.entries[i].mispredictions);
+        // Exact, not approximate: warm reruns must be bit-identical.
+        EXPECT_EQ(decoded.entries[i].rate, row.entries[i].rate);
+    }
+}
+
+TEST(SerializeTest, HfntRoundTrip)
+{
+    core::HashFunctionNumberTable table(4);
+    for (std::uint64_t pc = 0; pc < 40; pc += 4) {
+        table.predictNumber(pc);
+        table.update(pc, static_cast<unsigned>(pc % 31 + 1));
+    }
+    const core::HashFunctionNumberTable decoded =
+        decodeHfnt(encodeHfnt(table));
+    EXPECT_EQ(decoded.indexBits(), table.indexBits());
+    EXPECT_EQ(decoded.lookups(), table.lookups());
+    EXPECT_EQ(decoded.mismatches(), table.mismatches());
+    EXPECT_EQ(decoded.rawTable(), table.rawTable());
+}
+
+TEST(SerializeTest, DecodersRejectDamage)
+{
+    core::HashAssignment assignment(5);
+    assignment.assign(0x400000, 3);
+    auto payload = encodeAssignment(assignment);
+
+    auto truncated = payload;
+    truncated.resize(truncated.size() - 3);
+    EXPECT_THROW(decodeAssignment(truncated), std::runtime_error);
+
+    auto extended = payload;
+    extended.push_back(0);
+    EXPECT_THROW(decodeAssignment(extended), std::runtime_error);
+
+    // An absurd element count must fail fast instead of reserving
+    // gigabytes.
+    std::vector<std::uint8_t> hostile(12, 0xff);
+    EXPECT_THROW(decodeAssignment(hostile), std::runtime_error);
+
+    core::FixedLengthSweep sweep;
+    std::unordered_map<std::uint64_t, core::BranchProfile> profiles;
+    EXPECT_THROW(decodeStep1Profile(hostile, sweep, profiles),
+                 std::runtime_error);
+}
+
+TEST_F(StoreHarness, MissThenInsertThenHit)
+{
+    ArtifactStore store = open();
+    const CacheKey key = sampleKey();
+    EXPECT_FALSE(store.fetch(key).has_value());
+
+    const auto payload = samplePayload();
+    store.insert(key, payload);
+    const auto fetched = store.fetch(key);
+    ASSERT_TRUE(fetched.has_value());
+    EXPECT_EQ(*fetched, payload);
+
+    const StoreCounters counters = store.counters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.inserts, 1u);
+    EXPECT_EQ(counters.hits, 1u);
+    EXPECT_EQ(counters.corrupt, 0u);
+}
+
+TEST_F(StoreHarness, DistinctKeysDoNotAlias)
+{
+    ArtifactStore store = open();
+    store.insert(sampleKey("gcc"), samplePayload(32, 1));
+    store.insert(sampleKey("perl"), samplePayload(32, 2));
+    EXPECT_EQ(*store.fetch(sampleKey("gcc")), samplePayload(32, 1));
+    EXPECT_EQ(*store.fetch(sampleKey("perl")), samplePayload(32, 2));
+}
+
+TEST_F(StoreHarness, InsertOverwritesAtomically)
+{
+    ArtifactStore store = open();
+    const CacheKey key = sampleKey();
+    store.insert(key, samplePayload(32, 1));
+    store.insert(key, samplePayload(48, 2));
+    EXPECT_EQ(*store.fetch(key), samplePayload(48, 2));
+    // No temp files may be left behind.
+    for (const auto &entry :
+         fs::recursive_directory_iterator(directory_)) {
+        EXPECT_EQ(entry.path().string().find(".tmp."),
+                  std::string::npos)
+            << entry.path();
+    }
+}
+
+TEST_F(StoreHarness, CorruptEntryIsEvictedAndRecomputed)
+{
+    ArtifactStore store = open();
+    const CacheKey key = sampleKey();
+    store.insert(key, samplePayload());
+
+    // Flip one payload byte on disk; fetch must detect the damage,
+    // remove the entry, and report a miss.
+    const auto files = entryFiles();
+    ASSERT_EQ(files.size(), 1u);
+    {
+        std::fstream file(files.front(),
+                          std::ios::in | std::ios::out
+                              | std::ios::binary);
+        file.seekg(0, std::ios::end);
+        const auto size = file.tellg();
+        file.seekp(static_cast<long>(size) - 5);
+        file.put(static_cast<char>(0xa5));
+    }
+
+    EXPECT_FALSE(store.fetch(key).has_value());
+    EXPECT_EQ(store.counters().corrupt, 1u);
+    EXPECT_TRUE(entryFiles().empty());
+
+    // The slot is usable again.
+    store.insert(key, samplePayload());
+    EXPECT_TRUE(store.fetch(key).has_value());
+}
+
+TEST_F(StoreHarness, FormatVersionSkewInvalidates)
+{
+    ArtifactStore store = open();
+    const CacheKey key = sampleKey();
+    store.insert(key, samplePayload());
+
+    // Patch the entry's stored format version (the u32 right after
+    // the 8-byte magic): a reader from a different format generation
+    // must treat the entry as corrupt, never misread it.
+    const auto files = entryFiles();
+    ASSERT_EQ(files.size(), 1u);
+    {
+        std::fstream file(files.front(),
+                          std::ios::in | std::ios::out
+                              | std::ios::binary);
+        file.seekp(8);
+        file.put(static_cast<char>(artifactFormatVersion + 1));
+    }
+    EXPECT_FALSE(store.fetch(key).has_value());
+    EXPECT_EQ(store.counters().corrupt, 1u);
+}
+
+TEST_F(StoreHarness, GarbageCollectorEvictsLeastRecentlyUsed)
+{
+    // Budget for roughly two of the three ~1 KiB entries.
+    const auto payload = samplePayload(1024);
+    const std::uint64_t per_entry = 1024 + 256; // payload + header
+    ArtifactStore store = open(2 * per_entry);
+
+    const CacheKey a = sampleKey("aaa");
+    const CacheKey b = sampleKey("bbb");
+    const CacheKey c = sampleKey("ccc");
+    store.insert(a, payload);
+    store.insert(b, payload);
+
+    // Make 'b' the least recently used by explicit timestamps (not
+    // sleeps), marking 'a' as freshly touched.
+    const auto now = fs::last_write_time(entryFiles().front());
+    for (const auto &file : entryFiles()) {
+        const bool is_a = file.string().find(a.hashHex())
+            != std::string::npos;
+        fs::last_write_time(
+            file, is_a ? now : now - std::chrono::seconds(100));
+    }
+
+    store.insert(c, payload); // over budget: must evict 'b'
+    EXPECT_TRUE(store.fetch(a).has_value());
+    EXPECT_FALSE(store.fetch(b).has_value());
+    EXPECT_TRUE(store.fetch(c).has_value());
+    EXPECT_GE(store.counters().evicted, 1u);
+}
+
+TEST_F(StoreHarness, SummarizeVerifyAndClear)
+{
+    {
+        ArtifactStore store = open();
+        store.insert(sampleKey("one"), samplePayload(100));
+        store.insert(sampleKey("two"), samplePayload(200));
+        store.fetch(sampleKey("one"));
+        store.fetch(sampleKey("missing"));
+    } // destructor flushes counters to stats.log
+
+    const auto summary = ArtifactStore::summarize(directory_);
+    EXPECT_EQ(summary.entries, 2u);
+    EXPECT_GT(summary.bytes, 300u);
+    EXPECT_EQ(summary.lifetime.hits, 1u);
+    EXPECT_EQ(summary.lifetime.misses, 1u);
+    EXPECT_EQ(summary.lifetime.inserts, 2u);
+
+    auto verified = ArtifactStore::verify(directory_);
+    EXPECT_EQ(verified.ok, 2u);
+    EXPECT_EQ(verified.corrupt, 0u);
+
+    // Damage one entry; verify must find and remove exactly it.
+    {
+        std::fstream file(entryFiles().front(),
+                          std::ios::in | std::ios::out
+                              | std::ios::binary);
+        file.seekp(-1, std::ios::end);
+        file.put('\x5a');
+    }
+    verified = ArtifactStore::verify(directory_);
+    EXPECT_EQ(verified.ok, 1u);
+    EXPECT_EQ(verified.corrupt, 1u);
+    EXPECT_EQ(entryFiles().size(), 1u);
+
+    EXPECT_EQ(ArtifactStore::clear(directory_), 1u);
+    EXPECT_EQ(ArtifactStore::summarize(directory_).entries, 0u);
+}
+
+/**
+ * End-to-end cache contract on real (scaled-down) workloads. Mirrors
+ * the ParallelHarness scale so the suite stays fast.
+ */
+class CachedExperimentHarness : public StoreHarness
+{
+  protected:
+    void SetUp() override
+    {
+        StoreHarness::SetUp();
+        setenv("VLPSIM_SCALE", "0.05", 1);
+    }
+
+    void TearDown() override
+    {
+        unsetenv("VLPSIM_SCALE");
+        StoreHarness::TearDown();
+    }
+
+    std::shared_ptr<ArtifactStore> openShared()
+    {
+        StoreOptions options;
+        options.directory = directory_;
+        return std::make_shared<ArtifactStore>(options);
+    }
+
+    static std::vector<workload::BenchmarkSpec> specs()
+    {
+        return {workload::findBenchmark("compress"),
+                workload::findBenchmark("li"),
+                workload::findBenchmark("go"),
+                workload::findBenchmark("ijpeg")};
+    }
+};
+
+void
+expectIdenticalRows(const std::vector<sim::ComparisonRow> &cold,
+                    const std::vector<sim::ComparisonRow> &warm)
+{
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].benchmark, warm[i].benchmark);
+        ASSERT_EQ(cold[i].entries.size(), warm[i].entries.size());
+        for (std::size_t j = 0; j < cold[i].entries.size(); ++j) {
+            const auto &a = cold[i].entries[j];
+            const auto &b = warm[i].entries[j];
+            EXPECT_EQ(a.predictor, b.predictor);
+            EXPECT_EQ(a.branches, b.branches);
+            EXPECT_EQ(a.mispredictions, b.mispredictions);
+            // Bit-identical: cached artifacts carry the exact
+            // integer counters, not rounded rates.
+            EXPECT_EQ(a.rate, b.rate);
+        }
+    }
+}
+
+TEST_F(CachedExperimentHarness, WarmRunMatchesColdRunSerially)
+{
+    const auto suite = specs();
+    std::vector<sim::ComparisonRow> cold;
+    {
+        sim::ParallelRunner runner(1);
+        runner.setStore(openShared());
+        cold = runner.compareConditionalSuite(suite, 4096, 5);
+        EXPECT_EQ(runner.context().store()->counters().hits, 0u);
+    }
+    {
+        sim::ParallelRunner runner(1);
+        const auto store = openShared();
+        runner.setStore(store);
+        const auto warm =
+            runner.compareConditionalSuite(suite, 4096, 5);
+        expectIdenticalRows(cold, warm);
+        // Every row came from the cache: no misses, no new inserts.
+        const StoreCounters counters = store->counters();
+        EXPECT_EQ(counters.hits, suite.size());
+        EXPECT_EQ(counters.misses, 0u);
+        EXPECT_EQ(counters.inserts, 0u);
+    }
+}
+
+TEST_F(CachedExperimentHarness, WarmRunMatchesColdRunInParallel)
+{
+    const auto suite = specs();
+    std::vector<sim::ComparisonRow> cold;
+    {
+        // Cold population runs with four workers sharing the store.
+        sim::ParallelRunner runner(4);
+        runner.setStore(openShared());
+        cold = runner.compareIndirectSuite(suite, 512, 3);
+    }
+    {
+        sim::ParallelRunner warm_parallel(4);
+        warm_parallel.setStore(openShared());
+        expectIdenticalRows(
+            cold, warm_parallel.compareIndirectSuite(suite, 512, 3));
+    }
+    {
+        // A serial consumer of the parallel-written cache agrees too.
+        sim::ParallelRunner warm_serial(1);
+        warm_serial.setStore(openShared());
+        expectIdenticalRows(
+            cold, warm_serial.compareIndirectSuite(suite, 512, 3));
+    }
+}
+
+TEST_F(CachedExperimentHarness, CachedRunMatchesUncachedRun)
+{
+    const auto suite = specs();
+    sim::ParallelRunner uncached(1);
+    const auto expected =
+        uncached.compareConditionalSuite(suite, 4096, 5);
+
+    sim::ParallelRunner cached(1);
+    cached.setStore(openShared());
+    expectIdenticalRows(
+        expected, cached.compareConditionalSuite(suite, 4096, 5));
+}
+
+TEST_F(CachedExperimentHarness, PoisonedEntryIsEvictedAndRecomputed)
+{
+    const auto suite = specs();
+    std::vector<sim::ComparisonRow> cold;
+    {
+        sim::ParallelRunner runner(1);
+        runner.setStore(openShared());
+        cold = runner.compareConditionalSuite(suite, 4096, 5);
+    }
+
+    // Flip one byte in every cached entry's payload region.
+    for (const auto &file : entryFiles()) {
+        std::fstream stream(file, std::ios::in | std::ios::out
+                                      | std::ios::binary);
+        stream.seekp(-3, std::ios::end);
+        char byte = 0;
+        stream.seekg(-3, std::ios::end);
+        stream.get(byte);
+        stream.seekp(-3, std::ios::end);
+        stream.put(static_cast<char>(byte ^ 0x40));
+    }
+
+    sim::ParallelRunner runner(1);
+    const auto store = openShared();
+    runner.setStore(store);
+    const auto recovered =
+        runner.compareConditionalSuite(suite, 4096, 5);
+    expectIdenticalRows(cold, recovered);
+
+    // Each poisoned row was detected, evicted, and recomputed.
+    const StoreCounters counters = store->counters();
+    EXPECT_GE(counters.corrupt, suite.size());
+    EXPECT_GE(counters.inserts, suite.size());
+    EXPECT_EQ(counters.hits, 0u);
+
+    // The freshly rewritten cache serves hits again.
+    sim::ParallelRunner rewarm(1);
+    const auto rewarm_store = openShared();
+    rewarm.setStore(rewarm_store);
+    expectIdenticalRows(
+        cold, rewarm.compareConditionalSuite(suite, 4096, 5));
+    EXPECT_EQ(rewarm_store->counters().corrupt, 0u);
+    EXPECT_EQ(rewarm_store->counters().hits, suite.size());
+}
+
+TEST_F(CachedExperimentHarness, WarmRunSkipsStepOneSweeps)
+{
+    const auto &spec = workload::findBenchmark("compress");
+    {
+        sim::ExperimentContext context;
+        context.setStore(openShared());
+        context.conditionalSweep(spec, 12);
+        context.conditionalAssignment(spec, 12);
+    }
+    sim::ExperimentContext warm;
+    const auto store = openShared();
+    warm.setStore(store);
+    // The assignment fetch must satisfy the request outright — step 1
+    // is never consulted, so a warm rerun skips the sweeps entirely.
+    warm.conditionalAssignment(spec, 12);
+    EXPECT_EQ(store->counters().hits, 1u);
+    EXPECT_EQ(store->counters().misses, 0u);
+}
+
+} // anonymous namespace

@@ -5,9 +5,11 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 
 #include "trace/branch_record.h"
 #include "trace/text_io.h"
@@ -183,15 +185,126 @@ TEST(TraceIo, CorruptKindFails)
         TraceWriter writer(path);
         writer.write(make(4, 8, true, BranchKind::Conditional));
     }
-    // Overwrite the record's kind byte with garbage.
+    // Overwrite the record's kind byte (first byte after the 20-byte
+    // VBT2 header) with garbage.
     std::FILE *file = std::fopen(path.c_str(), "rb+");
-    std::fseek(file, 12, SEEK_SET);
+    std::fseek(file, 20, SEEK_SET);
     std::fputc(0x7f, file);
     std::fclose(file);
 
     TraceReader reader(path);
     BranchRecord record;
     EXPECT_THROW(reader.next(record), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileFailsAtOpen)
+{
+    const std::string path = tempPath("truncated.vbt");
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 8; ++i) {
+            writer.write(make(4 * i, 4 * i + 4, true,
+                              BranchKind::Conditional));
+        }
+    }
+    // Chop the last record in half, as a torn copy or full disk would.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    ASSERT_EQ(truncate(path.c_str(), size - 9), 0);
+
+    try {
+        TraceReader reader(path);
+        FAIL() << "expected TraceReader to reject a truncated file";
+    } catch (const std::runtime_error &error) {
+        // The error must name the file and the size discrepancy.
+        const std::string what = error.what();
+        EXPECT_NE(what.find("truncated or corrupt"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ShortHeaderFailsAtOpen)
+{
+    const std::string path = tempPath("shortheader.vbt");
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    std::fputs("VBT2", file); // magic only, no count/checksum
+    std::fclose(file);
+    EXPECT_THROW(TraceReader reader(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BitFlipFailsChecksum)
+{
+    const std::string path = tempPath("bitflip.vbt");
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 8; ++i) {
+            writer.write(make(4 * i, 4 * i + 4, i % 2 == 0,
+                              BranchKind::Conditional));
+        }
+    }
+    // Flip one bit inside a pc field: the size and every kind/taken
+    // byte stay plausible, so only the checksum can catch it.
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    std::fseek(file, 20 + 2 * 18 + 5, SEEK_SET);
+    const int original = std::fgetc(file);
+    std::fseek(file, -1, SEEK_CUR);
+    std::fputc(original ^ 0x10, file);
+    std::fclose(file);
+
+    TraceReader reader(path);
+    BranchRecord record;
+    try {
+        while (reader.next(record)) {
+        }
+        FAIL() << "expected a checksum mismatch";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("checksum"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReadsLegacyV1Files)
+{
+    const std::string path = tempPath("legacy.vbt");
+    // Hand-write a VBT1 file (12-byte header, no checksum): the reader
+    // must stay able to consume traces written before VBT2.
+    const BranchRecord record =
+        make(0x400000, 0x400010, true, BranchKind::Conditional);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    std::fputs("VBT1", file);
+    const std::uint64_t count = 1;
+    std::fwrite(&count, 8, 1, file); // little-endian host assumed below
+    std::uint8_t buffer[18] = {};
+    buffer[0] = static_cast<std::uint8_t>(record.kind);
+    buffer[1] = 1;
+    std::memcpy(buffer + 2, &record.pc, 8);
+    std::memcpy(buffer + 10, &record.nextPc, 8);
+    std::fwrite(buffer, 1, sizeof(buffer), file);
+    std::fclose(file);
+
+    const VectorTraceSource loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.records()[0], record);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, V1SizeMismatchFailsAtOpen)
+{
+    const std::string path = tempPath("legacy_bad.vbt");
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    std::fputs("VBT1", file);
+    const std::uint64_t count = 5; // promises 5 records, provides none
+    std::fwrite(&count, 8, 1, file);
+    std::fclose(file);
+    EXPECT_THROW(TraceReader reader(path), std::runtime_error);
     std::remove(path.c_str());
 }
 

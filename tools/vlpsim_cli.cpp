@@ -20,12 +20,20 @@
  *       Rank the conditional branches by their contribution to
  *       gshare's mispredictions and show what a path predictor does
  *       with each — the per-branch view behind the paper's averages.
- *   suite <cond|ind> <bytes> [--jobs N]
+ *   suite <cond|ind> <bytes> [--jobs N] [cache flags]
  *       Profile and compare the paper's predictors over the whole
  *       benchmark suite, sharded benchmark-per-worker across the
  *       parallel experiment engine (--jobs 1 forces the serial path;
  *       the default is one worker per hardware thread). Output is
- *       bit-identical for every --jobs value.
+ *       bit-identical for every --jobs value. With --cache-dir DIR
+ *       (or VLPSIM_CACHE_DIR), profiling artifacts are kept in an
+ *       on-disk store, so a warm rerun skips the fixed-length sweeps
+ *       and prints byte-identical results; --cache-max-bytes N bounds
+ *       the store, --no-cache disables it.
+ *   cache <stats|verify|clear> <dir>
+ *       Inspect the artifact cache: stats prints entry counts, bytes,
+ *       and lifetime hit/miss counters; verify re-validates every
+ *       entry's checksum (removing corrupt ones); clear empties it.
  *   import <in.txt> <out.vbt> / export <in.vbt> <out.txt>
  *       Convert between the text trace format (one branch per line —
  *       the adapter path for external tools) and the binary format.
@@ -36,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +57,7 @@
 #include "sim/experiment.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
+#include "store/artifact_store.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
@@ -72,6 +82,9 @@ usage()
         "  vlpsim eval <trace.vbt> <bytes> <cond|ind> [assignment]\n"
         "  vlpsim top <trace.vbt> <bytes> [count]\n"
         "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
+        "         [--cache-dir DIR] [--cache-max-bytes N] "
+        "[--no-cache]\n"
+        "  vlpsim cache <stats|verify|clear> <dir>\n"
         "  vlpsim import <in.txt> <out.vbt>\n"
         "  vlpsim export <in.vbt> <out.txt>\n";
     return 2;
@@ -103,6 +116,55 @@ parseJobs(int argc, char **argv)
         return static_cast<unsigned>(jobs);
     }
     return 0;
+}
+
+/** A flag's value at argv[i], advancing @p i for `--flag value`. */
+std::string
+flagValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    const std::string argument = argv[i];
+    if (argument.size() > flag.size())
+        return argument.substr(flag.size() + 1); // "--flag=value"
+    if (i + 1 >= argc)
+        util::fatal(flag + " requires a value");
+    return argv[++i];
+}
+
+/**
+ * Open the artifact store configured by --cache-dir/--cache-max-bytes/
+ * --no-cache (VLPSIM_CACHE_DIR supplies the directory when the flag is
+ * absent). Returns null when caching is off.
+ */
+std::shared_ptr<store::ArtifactStore>
+openCache(int argc, char **argv)
+{
+    store::StoreOptions options;
+    if (const char *env = std::getenv("VLPSIM_CACHE_DIR"))
+        options.directory = env;
+    bool disabled = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string argument = argv[i];
+        if (argument == "--no-cache") {
+            disabled = true;
+        } else if (argument == "--cache-dir"
+                   || argument.rfind("--cache-dir=", 0) == 0) {
+            options.directory =
+                flagValue(argc, argv, i, "--cache-dir");
+        } else if (argument == "--cache-max-bytes"
+                   || argument.rfind("--cache-max-bytes=", 0) == 0) {
+            const std::string value =
+                flagValue(argc, argv, i, "--cache-max-bytes");
+            char *end = nullptr;
+            options.maxBytes =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                util::fatal("malformed --cache-max-bytes value: "
+                            + value);
+        }
+    }
+    if (disabled || options.directory.empty())
+        return nullptr;
+    return std::make_shared<store::ArtifactStore>(options);
 }
 
 workload::InputKind
@@ -338,6 +400,9 @@ cmdSuite(int argc, char **argv)
 
     const auto start = std::chrono::steady_clock::now();
     sim::ParallelRunner runner(parseJobs(argc, argv));
+    const auto cache = openCache(argc, argv);
+    if (cache)
+        runner.setStore(cache);
     const auto &suite = workload::benchmarkSuite();
 
     const unsigned global_length = indirect
@@ -377,7 +442,51 @@ cmdSuite(int argc, char **argv)
               << util::formatScaled(
                      static_cast<std::uint64_t>(per_second))
               << " branches/s; jobs=" << runner.jobs() << ")\n";
+    if (cache) {
+        const store::StoreCounters counters = cache->counters();
+        std::cerr << "cache: " << counters.hits << " hits, "
+                  << counters.misses << " misses, "
+                  << counters.inserts << " inserts";
+        if (counters.corrupt > 0)
+            std::cerr << ", " << counters.corrupt << " corrupt";
+        if (counters.evicted > 0)
+            std::cerr << ", " << counters.evicted << " evicted";
+        std::cerr << "\n";
+    }
     return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string action = argv[2];
+    const std::string directory = argv[3];
+    if (action == "stats") {
+        const auto summary = store::ArtifactStore::summarize(directory);
+        std::cout << "cache " << directory << ": " << summary.entries
+                  << " entries, " << summary.bytes << " bytes\n"
+                  << "lifetime: " << summary.lifetime.hits << " hits, "
+                  << summary.lifetime.misses << " misses, "
+                  << summary.lifetime.inserts << " inserts, "
+                  << summary.lifetime.corrupt << " corrupt, "
+                  << summary.lifetime.evicted << " evicted\n";
+        return 0;
+    }
+    if (action == "verify") {
+        const auto result = store::ArtifactStore::verify(directory);
+        std::cout << result.ok << " entries ok, " << result.corrupt
+                  << " corrupt (removed)\n";
+        return result.corrupt == 0 ? 0 : 1;
+    }
+    if (action == "clear") {
+        const std::uint64_t removed =
+            store::ArtifactStore::clear(directory);
+        std::cout << "removed " << removed << " entries\n";
+        return 0;
+    }
+    return usage();
 }
 
 int
@@ -427,6 +536,8 @@ main(int argc, char **argv)
             return cmdTop(argc, argv);
         if (command == "suite")
             return cmdSuite(argc, argv);
+        if (command == "cache")
+            return cmdCache(argc, argv);
         if (command == "import")
             return cmdImport(argc, argv);
         if (command == "export")
