@@ -5,6 +5,7 @@
 
 #include "core/path_history.h"
 
+#include <bit>
 #include <cassert>
 
 #include "util/bits.h"
@@ -21,8 +22,17 @@ PathIndexBank::PathIndexBank(unsigned index_bits,
         util::fatal("path index width must be 1..32 bits");
     if (options_.depth < 1 || options_.depth > maxPathLength)
         util::fatal("THB depth must be 1..32");
-    thb_.assign(options_.depth, 0);
-    indices_.assign(options_.depth, 0);
+    // depth + 1 slots: the current sum plus the depth past sums the
+    // index() reconstruction reaches back to.
+    const unsigned capacity = std::bit_ceil(options_.depth + 1);
+    thbMask_ = capacity - 1;
+    thb_.assign(capacity, 0);
+    sums_.assign(capacity, 0);
+    indexMask_ = util::mask(indexBits_);
+    rotAmounts_.resize(options_.depth);
+    for (unsigned length = 1; length <= options_.depth; ++length)
+        rotAmounts_[length - 1] =
+            options_.rotateTargets ? length % indexBits_ : 0;
 }
 
 std::uint64_t
@@ -45,11 +55,13 @@ PathIndexBank::observe(const trace::BranchRecord &record)
             if (snapshots_.size() >= options_.historyStackDepth)
                 snapshots_.erase(snapshots_.begin());
             snapshots_.push_back(
-                Snapshot{thb_, indices_, occupancy_});
+                Snapshot{thb_, sums_, pathSum_, head_, occupancy_});
         } else if (record.isReturn() && !snapshots_.empty()) {
             Snapshot &saved = snapshots_.back();
             thb_ = std::move(saved.thb);
-            indices_ = std::move(saved.indices);
+            sums_ = std::move(saved.sums);
+            pathSum_ = saved.pathSum;
+            head_ = saved.head;
             occupancy_ = saved.occupancy;
             snapshots_.pop_back();
             return;
@@ -64,32 +76,25 @@ PathIndexBank::insert(std::uint64_t target)
 {
     const std::uint64_t compressed = compress(target);
 
-    // Update the partial-sum registers, longest first so each reads
-    // its predecessor's pre-insertion value:
-    //   I_X(new) = rotl(I_{X-1}(old), 1) XOR T_new.
+    // One rotate-and-XOR maintains every hash function at once:
+    //   S_t = rotl(S_{t-1}, 1) XOR T_t,
+    //   I_X = S_t XOR rotl(S_{t-X}, X)     (see the header comment).
     // Without rotation the ordering information is lost (ablation).
-    for (unsigned x = options_.depth; x-- > 1;) {
-        const std::uint64_t prev = indices_[x - 1];
-        indices_[x] = options_.rotateTargets
-            ? util::rotl(prev, 1, indexBits_) ^ compressed
-            : prev ^ compressed;
-    }
-    indices_[0] = compressed;
+    // The k=1 edge case degenerates correctly: (s << 1 | s) & 1 == s,
+    // matching rotl(s, 1, 1) == s.
+    if (options_.rotateTargets)
+        pathSum_ = ((pathSum_ << 1) | (pathSum_ >> (indexBits_ - 1)))
+                 & indexMask_;
+    pathSum_ ^= compressed;
 
-    // Shift the THB itself.
-    for (unsigned i = options_.depth; i-- > 1;)
-        thb_[i] = thb_[i - 1];
-    thb_[0] = compressed;
+    // Ring-buffer insert: step the head back one slot instead of
+    // shifting all depth entries.
+    head_ = (head_ - 1) & thbMask_;
+    thb_[head_] = compressed;
+    sums_[head_] = pathSum_;
 
     if (occupancy_ < options_.depth)
         ++occupancy_;
-}
-
-std::uint64_t
-PathIndexBank::index(unsigned length) const
-{
-    assert(length >= 1 && length <= options_.depth);
-    return indices_[length - 1];
 }
 
 std::uint64_t
@@ -98,9 +103,10 @@ PathIndexBank::directIndex(unsigned length) const
     assert(length >= 1 && length <= options_.depth);
     std::uint64_t result = 0;
     for (unsigned i = 0; i < length; ++i) {
+        const std::uint64_t entry = thb_[(head_ + i) & thbMask_];
         result ^= options_.rotateTargets
-            ? util::rotl(thb_[i], i, indexBits_)
-            : thb_[i];
+            ? util::rotl(entry, i, indexBits_)
+            : entry;
     }
     return result;
 }
@@ -109,14 +115,16 @@ std::uint64_t
 PathIndexBank::target(unsigned i) const
 {
     assert(i >= 1 && i <= options_.depth);
-    return thb_[i - 1];
+    return thb_[(head_ + i - 1) & thbMask_];
 }
 
 void
 PathIndexBank::clear()
 {
-    thb_.assign(options_.depth, 0);
-    indices_.assign(options_.depth, 0);
+    thb_.assign(thb_.size(), 0);
+    sums_.assign(sums_.size(), 0);
+    pathSum_ = 0;
+    head_ = 0;
     occupancy_ = 0;
     snapshots_.clear();
 }

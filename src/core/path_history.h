@@ -18,14 +18,23 @@
  *
  *     I_X(new) = rotl(I_{X-1}(old), 1) XOR T_new
  *
- * PathIndexBank implements exactly this recurrence; directIndex()
- * recomputes an index from the buffered targets the slow way so tests
- * can prove the two always agree.
+ * PathIndexBank computes the same values with O(1) work per insert
+ * instead of O(N): because rotation distributes over XOR, the single
+ * running sum
+ *
+ *     S_t = rotl(S_{t-1}, 1) XOR T_t
+ *
+ * satisfies I_X(t) = S_t XOR rotl(S_{t-X}, X), so one register plus a
+ * ring of the last N sums replaces the N-register update (the
+ * hardware still pays N registers — historyBytes() is unchanged).
+ * directIndex() recomputes an index from the buffered targets the
+ * slow way so tests can prove the representations always agree.
  */
 
 #ifndef VLPSIM_CORE_PATH_HISTORY_H
 #define VLPSIM_CORE_PATH_HISTORY_H
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -92,15 +101,28 @@ class PathIndexBank
     void insert(std::uint64_t target);
 
     /**
-     * Index produced by hash function HF_length.
+     * Index produced by hash function HF_length: the running path sum
+     * XOR the rotated sum from @p length inserts ago (see the file
+     * comment). Inline — this is the profiling kernel's hot read.
      * @param length path length, 1..depth()
      */
-    std::uint64_t index(unsigned length) const;
+    std::uint64_t
+    index(unsigned length) const
+    {
+        assert(length >= 1 && length <= options_.depth);
+        // Sums are k-bit clean, so the rotate is two shifts and a
+        // mask; a zero amount degenerates correctly (s >> k == 0).
+        const std::uint64_t s = sums_[(head_ + length) & thbMask_];
+        const unsigned amount = rotAmounts_[length - 1];
+        return pathSum_
+            ^ (((s << amount) | (s >> (indexBits_ - amount)))
+               & indexMask_);
+    }
 
     /**
      * Reference recomputation of HF_length directly from the buffered
      * targets (rotate-and-XOR tree). Used by tests to validate the
-     * incremental "partial sum" maintenance; O(length).
+     * incremental running-sum maintenance; O(length).
      */
     std::uint64_t directIndex(unsigned length) const;
 
@@ -119,6 +141,32 @@ class PathIndexBank
     /** History construction options. */
     const PathHistoryOptions &options() const { return options_; }
 
+    /**
+     * Raw state snapshot for vectorized profiling kernels: everything
+     * index() reads, as plain pointers and scalars. sums[(head + L) &
+     * mask] rotated left by rotAmounts[L - 1] (as an indexBits-bit
+     * value) XOR pathSum reproduces index(L) exactly. Take a fresh
+     * view after every insert.
+     */
+    struct RawView
+    {
+        const std::uint64_t *sums;
+        const unsigned *rotAmounts;
+        std::uint64_t pathSum;
+        std::uint64_t indexMask;
+        unsigned head;
+        unsigned mask;
+        unsigned indexBits;
+    };
+
+    /** See RawView. */
+    RawView
+    rawView() const
+    {
+        return {sums_.data(), rotAmounts_.data(), pathSum_,
+                indexMask_,   head_,              thbMask_, indexBits_};
+    }
+
     /** Clear all history. */
     void clear();
 
@@ -134,16 +182,35 @@ class PathIndexBank
     struct Snapshot
     {
         std::vector<std::uint64_t> thb;
-        std::vector<std::uint64_t> indices;
+        std::vector<std::uint64_t> sums;
+        std::uint64_t pathSum = 0;
+        unsigned head = 0;
         unsigned occupancy = 0;
     };
 
     unsigned indexBits_;
     PathHistoryOptions options_;
-    /** thb_[0] is the most recent compressed target. */
+    /**
+     * The THB as a ring buffer: thb_[head_] is the most recent
+     * compressed target and older targets follow at ascending
+     * (masked) offsets. The capacity is depth + 1 rounded up to a
+     * power of two so target() is a masked read, and insert() is a
+     * single head decrement instead of an O(depth) shift.
+     */
     std::vector<std::uint64_t> thb_;
-    /** indices_[x] holds I_{x+1}. */
-    std::vector<std::uint64_t> indices_;
+    /** Capacity mask for thb_ and sums_ (capacity - 1). */
+    unsigned thbMask_;
+    /** Ring position of the most recent target. */
+    unsigned head_ = 0;
+    /** Running path sum S_t (k-bit clean). */
+    std::uint64_t pathSum_ = 0;
+    /** Past path sums, sharing head_: sums_[(head_ + X) & thbMask_]
+     *  is S_{t-X} (the capacity leaves room for S_{t-depth}). */
+    std::vector<std::uint64_t> sums_;
+    /** rotAmounts_[X - 1] = X mod k, or 0 with rotateTargets off. */
+    std::vector<unsigned> rotAmounts_;
+    /** Mask of the low indexBits_ bits. */
+    std::uint64_t indexMask_;
     unsigned occupancy_ = 0;
     /** Saved snapshots, newest last (historyStack extension). */
     std::vector<Snapshot> snapshots_;

@@ -14,7 +14,7 @@ PathConditionalPredictor::PathConditionalPredictor(
     : bank_(index_bits, options),
       assignment_(fixed_length),
       variable_(false),
-      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+      table_(std::size_t{1} << index_bits, 2)
 {
 }
 
@@ -24,7 +24,7 @@ PathConditionalPredictor::PathConditionalPredictor(
     : bank_(index_bits, options),
       assignment_(std::move(assignment)),
       variable_(true),
-      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+      table_(std::size_t{1} << index_bits, 2)
 {
 }
 
@@ -40,13 +40,13 @@ PathConditionalPredictor::tableIndex(std::uint64_t pc) const
 bool
 PathConditionalPredictor::predict(const trace::BranchRecord &branch)
 {
-    return table_[tableIndex(branch.pc)].predictTaken();
+    return table_.predictTaken(tableIndex(branch.pc));
 }
 
 void
 PathConditionalPredictor::update(const trace::BranchRecord &branch)
 {
-    table_[tableIndex(branch.pc)].update(branch.taken);
+    table_.update(tableIndex(branch.pc), branch.taken);
 }
 
 void
@@ -64,7 +64,7 @@ PathConditionalPredictor::name() const
 std::size_t
 PathConditionalPredictor::sizeBytes() const
 {
-    return table_.size() / 4;
+    return table_.sizeBytes();
 }
 
 PathIndirectPredictor::PathIndirectPredictor(unsigned index_bits,

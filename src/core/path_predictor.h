@@ -18,7 +18,7 @@
 #include "core/hash_assignment.h"
 #include "core/path_history.h"
 #include "predictors/predictor.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace core {
@@ -69,7 +69,7 @@ class PathConditionalPredictor : public pred::ConditionalPredictor
     PathIndexBank bank_;
     HashAssignment assignment_;
     bool variable_;
-    std::vector<util::SaturatingCounter> table_;
+    util::PackedCounterTable table_;
 };
 
 /**

@@ -61,6 +61,16 @@ struct ProfileOptions
     unsigned candidates = 3;
     /** Step-2 iterations (must be >= 1; the paper uses 7). */
     unsigned iterations = 7;
+    /**
+     * Worker threads for the step-1 fixed-length sweep: the
+     * [minLength, maxLength] range is sharded across this many
+     * workers, each replaying the trace with its own PathIndexBank
+     * and private tables (per-length results are independent, so the
+     * merged output is bit-identical to a serial sweep). 1 runs the
+     * sweep inline; 0 means one worker per hardware thread. Not part
+     * of any cache key — it never changes results, only wall-clock.
+     */
+    unsigned jobs = 1;
     /** Path history construction options (depth is forced to
      *  maxLength). */
     PathHistoryOptions history = {};
@@ -92,10 +102,33 @@ struct FixedLengthSweep
 /** Per-static-branch step-1 profile record. */
 struct BranchProfile
 {
+    /** Counter ceiling: counts stick here instead of wrapping. */
+    static constexpr std::uint32_t saturated = ~std::uint32_t{0};
+
     /** correct[L-1]: correct predictions at path length L. */
     std::array<std::uint32_t, maxPathLength> correct{};
-    /** Dynamic executions seen while profiling. */
+    /** Dynamic executions seen while profiling (saturating). */
     std::uint32_t executions = 0;
+
+    /**
+     * Count one execution, saturating at the ceiling so very long
+     * profile traces cannot wrap the counter and scramble candidate
+     * ranking.
+     */
+    void
+    addExecution()
+    {
+        executions += executions != saturated;
+    }
+
+    /** Count one correct prediction at path length @p length,
+     *  saturating. */
+    void
+    addCorrect(unsigned length)
+    {
+        std::uint32_t &count = correct[length - 1];
+        count += count != saturated;
+    }
 };
 
 /**
@@ -109,7 +142,9 @@ class ConditionalProfiler
     /**
      * Step 1: simulate the N fixed-length predictors, populating the
      * per-branch records and the aggregate sweep (also retrievable
-     * later via step1Sweep()).
+     * later via step1Sweep()). With options().jobs != 1 the length
+     * range is sharded across a thread pool; the result is
+     * bit-identical to a serial run.
      */
     const FixedLengthSweep &runStep1(trace::TraceSource &profile_trace);
 

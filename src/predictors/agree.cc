@@ -15,8 +15,7 @@ AgreePredictor::AgreePredictor(unsigned index_bits,
     : indexBits_(index_bits),
       biasIndexBits_(bias_index_bits),
       history_(index_bits),
-      agree_(std::size_t{1} << index_bits,
-             util::SaturatingCounter(2, 3)), // start strongly agreeing
+      agree_(std::size_t{1} << index_bits, 2, 3), // start strongly agreeing
       bias_(std::size_t{1} << bias_index_bits, 1),
       biasSet_(std::size_t{1} << bias_index_bits, false)
 {
@@ -41,7 +40,7 @@ bool
 AgreePredictor::predict(const trace::BranchRecord &branch)
 {
     const bool bias = bias_[biasIndex(branch.pc)] != 0;
-    const bool agrees = agree_[counterIndex(branch.pc)].predictTaken();
+    const bool agrees = agree_.predictTaken(counterIndex(branch.pc));
     return agrees ? bias : !bias;
 }
 
@@ -56,7 +55,7 @@ AgreePredictor::update(const trace::BranchRecord &branch)
         biasSet_[slot] = true;
     }
     const bool bias = bias_[slot] != 0;
-    agree_[counterIndex(branch.pc)].update(branch.taken == bias);
+    agree_.update(counterIndex(branch.pc), branch.taken == bias);
 }
 
 void
@@ -70,7 +69,7 @@ std::size_t
 AgreePredictor::sizeBytes() const
 {
     // 2-bit agree counters plus 1-bit biasing entries.
-    return agree_.size() / 4 + bias_.size() / 8;
+    return agree_.sizeBytes() + bias_.size() / 8;
 }
 
 } // namespace pred

@@ -15,7 +15,7 @@
 
 #include "predictors/predictor.h"
 #include "util/history_register.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -48,7 +48,7 @@ class AgreePredictor : public ConditionalPredictor
     unsigned indexBits_;
     unsigned biasIndexBits_;
     util::BitHistoryRegister history_;
-    std::vector<util::SaturatingCounter> agree_;
+    util::PackedCounterTable agree_;
     /** Biasing bit per entry: the first-seen direction. */
     std::vector<std::uint8_t> bias_;
     std::vector<bool> biasSet_;

@@ -12,7 +12,7 @@ namespace pred {
 
 BimodalPredictor::BimodalPredictor(unsigned index_bits)
     : indexBits_(index_bits),
-      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+      table_(std::size_t{1} << index_bits, 2)
 {
 }
 
@@ -26,19 +26,19 @@ BimodalPredictor::index(std::uint64_t pc) const
 bool
 BimodalPredictor::predict(const trace::BranchRecord &branch)
 {
-    return table_[index(branch.pc)].predictTaken();
+    return table_.predictTaken(index(branch.pc));
 }
 
 void
 BimodalPredictor::update(const trace::BranchRecord &branch)
 {
-    table_[index(branch.pc)].update(branch.taken);
+    table_.update(index(branch.pc), branch.taken);
 }
 
 std::size_t
 BimodalPredictor::sizeBytes() const
 {
-    return table_.size() / 4;
+    return table_.sizeBytes();
 }
 
 } // namespace pred

@@ -8,10 +8,8 @@
 #ifndef VLPSIM_PREDICTORS_BIMODAL_H
 #define VLPSIM_PREDICTORS_BIMODAL_H
 
-#include <vector>
-
 #include "predictors/predictor.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -35,7 +33,7 @@ class BimodalPredictor : public ConditionalPredictor
     std::size_t index(std::uint64_t pc) const;
 
     unsigned indexBits_;
-    std::vector<util::SaturatingCounter> table_;
+    util::PackedCounterTable table_;
 };
 
 } // namespace pred

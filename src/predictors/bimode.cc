@@ -16,12 +16,9 @@ BiModePredictor::BiModePredictor(unsigned index_bits,
       choiceIndexBits_(choice_index_bits == 0 ? index_bits
                                               : choice_index_bits),
       history_(index_bits),
-      takenBank_(std::size_t{1} << index_bits,
-                 util::SaturatingCounter(2, 2)),
-      notTakenBank_(std::size_t{1} << index_bits,
-                    util::SaturatingCounter(2, 1)),
-      choice_(std::size_t{1} << choiceIndexBits_,
-              util::SaturatingCounter(2))
+      takenBank_(std::size_t{1} << index_bits, 2, 2),
+      notTakenBank_(std::size_t{1} << index_bits, 2, 1),
+      choice_(std::size_t{1} << choiceIndexBits_, 2)
 {
 }
 
@@ -44,26 +41,27 @@ bool
 BiModePredictor::predict(const trace::BranchRecord &branch)
 {
     const bool use_taken_bank =
-        choice_[choiceIndex(branch.pc)].predictTaken();
+        choice_.predictTaken(choiceIndex(branch.pc));
     const auto &bank = use_taken_bank ? takenBank_ : notTakenBank_;
-    return bank[directionIndex(branch.pc)].predictTaken();
+    return bank.predictTaken(directionIndex(branch.pc));
 }
 
 void
 BiModePredictor::update(const trace::BranchRecord &branch)
 {
-    util::SaturatingCounter &chooser = choice_[choiceIndex(branch.pc)];
-    const bool use_taken_bank = chooser.predictTaken();
+    const std::size_t choice_slot = choiceIndex(branch.pc);
+    const bool use_taken_bank = choice_.predictTaken(choice_slot);
     auto &bank = use_taken_bank ? takenBank_ : notTakenBank_;
-    util::SaturatingCounter &counter = bank[directionIndex(branch.pc)];
+    const std::size_t direction_slot = directionIndex(branch.pc);
 
     // The choice PHT is not updated when it selected the bank whose
     // prediction was correct but disagrees with the outcome direction
     // (the bi-mode partial-update rule).
-    const bool bank_correct = counter.predictTaken() == branch.taken;
+    const bool bank_correct =
+        bank.predictTaken(direction_slot) == branch.taken;
     if (!(bank_correct && use_taken_bank != branch.taken))
-        chooser.update(branch.taken);
-    counter.update(branch.taken);
+        choice_.update(choice_slot, branch.taken);
+    bank.update(direction_slot, branch.taken);
 }
 
 void
@@ -76,8 +74,8 @@ BiModePredictor::observe(const trace::BranchRecord &record)
 std::size_t
 BiModePredictor::sizeBytes() const
 {
-    return (takenBank_.size() + notTakenBank_.size() + choice_.size())
-         / 4;
+    return takenBank_.sizeBytes() + notTakenBank_.sizeBytes()
+         + choice_.sizeBytes();
 }
 
 } // namespace pred

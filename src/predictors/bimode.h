@@ -10,11 +10,9 @@
 #ifndef VLPSIM_PREDICTORS_BIMODE_H
 #define VLPSIM_PREDICTORS_BIMODE_H
 
-#include <vector>
-
 #include "predictors/predictor.h"
 #include "util/history_register.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -47,9 +45,9 @@ class BiModePredictor : public ConditionalPredictor
     unsigned indexBits_;
     unsigned choiceIndexBits_;
     util::BitHistoryRegister history_;
-    std::vector<util::SaturatingCounter> takenBank_;
-    std::vector<util::SaturatingCounter> notTakenBank_;
-    std::vector<util::SaturatingCounter> choice_;
+    util::PackedCounterTable takenBank_;
+    util::PackedCounterTable notTakenBank_;
+    util::PackedCounterTable choice_;
 };
 
 } // namespace pred

@@ -15,7 +15,7 @@ GselectPredictor::GselectPredictor(unsigned index_bits,
     : indexBits_(index_bits),
       historyBits_(history_bits == 0 ? index_bits / 2 : history_bits),
       history_(historyBits_ == 0 ? 1 : historyBits_),
-      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+      table_(std::size_t{1} << index_bits, 2)
 {
 }
 
@@ -32,13 +32,13 @@ GselectPredictor::index(std::uint64_t pc) const
 bool
 GselectPredictor::predict(const trace::BranchRecord &branch)
 {
-    return table_[index(branch.pc)].predictTaken();
+    return table_.predictTaken(index(branch.pc));
 }
 
 void
 GselectPredictor::update(const trace::BranchRecord &branch)
 {
-    table_[index(branch.pc)].update(branch.taken);
+    table_.update(index(branch.pc), branch.taken);
 }
 
 void
@@ -51,7 +51,7 @@ GselectPredictor::observe(const trace::BranchRecord &record)
 std::size_t
 GselectPredictor::sizeBytes() const
 {
-    return table_.size() / 4;
+    return table_.sizeBytes();
 }
 
 } // namespace pred

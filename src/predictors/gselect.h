@@ -9,11 +9,9 @@
 #ifndef VLPSIM_PREDICTORS_GSELECT_H
 #define VLPSIM_PREDICTORS_GSELECT_H
 
-#include <vector>
-
 #include "predictors/predictor.h"
 #include "util/history_register.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -46,7 +44,7 @@ class GselectPredictor : public ConditionalPredictor
     unsigned indexBits_;
     unsigned historyBits_;
     util::BitHistoryRegister history_;
-    std::vector<util::SaturatingCounter> table_;
+    util::PackedCounterTable table_;
 };
 
 } // namespace pred

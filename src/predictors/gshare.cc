@@ -14,7 +14,7 @@ GsharePredictor::GsharePredictor(unsigned index_bits,
                                  unsigned history_bits)
     : indexBits_(index_bits),
       history_(history_bits == 0 ? index_bits : history_bits),
-      table_(std::size_t{1} << index_bits, util::SaturatingCounter(2))
+      table_(std::size_t{1} << index_bits, 2)
 {
 }
 
@@ -31,13 +31,13 @@ GsharePredictor::index(std::uint64_t pc) const
 bool
 GsharePredictor::predict(const trace::BranchRecord &branch)
 {
-    return table_[index(branch.pc)].predictTaken();
+    return table_.predictTaken(index(branch.pc));
 }
 
 void
 GsharePredictor::update(const trace::BranchRecord &branch)
 {
-    table_[index(branch.pc)].update(branch.taken);
+    table_.update(index(branch.pc), branch.taken);
 }
 
 void
@@ -50,7 +50,7 @@ GsharePredictor::observe(const trace::BranchRecord &record)
 std::size_t
 GsharePredictor::sizeBytes() const
 {
-    return table_.size() / 4; // 2-bit counters
+    return table_.sizeBytes(); // 2-bit counters, packed
 }
 
 } // namespace pred

@@ -7,11 +7,9 @@
 #ifndef VLPSIM_PREDICTORS_GSHARE_H
 #define VLPSIM_PREDICTORS_GSHARE_H
 
-#include <vector>
-
 #include "predictors/predictor.h"
 #include "util/history_register.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -56,7 +54,7 @@ class GsharePredictor : public ConditionalPredictor
 
     unsigned indexBits_;
     util::BitHistoryRegister history_;
-    std::vector<util::SaturatingCounter> table_;
+    util::PackedCounterTable table_;
 };
 
 } // namespace pred

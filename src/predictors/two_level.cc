@@ -21,8 +21,7 @@ TwoLevelPredictor::TwoLevelPredictor(HistoryScope scope,
       histories_(scope == HistoryScope::Global
                      ? 1 : (std::size_t{1} << bht_index_bits),
                  util::BitHistoryRegister(history_bits)),
-      counters_(std::size_t{1} << (history_bits + pht_select_bits),
-                util::SaturatingCounter(2))
+      counters_(std::size_t{1} << (history_bits + pht_select_bits), 2)
 {
 }
 
@@ -47,13 +46,13 @@ TwoLevelPredictor::counterIndex(std::uint64_t pc) const
 bool
 TwoLevelPredictor::predict(const trace::BranchRecord &branch)
 {
-    return counters_[counterIndex(branch.pc)].predictTaken();
+    return counters_.predictTaken(counterIndex(branch.pc));
 }
 
 void
 TwoLevelPredictor::update(const trace::BranchRecord &branch)
 {
-    counters_[counterIndex(branch.pc)].update(branch.taken);
+    counters_.update(counterIndex(branch.pc), branch.taken);
 }
 
 void
@@ -81,7 +80,7 @@ TwoLevelPredictor::sizeBytes() const
 {
     // Count the second level only, consistent with the budget
     // accounting used for all predictors in this repository.
-    return counters_.size() / 4;
+    return counters_.sizeBytes();
 }
 
 } // namespace pred

@@ -16,7 +16,7 @@
 
 #include "predictors/predictor.h"
 #include "util/history_register.h"
-#include "util/saturating_counter.h"
+#include "util/packed_counter_table.h"
 
 namespace vlp {
 namespace pred {
@@ -72,7 +72,7 @@ class TwoLevelPredictor : public ConditionalPredictor
     /** GAs: one entry; PAs: 2^bht_index_bits entries. */
     std::vector<util::BitHistoryRegister> histories_;
     /** All PHTs concatenated: pht_select * 2^history_bits + pattern. */
-    std::vector<util::SaturatingCounter> counters_;
+    util::PackedCounterTable counters_;
 };
 
 } // namespace pred

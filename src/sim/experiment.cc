@@ -147,6 +147,7 @@ ExperimentContext::profilerEntry(const workload::BenchmarkSpec &spec,
     if (it == profilers_.end()) {
         core::ProfileOptions options;
         options.indexBits = index_bits;
+        options.jobs = step1Jobs_;
         options.history = history;
         ProfilerEntry entry;
         if (indirect) {

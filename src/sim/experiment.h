@@ -86,6 +86,18 @@ class ExperimentContext
     store::ArtifactStore *store() const { return store_.get(); }
 
     /**
+     * Worker threads for step-1 fixed-length sweeps (see
+     * core::ProfileOptions::jobs; 0 = one per hardware thread,
+     * default 1 = serial). Sharding never changes results, so cached
+     * and stored artifacts are shared across settings; applies to
+     * profilers constructed after the call.
+     */
+    void setStep1Jobs(unsigned jobs) { step1Jobs_ = jobs; }
+
+    /** Configured step-1 worker-thread count. */
+    unsigned step1Jobs() const { return step1Jobs_; }
+
+    /**
      * The benchmark's trace on the given input, generated on first
      * use. A small LRU keeps the working set bounded; the returned
      * shared_ptr pins the trace, so it stays valid even after later
@@ -170,6 +182,7 @@ class ExperimentContext
     };
 
     std::list<TraceEntry> traces_;
+    unsigned step1Jobs_ = 1;
     std::map<Key, ProfilerEntry> profilers_;
     std::map<Key, std::vector<double>> averageSweeps_;
     std::shared_ptr<store::ArtifactStore> store_;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PackedCounterTable implementation.
+ */
+
+#include "util/packed_counter_table.h"
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace util {
+
+namespace {
+
+/** log2 of @p bits rounded up to the next power of two (bits 1..8). */
+unsigned
+slotBitsLogFor(unsigned bits)
+{
+    if (bits <= 1)
+        return 0;
+    if (bits <= 2)
+        return 1;
+    if (bits <= 4)
+        return 2;
+    return 3;
+}
+
+} // anonymous namespace
+
+PackedCounterTable::PackedCounterTable(std::size_t size, unsigned bits,
+                                       int initial)
+    : size_(size),
+      bits_(bits),
+      slotBitsLog_(slotBitsLogFor(bits)),
+      slotsPerWordLog_(6 - slotBitsLog_),
+      slotIndexMask_((std::size_t{1} << slotsPerWordLog_) - 1),
+      maxValue_((std::uint64_t{1} << bits) - 1),
+      threshold_(std::uint64_t{1} << (bits - 1))
+{
+    if (bits < 1 || bits > 8)
+        fatal("packed counter width must be 1..8 bits");
+    const std::size_t words =
+        (size + slotIndexMask_) >> slotsPerWordLog_;
+    words_.resize(words);
+    fill(initial < 0 ? static_cast<unsigned>(threshold_ - 1)
+                     : static_cast<unsigned>(initial));
+}
+
+void
+PackedCounterTable::fill(unsigned value)
+{
+    if (value > maxValue_)
+        fatal("packed counter fill value exceeds the counter range");
+    // Replicate the value across every slot of one word, then blast it.
+    std::uint64_t pattern = 0;
+    const unsigned slot_bits = 1u << slotBitsLog_;
+    for (unsigned shift = 0; shift < 64; shift += slot_bits)
+        pattern |= static_cast<std::uint64_t>(value) << shift;
+    for (std::uint64_t &word : words_)
+        word = pattern;
+}
+
+} // namespace util
+} // namespace vlp

@@ -359,6 +359,35 @@ TEST(CandidateSelector, RanksCandidatesByStep1Accuracy)
     EXPECT_EQ(selector.defaultLength(), 1u);
 }
 
+TEST(BranchProfile, CountersSaturateAtCeiling)
+{
+    BranchProfile profile;
+    profile.executions = BranchProfile::saturated - 1;
+    profile.addExecution();
+    EXPECT_EQ(profile.executions, BranchProfile::saturated);
+    profile.addExecution();
+    EXPECT_EQ(profile.executions, BranchProfile::saturated);
+
+    profile.correct[4] = BranchProfile::saturated - 1;
+    profile.addCorrect(5);
+    profile.addCorrect(5);
+    EXPECT_EQ(profile.correct[4], BranchProfile::saturated);
+}
+
+TEST(CandidateSelector, SaturatedCountsStillRankSanely)
+{
+    // A branch profiled past the 32-bit ceiling: counts stick at the
+    // ceiling instead of wrapping to near zero, so the most accurate
+    // length still outranks lengths that stayed below the ceiling
+    // and ties at the ceiling break toward the shorter length.
+    const auto profiles = singleBranchProfile(
+        0x400000, {BranchProfile::saturated - 7, 1000,
+                   BranchProfile::saturated, BranchProfile::saturated});
+    CandidateSelector selector(profiles, flatSweep(4, 2), 3, 4);
+    const HashAssignment first = selector.nextAssignment();
+    EXPECT_EQ(first.lookup(0x400000), 3u);
+}
+
 TEST(CandidateSelector, UntestedCandidatesTriedFirst)
 {
     const auto profiles =

@@ -10,6 +10,7 @@
 
 #include "util/history_register.h"
 #include "util/logging.h"
+#include "util/packed_counter_table.h"
 #include "util/rng.h"
 #include "util/saturating_counter.h"
 #include "util/stats.h"
@@ -316,6 +317,82 @@ TEST(Table, CsvEscape)
     EXPECT_EQ(csvEscape("plain"), "plain");
     EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
     EXPECT_EQ(csvEscape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(PackedCounterTable, DefaultIsWeaklyNotTaken)
+{
+    PackedCounterTable table(16, 2);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(table.value(i), 1u);
+        EXPECT_FALSE(table.predictTaken(i));
+    }
+}
+
+TEST(PackedCounterTable, ArchitecturalSizeIsPackedBits)
+{
+    // A 14-bit table of 2-bit counters is the paper's 4 KiB budget.
+    EXPECT_EQ(PackedCounterTable(std::size_t{1} << 14, 2).sizeBytes(),
+              4096u);
+    // Odd widths round the total up to whole bytes, with no
+    // slot-padding leaking into the architectural number.
+    EXPECT_EQ(PackedCounterTable(10, 3).sizeBytes(), 4u);
+    EXPECT_EQ(PackedCounterTable(7, 1).sizeBytes(), 1u);
+}
+
+TEST(PackedCounterTable, UpdatesOnlyTheAddressedSlot)
+{
+    PackedCounterTable table(64, 2);
+    table.set(10, 3);
+    table.update(11, true);
+    table.update(9, false);
+    EXPECT_EQ(table.value(10), 3u);
+    EXPECT_EQ(table.value(11), 2u);
+    EXPECT_EQ(table.value(9), 0u);
+    EXPECT_EQ(table.value(8), 1u);
+    EXPECT_EQ(table.value(12), 1u);
+}
+
+/**
+ * Property test: a PackedCounterTable must be indistinguishable from
+ * an array of util::SaturatingCounter at every supported width under
+ * a long random mixed workload of updates, forced sets, and reads.
+ */
+TEST(PackedCounterTable, MatchesSaturatingCounterAtEveryWidth)
+{
+    Rng rng(0xc0117e5);
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        const std::size_t size = 61; // not a power of two on purpose
+        PackedCounterTable packed(size, bits);
+        std::vector<SaturatingCounter> reference(
+            size, SaturatingCounter(bits));
+        for (int step = 0; step < 20000; ++step) {
+            const std::size_t index = rng.nextBelow(size);
+            const unsigned action =
+                static_cast<unsigned>(rng.nextBelow(8));
+            if (action == 0) {
+                const unsigned forced = static_cast<unsigned>(
+                    rng.nextBelow(packed.maxValue() + 1));
+                packed.set(index, forced);
+                reference[index] = SaturatingCounter(
+                    bits, static_cast<int>(forced));
+            } else if (action == 1) {
+                const bool taken = rng.nextBool(0.5);
+                EXPECT_EQ(packed.predictThenUpdate(index, taken),
+                          reference[index].predictTaken());
+                reference[index].update(taken);
+            } else {
+                const bool taken = rng.nextBool(0.5);
+                packed.update(index, taken);
+                reference[index].update(taken);
+            }
+            ASSERT_EQ(packed.value(index), reference[index].value())
+                << "width " << bits << " step " << step;
+            ASSERT_EQ(packed.predictTaken(index),
+                      reference[index].predictTaken());
+            ASSERT_EQ(packed.confidence(index),
+                      reference[index].confidence());
+        }
+    }
 }
 
 TEST(Logging, FatalThrows)

@@ -9,9 +9,11 @@
  *       Generate a synthetic branch trace and write it as a .vbt file.
  *   stats <trace.vbt>
  *       Print Table-1-style statistics for a trace file.
- *   profile <trace.vbt> <bytes> <cond|ind> <out.assignment>
+ *   profile <trace.vbt> <bytes> <cond|ind> <out.assignment> [--jobs N]
  *       Run the paper's two-step profiling heuristic over a trace and
- *       save the per-branch hash-number assignment.
+ *       save the per-branch hash-number assignment. --jobs N shards
+ *       the step-1 length sweep across N worker threads (0 = one per
+ *       hardware thread; default serial) with bit-identical output.
  *   eval <trace.vbt> <bytes> <cond|ind> [assignment]
  *       Evaluate predictors on a trace: the paper's baselines plus
  *       fixed length path, and — when an assignment file is given —
@@ -79,6 +81,7 @@ usage()
         "  vlpsim gen <benchmark> <profile|test> <out.vbt> [scale]\n"
         "  vlpsim stats <trace.vbt>\n"
         "  vlpsim profile <trace.vbt> <bytes> <cond|ind> <out.asgn>\n"
+        "         [--jobs N]\n"
         "  vlpsim eval <trace.vbt> <bytes> <cond|ind> [assignment]\n"
         "  vlpsim top <trace.vbt> <bytes> [count]\n"
         "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
@@ -92,10 +95,11 @@ usage()
 
 /**
  * Parse a `--jobs N` / `--jobs=N` flag anywhere on the command line.
- * Returns 0 (one worker per hardware thread) when absent.
+ * Returns @p absent (default 0, one worker per hardware thread) when
+ * the flag is not given.
  */
 unsigned
-parseJobs(int argc, char **argv)
+parseJobs(int argc, char **argv, unsigned absent = 0)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string argument = argv[i];
@@ -115,7 +119,7 @@ parseJobs(int argc, char **argv)
             util::fatal("malformed --jobs value: " + value);
         return static_cast<unsigned>(jobs);
     }
-    return 0;
+    return absent;
 }
 
 /** A flag's value at argv[i], advancing @p i for `--flag value`. */
@@ -245,6 +249,9 @@ cmdProfile(int argc, char **argv)
     const bool indirect = parseIndirect(argv[4]);
 
     core::ProfileOptions options;
+    // The length-sharded step-1 sweep is bit-identical at any worker
+    // count, so --jobs only changes wall-clock (default: serial).
+    options.jobs = parseJobs(argc, argv, 1);
     core::HashAssignment assignment(1);
     if (indirect) {
         options.indexBits = pred::indirectIndexBits(bytes);
