@@ -368,12 +368,16 @@ class IndirectStep1Tables
     std::vector<std::uint32_t> table_;
 };
 
-/** Replay @p records over one shard's private predictors. */
-template <typename Tables>
+/**
+ * Replay a record stream over one shard's private predictors.
+ * @p replay is a callable invoking its argument once per record in
+ * trace order — either a loop over an in-memory vector or a streaming
+ * pass over a trace source (bounded memory for on-disk traces).
+ */
+template <typename Tables, typename Replay>
 void
-runShard(const std::vector<trace::BranchRecord> &records,
-         const ProfileOptions &options, const LengthShard &shard,
-         bool leader, ShardResult &out)
+runShard(Replay &&replay, const ProfileOptions &options,
+         const LengthShard &shard, bool leader, ShardResult &out)
 {
     PathHistoryOptions history = options.history;
     // A shallower bank computes identical indices for every length it
@@ -397,7 +401,7 @@ runShard(const std::vector<trace::BranchRecord> &records,
     };
     std::array<CachedProfile, 1024> recent{};
 
-    for (const trace::BranchRecord &record : records) {
+    replay([&](const trace::BranchRecord &record) {
         if (Tables::profiled(record)) {
             CachedProfile &cached = recent[(record.pc >> 2) & 1023];
             if (cached.pc != record.pc || cached.profile == nullptr) {
@@ -414,8 +418,22 @@ runShard(const std::vector<trace::BranchRecord> &records,
                              out.mispredictions.data());
         }
         bank.observe(record);
-    }
+    });
 }
+
+/** A Replay over an in-memory record vector (see runShard()). */
+struct VectorReplay
+{
+    const std::vector<trace::BranchRecord> &records;
+
+    template <typename Body>
+    void
+    operator()(Body &&body) const
+    {
+        for (const trace::BranchRecord &record : records)
+            body(record);
+    }
+};
 
 /**
  * Run step 1 over @p profile_trace, sharding the length range across
@@ -428,31 +446,47 @@ runStep1Sharded(trace::TraceSource &profile_trace,
                 std::unordered_map<std::uint64_t, BranchProfile>
                     &profiles)
 {
-    // Workers need independent, read-only passes over the records;
-    // borrow the vector of an in-memory trace, otherwise materialize
-    // the stream once.
     profile_trace.reset();
-    const std::vector<trace::BranchRecord> *records = nullptr;
-    std::vector<trace::BranchRecord> materialized;
-    if (const auto *vector_source =
-            dynamic_cast<const trace::VectorTraceSource *>(
-                &profile_trace)) {
-        records = &vector_source->records();
-    } else {
-        trace::BranchRecord record;
-        while (profile_trace.next(record))
-            materialized.push_back(record);
-        records = &materialized;
-    }
-
     const std::vector<LengthShard> shards = makeLengthShards(
         options.minLength, options.maxLength, options.jobs);
     std::vector<ShardResult> results(shards.size());
 
+    const auto *vector_source =
+        dynamic_cast<const trace::VectorTraceSource *>(&profile_trace);
+
     if (shards.size() == 1) {
-        runShard<Tables>(*records, options, shards[0], true,
-                         results[0]);
+        // A single shard makes exactly one pass, so a non-vector
+        // source (e.g. a streaming .vbt reader) is consumed in place —
+        // peak trace-buffer memory stays whatever the source buffers,
+        // not the whole trace.
+        if (vector_source != nullptr) {
+            runShard<Tables>(VectorReplay{vector_source->records()},
+                             options, shards[0], true, results[0]);
+        } else {
+            runShard<Tables>(
+                [&profile_trace](auto &&body) {
+                    trace::BranchRecord record;
+                    while (profile_trace.next(record))
+                        body(record);
+                },
+                options, shards[0], true, results[0]);
+        }
     } else {
+        // Workers need independent, read-only passes over the
+        // records; borrow the vector of an in-memory trace, otherwise
+        // materialize the stream once (a documented memory/speed
+        // trade: intra-trace sharding buys wall-clock at the cost of
+        // holding the records).
+        const std::vector<trace::BranchRecord> *records = nullptr;
+        std::vector<trace::BranchRecord> materialized;
+        if (vector_source != nullptr) {
+            records = &vector_source->records();
+        } else {
+            trace::BranchRecord record;
+            while (profile_trace.next(record))
+                materialized.push_back(record);
+            records = &materialized;
+        }
         // The controlling thread takes the leader shard; the rest run
         // on a transient pool. Tasks must not leak exceptions into
         // the pool, so failures are captured and rethrown here.
@@ -463,8 +497,8 @@ runStep1Sharded(trace::TraceSource &profile_trace,
         for (std::size_t i = 1; i < shards.size(); ++i) {
             pool.submit([&, i] {
                 try {
-                    runShard<Tables>(*records, options, shards[i],
-                                     false, results[i]);
+                    runShard<Tables>(VectorReplay{*records}, options,
+                                     shards[i], false, results[i]);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(failure_mutex);
                     if (!failure)
@@ -472,8 +506,8 @@ runStep1Sharded(trace::TraceSource &profile_trace,
                 }
             });
         }
-        runShard<Tables>(*records, options, shards[0], true,
-                         results[0]);
+        runShard<Tables>(VectorReplay{*records}, options, shards[0],
+                         true, results[0]);
         pool.wait();
         if (failure)
             std::rethrow_exception(failure);

@@ -23,9 +23,9 @@ namespace sim {
 namespace {
 
 /**
- * Cache-key prefix identifying the workload: benchmark name, trace
- * generator version, and the global VLPSIM_SCALE (traces are a pure
- * function of these).
+ * Cache-key prefix identifying a synthetic workload: benchmark name,
+ * trace generator version, and the global VLPSIM_SCALE (traces are a
+ * pure function of these).
  */
 store::KeyBuilder
 workloadKey(const std::string &kind,
@@ -36,6 +36,20 @@ workloadKey(const std::string &kind,
         .field("generator",
                std::uint64_t{workload::generatorVersion})
         .field("scale", util::workloadScale());
+    return builder;
+}
+
+/**
+ * Cache-key prefix identifying an external trace: its content hash
+ * alone. Generator version and scale are irrelevant to bytes read
+ * from disk, and the hash survives renames while invalidating on any
+ * content change.
+ */
+store::KeyBuilder
+externalKey(const std::string &kind, const ExternalTrace &trace)
+{
+    store::KeyBuilder builder(kind);
+    builder.field("trace", trace.contentHash);
     return builder;
 }
 
@@ -54,39 +68,58 @@ addProfileFields(store::KeyBuilder &builder,
                std::uint64_t{options.history.historyStackDepth});
 }
 
-/** Key for a step-1 profile (independent of step-2 parameters). */
+/** Step-1 profile key fields (independent of step-2 parameters). */
 store::CacheKey
-profileKey(const workload::BenchmarkSpec &spec,
+profileKey(store::KeyBuilder builder,
            const core::ProfileOptions &options, bool indirect)
 {
-    store::KeyBuilder builder = workloadKey("profile", spec);
     addProfileFields(builder, options, indirect);
     return builder.build();
 }
 
-/** Key for a step-2 assignment (depends on all profile options). */
+/** Step-2 assignment key fields (depend on all profile options). */
 store::CacheKey
-assignmentKey(const workload::BenchmarkSpec &spec,
+assignmentKey(store::KeyBuilder builder,
               const core::ProfileOptions &options, bool indirect)
 {
-    store::KeyBuilder builder = workloadKey("assignment", spec);
     addProfileFields(builder, options, indirect);
     builder.field("candidates", std::uint64_t{options.candidates})
         .field("iterations", std::uint64_t{options.iterations});
     return builder.build();
 }
 
-/** Key for a full predictor-comparison row. */
+void
+addComparisonFields(store::KeyBuilder &builder, bool indirect,
+                    std::size_t bytes, unsigned global_length,
+                    bool include_tuned)
+{
+    builder.field("class", std::string(indirect ? "ind" : "cond"))
+        .field("bytes", std::uint64_t{bytes})
+        .field("globalLength", std::uint64_t{global_length})
+        .field("tuned", include_tuned);
+}
+
+/** Key for a full predictor-comparison row (synthetic workload). */
 store::CacheKey
 comparisonKey(const workload::BenchmarkSpec &spec, bool indirect,
               std::size_t bytes, unsigned global_length,
               bool include_tuned)
 {
     store::KeyBuilder builder = workloadKey("comparison", spec);
-    builder.field("class", std::string(indirect ? "ind" : "cond"))
-        .field("bytes", std::uint64_t{bytes})
-        .field("globalLength", std::uint64_t{global_length})
-        .field("tuned", include_tuned);
+    addComparisonFields(builder, indirect, bytes, global_length,
+                        include_tuned);
+    return builder.build();
+}
+
+/** Key for a full predictor-comparison row (external trace). */
+store::CacheKey
+externalComparisonKey(const ExternalTrace &trace, bool indirect,
+                      std::size_t bytes, unsigned global_length,
+                      bool include_tuned)
+{
+    store::KeyBuilder builder = externalKey("comparison", trace);
+    addComparisonFields(builder, indirect, bytes, global_length,
+                        include_tuned);
     return builder.build();
 }
 
@@ -124,6 +157,16 @@ ExperimentContext::trace(const workload::BenchmarkSpec &spec,
     return traces_.front().source;
 }
 
+std::unique_ptr<trace::TraceSource>
+ExperimentContext::openExternal(const ExternalTrace &trace) const
+{
+    std::unique_ptr<trace::ByteFile> file = trace.opener
+        ? trace.opener(trace.path)
+        : trace::openByteFile(trace.path);
+    return std::make_unique<trace::StreamingTraceReader>(
+        std::move(file), trace.chunkRecords);
+}
+
 ExperimentContext::Key
 ExperimentContext::makeKey(const std::string &name, unsigned index_bits,
                            bool indirect,
@@ -138,11 +181,11 @@ ExperimentContext::makeKey(const std::string &name, unsigned index_bits,
 }
 
 ExperimentContext::ProfilerEntry &
-ExperimentContext::profilerEntry(const workload::BenchmarkSpec &spec,
+ExperimentContext::profilerEntry(const std::string &name,
                                  unsigned index_bits, bool indirect,
                                  core::PathHistoryOptions history)
 {
-    const Key key = makeKey(spec.name, index_bits, indirect, history);
+    const Key key = makeKey(name, index_bits, indirect, history);
     auto it = profilers_.find(key);
     if (it == profilers_.end()) {
         core::ProfileOptions options;
@@ -164,18 +207,14 @@ ExperimentContext::profilerEntry(const workload::BenchmarkSpec &spec,
 
 void
 ExperimentContext::ensureStep1(ProfilerEntry &entry,
-                               const workload::BenchmarkSpec &spec)
+                               const std::optional<store::CacheKey> &key,
+                               const TraceProvider &profile_trace)
 {
     if (entry.step1Done)
         return;
 
     const bool indirect = entry.indirect != nullptr;
-    const core::ProfileOptions &options =
-        indirect ? entry.indirect->options()
-                 : entry.conditional->options();
-    std::optional<store::CacheKey> key;
-    if (store_) {
-        key = profileKey(spec, options, indirect);
+    if (store_ && key) {
         if (const auto payload = store_->fetch(*key)) {
             try {
                 core::FixedLengthSweep sweep;
@@ -199,12 +238,12 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
         }
     }
 
-    const auto profile_trace = trace(spec, workload::InputKind::Profile);
-    profile_trace->reset();
+    const auto source = profile_trace();
+    source->reset();
     if (entry.conditional)
-        entry.conditional->runStep1(*profile_trace);
+        entry.conditional->runStep1(*source);
     else
-        entry.indirect->runStep1(*profile_trace);
+        entry.indirect->runStep1(*source);
     entry.step1Done = true;
 
     if (store_ && key) {
@@ -219,14 +258,60 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
     }
 }
 
+const core::HashAssignment &
+ExperimentContext::ensureAssignment(
+        ProfilerEntry &entry,
+        const std::optional<store::CacheKey> &assignment_key,
+        const std::optional<store::CacheKey> &profile_key,
+        const TraceProvider &profile_trace)
+{
+    if (entry.assignment)
+        return *entry.assignment;
+
+    // A cached assignment short-circuits both profiling steps; only
+    // probe step 1 (and possibly recompute it) on a miss.
+    if (store_ && assignment_key) {
+        if (const auto payload = store_->fetch(*assignment_key)) {
+            try {
+                entry.assignment = store::decodeAssignment(*payload);
+                return *entry.assignment;
+            } catch (const std::exception &error) {
+                util::warn(std::string("discarding unusable cached "
+                                       "assignment: ")
+                           + error.what());
+            }
+        }
+    }
+
+    ensureStep1(entry, profile_key, profile_trace);
+    const auto source = profile_trace();
+    source->reset();
+    if (entry.conditional)
+        entry.assignment = entry.conditional->runStep2(*source);
+    else
+        entry.assignment = entry.indirect->runStep2(*source);
+    if (store_ && assignment_key) {
+        store_->insert(*assignment_key,
+                       store::encodeAssignment(*entry.assignment));
+    }
+    return *entry.assignment;
+}
+
 const core::FixedLengthSweep &
 ExperimentContext::conditionalSweep(const workload::BenchmarkSpec &spec,
                                     unsigned index_bits,
                                     core::PathHistoryOptions history)
 {
     ProfilerEntry &entry =
-        profilerEntry(spec, index_bits, false, history);
-    ensureStep1(entry, spec);
+        profilerEntry(spec.name, index_bits, false, history);
+    std::optional<store::CacheKey> key;
+    if (store_) {
+        key = profileKey(workloadKey("profile", spec),
+                         entry.conditional->options(), false);
+    }
+    ensureStep1(entry, key, [&] {
+        return trace(spec, workload::InputKind::Profile);
+    });
     return entry.conditional->step1Sweep();
 }
 
@@ -236,8 +321,15 @@ ExperimentContext::indirectSweep(const workload::BenchmarkSpec &spec,
                                  core::PathHistoryOptions history)
 {
     ProfilerEntry &entry =
-        profilerEntry(spec, index_bits, true, history);
-    ensureStep1(entry, spec);
+        profilerEntry(spec.name, index_bits, true, history);
+    std::optional<store::CacheKey> key;
+    if (store_) {
+        key = profileKey(workloadKey("profile", spec),
+                         entry.indirect->options(), true);
+    }
+    ensureStep1(entry, key, [&] {
+        return trace(spec, workload::InputKind::Profile);
+    });
     return entry.indirect->step1Sweep();
 }
 
@@ -247,34 +339,19 @@ ExperimentContext::conditionalAssignment(
         core::PathHistoryOptions history)
 {
     ProfilerEntry &entry =
-        profilerEntry(spec, index_bits, false, history);
-    if (entry.assignment)
-        return *entry.assignment;
-
-    // A cached assignment short-circuits both profiling steps; only
-    // probe step 1 (and possibly recompute it) on a miss.
-    std::optional<store::CacheKey> key;
+        profilerEntry(spec.name, index_bits, false, history);
+    std::optional<store::CacheKey> assignment_key;
+    std::optional<store::CacheKey> profile_key;
     if (store_) {
-        key = assignmentKey(spec, entry.conditional->options(), false);
-        if (const auto payload = store_->fetch(*key)) {
-            try {
-                entry.assignment = store::decodeAssignment(*payload);
-                return *entry.assignment;
-            } catch (const std::exception &error) {
-                util::warn(std::string("discarding unusable cached "
-                                       "assignment: ")
-                           + error.what());
-            }
-        }
+        assignment_key = assignmentKey(
+            workloadKey("assignment", spec),
+            entry.conditional->options(), false);
+        profile_key = profileKey(workloadKey("profile", spec),
+                                 entry.conditional->options(), false);
     }
-
-    ensureStep1(entry, spec);
-    const auto profile_trace = trace(spec, workload::InputKind::Profile);
-    profile_trace->reset();
-    entry.assignment = entry.conditional->runStep2(*profile_trace);
-    if (store_ && key)
-        store_->insert(*key, store::encodeAssignment(*entry.assignment));
-    return *entry.assignment;
+    return ensureAssignment(entry, assignment_key, profile_key, [&] {
+        return trace(spec, workload::InputKind::Profile);
+    });
 }
 
 const core::HashAssignment &
@@ -283,32 +360,67 @@ ExperimentContext::indirectAssignment(const workload::BenchmarkSpec &spec,
                                       core::PathHistoryOptions history)
 {
     ProfilerEntry &entry =
-        profilerEntry(spec, index_bits, true, history);
-    if (entry.assignment)
-        return *entry.assignment;
+        profilerEntry(spec.name, index_bits, true, history);
+    std::optional<store::CacheKey> assignment_key;
+    std::optional<store::CacheKey> profile_key;
+    if (store_) {
+        assignment_key = assignmentKey(
+            workloadKey("assignment", spec),
+            entry.indirect->options(), true);
+        profile_key = profileKey(workloadKey("profile", spec),
+                                 entry.indirect->options(), true);
+    }
+    return ensureAssignment(entry, assignment_key, profile_key, [&] {
+        return trace(spec, workload::InputKind::Profile);
+    });
+}
 
+const core::FixedLengthSweep &
+ExperimentContext::externalSweep(const ExternalTrace &ext,
+                                 unsigned index_bits, bool indirect)
+{
+    // "ext:" + hash cannot collide with a benchmark name, so external
+    // profilers share the in-process map with synthetic ones.
+    ProfilerEntry &entry = profilerEntry("ext:" + ext.contentHash,
+                                         index_bits, indirect, {});
     std::optional<store::CacheKey> key;
     if (store_) {
-        key = assignmentKey(spec, entry.indirect->options(), true);
-        if (const auto payload = store_->fetch(*key)) {
-            try {
-                entry.assignment = store::decodeAssignment(*payload);
-                return *entry.assignment;
-            } catch (const std::exception &error) {
-                util::warn(std::string("discarding unusable cached "
-                                       "assignment: ")
-                           + error.what());
-            }
-        }
+        const core::ProfileOptions &options =
+            indirect ? entry.indirect->options()
+                     : entry.conditional->options();
+        key = profileKey(externalKey("profile", ext), options,
+                         indirect);
     }
+    ensureStep1(entry, key, [&]() -> std::shared_ptr<trace::TraceSource> {
+        return openExternal(ext);
+    });
+    return indirect ? entry.indirect->step1Sweep()
+                    : entry.conditional->step1Sweep();
+}
 
-    ensureStep1(entry, spec);
-    const auto profile_trace = trace(spec, workload::InputKind::Profile);
-    profile_trace->reset();
-    entry.assignment = entry.indirect->runStep2(*profile_trace);
-    if (store_ && key)
-        store_->insert(*key, store::encodeAssignment(*entry.assignment));
-    return *entry.assignment;
+const core::HashAssignment &
+ExperimentContext::externalAssignment(const ExternalTrace &ext,
+                                      unsigned index_bits,
+                                      bool indirect)
+{
+    ProfilerEntry &entry = profilerEntry("ext:" + ext.contentHash,
+                                         index_bits, indirect, {});
+    std::optional<store::CacheKey> assignment_key;
+    std::optional<store::CacheKey> profile_key;
+    if (store_) {
+        const core::ProfileOptions &options =
+            indirect ? entry.indirect->options()
+                     : entry.conditional->options();
+        assignment_key = assignmentKey(externalKey("assignment", ext),
+                                       options, indirect);
+        profile_key = profileKey(externalKey("profile", ext), options,
+                                 indirect);
+    }
+    return ensureAssignment(
+        entry, assignment_key, profile_key,
+        [&]() -> std::shared_ptr<trace::TraceSource> {
+            return openExternal(ext);
+        });
 }
 
 std::vector<double>
@@ -409,10 +521,6 @@ toRateEntry(const PredictorResult &result)
     return entry;
 }
 
-} // anonymous namespace
-
-namespace {
-
 /** Fetch a cached comparison row, or nullopt on miss/corruption. */
 std::optional<ComparisonRow>
 fetchComparisonRow(store::ArtifactStore *store,
@@ -433,6 +541,77 @@ fetchComparisonRow(store::ArtifactStore *store,
     }
 }
 
+/**
+ * Shared conditional-comparison body: build the predictor set, replay
+ * the evaluation trace, and assemble the row.
+ */
+ComparisonRow
+runConditionalComparison(const std::string &name,
+                         trace::TraceSource &eval_trace,
+                         unsigned index_bits, unsigned global_length,
+                         unsigned tuned_length,
+                         const core::HashAssignment &assignment,
+                         bool include_tuned)
+{
+    pred::GsharePredictor gshare(index_bits);
+    core::PathConditionalPredictor flp(index_bits, global_length);
+    core::PathConditionalPredictor flp_tuned(index_bits, tuned_length);
+    core::PathConditionalPredictor vlp(index_bits, assignment);
+
+    Simulator simulator;
+    simulator.addConditional(&gshare);
+    simulator.addConditional(&flp);
+    if (include_tuned)
+        simulator.addConditional(&flp_tuned);
+    simulator.addConditional(&vlp);
+
+    eval_trace.reset();
+    simulator.run(eval_trace);
+
+    ComparisonRow row;
+    row.benchmark = name;
+    for (const auto &result : simulator.conditionalResults())
+        row.entries.push_back(toRateEntry(result));
+    if (include_tuned)
+        row.entries[2].predictor = names::flpTuned;
+    return row;
+}
+
+/** Indirect counterpart of runConditionalComparison(). */
+ComparisonRow
+runIndirectComparison(const std::string &name,
+                      trace::TraceSource &eval_trace,
+                      unsigned index_bits, unsigned global_length,
+                      unsigned tuned_length,
+                      const core::HashAssignment &assignment,
+                      bool include_tuned)
+{
+    pred::PathTargetCache chp_path(index_bits);
+    pred::PatternTargetCache chp_pattern(index_bits);
+    core::PathIndirectPredictor flp(index_bits, global_length);
+    core::PathIndirectPredictor flp_tuned(index_bits, tuned_length);
+    core::PathIndirectPredictor vlp(index_bits, assignment);
+
+    Simulator simulator;
+    simulator.addIndirect(&chp_path);
+    simulator.addIndirect(&chp_pattern);
+    simulator.addIndirect(&flp);
+    if (include_tuned)
+        simulator.addIndirect(&flp_tuned);
+    simulator.addIndirect(&vlp);
+
+    eval_trace.reset();
+    simulator.run(eval_trace);
+
+    ComparisonRow row;
+    row.benchmark = name;
+    for (const auto &result : simulator.indirectResults())
+        row.entries.push_back(toRateEntry(result));
+    if (include_tuned)
+        row.entries[3].predictor = names::flpTuned;
+    return row;
+}
+
 } // anonymous namespace
 
 ComparisonRow
@@ -447,35 +626,16 @@ compareConditional(ExperimentContext &context,
         return *cached;
 
     const unsigned index_bits = pred::conditionalIndexBits(bytes);
-
     const unsigned tuned_length =
         context.conditionalSweep(spec, index_bits).bestLength();
     const core::HashAssignment &assignment =
         context.conditionalAssignment(spec, index_bits);
 
-    pred::GsharePredictor gshare(index_bits);
-    core::PathConditionalPredictor flp(index_bits, global_length);
-    core::PathConditionalPredictor flp_tuned(index_bits, tuned_length);
-    core::PathConditionalPredictor vlp(index_bits, assignment);
-
-    Simulator simulator;
-    simulator.addConditional(&gshare);
-    simulator.addConditional(&flp);
-    if (include_tuned)
-        simulator.addConditional(&flp_tuned);
-    simulator.addConditional(&vlp);
-
     const auto test_trace =
         context.trace(spec, workload::InputKind::Test);
-    test_trace->reset();
-    simulator.run(*test_trace);
-
-    ComparisonRow row;
-    row.benchmark = spec.name;
-    for (const auto &result : simulator.conditionalResults())
-        row.entries.push_back(toRateEntry(result));
-    if (include_tuned)
-        row.entries[2].predictor = names::flpTuned;
+    ComparisonRow row = runConditionalComparison(
+        spec.name, *test_trace, index_bits, global_length, tuned_length,
+        assignment, include_tuned);
     if (auto *store = context.store())
         store->insert(key, store::encodeComparisonRow(row));
     return row;
@@ -492,37 +652,66 @@ compareIndirect(ExperimentContext &context,
         return *cached;
 
     const unsigned index_bits = pred::indirectIndexBits(bytes);
-
     const unsigned tuned_length =
         context.indirectSweep(spec, index_bits).bestLength();
     const core::HashAssignment &assignment =
         context.indirectAssignment(spec, index_bits);
 
-    pred::PathTargetCache chp_path(index_bits);
-    pred::PatternTargetCache chp_pattern(index_bits);
-    core::PathIndirectPredictor flp(index_bits, global_length);
-    core::PathIndirectPredictor flp_tuned(index_bits, tuned_length);
-    core::PathIndirectPredictor vlp(index_bits, assignment);
-
-    Simulator simulator;
-    simulator.addIndirect(&chp_path);
-    simulator.addIndirect(&chp_pattern);
-    simulator.addIndirect(&flp);
-    if (include_tuned)
-        simulator.addIndirect(&flp_tuned);
-    simulator.addIndirect(&vlp);
-
     const auto test_trace =
         context.trace(spec, workload::InputKind::Test);
-    test_trace->reset();
-    simulator.run(*test_trace);
+    ComparisonRow row = runIndirectComparison(
+        spec.name, *test_trace, index_bits, global_length, tuned_length,
+        assignment, include_tuned);
+    if (auto *store = context.store())
+        store->insert(key, store::encodeComparisonRow(row));
+    return row;
+}
 
-    ComparisonRow row;
-    row.benchmark = spec.name;
-    for (const auto &result : simulator.indirectResults())
-        row.entries.push_back(toRateEntry(result));
-    if (include_tuned)
-        row.entries[3].predictor = names::flpTuned;
+ComparisonRow
+compareExternalConditional(ExperimentContext &context,
+                           const ExternalTrace &trace,
+                           std::size_t bytes, unsigned global_length)
+{
+    const store::CacheKey key = externalComparisonKey(
+        trace, false, bytes, global_length, true);
+    if (auto cached = fetchComparisonRow(context.store(), key))
+        return *cached;
+
+    const unsigned index_bits = pred::conditionalIndexBits(bytes);
+    const unsigned tuned_length =
+        context.externalSweep(trace, index_bits, false).bestLength();
+    const core::HashAssignment &assignment =
+        context.externalAssignment(trace, index_bits, false);
+
+    const auto eval_trace = context.openExternal(trace);
+    ComparisonRow row = runConditionalComparison(
+        trace.name, *eval_trace, index_bits, global_length,
+        tuned_length, assignment, true);
+    if (auto *store = context.store())
+        store->insert(key, store::encodeComparisonRow(row));
+    return row;
+}
+
+ComparisonRow
+compareExternalIndirect(ExperimentContext &context,
+                        const ExternalTrace &trace, std::size_t bytes,
+                        unsigned global_length)
+{
+    const store::CacheKey key = externalComparisonKey(
+        trace, true, bytes, global_length, true);
+    if (auto cached = fetchComparisonRow(context.store(), key))
+        return *cached;
+
+    const unsigned index_bits = pred::indirectIndexBits(bytes);
+    const unsigned tuned_length =
+        context.externalSweep(trace, index_bits, true).bestLength();
+    const core::HashAssignment &assignment =
+        context.externalAssignment(trace, index_bits, true);
+
+    const auto eval_trace = context.openExternal(trace);
+    ComparisonRow row = runIndirectComparison(
+        trace.name, *eval_trace, index_bits, global_length,
+        tuned_length, assignment, true);
     if (auto *store = context.store())
         store->insert(key, store::encodeComparisonRow(row));
     return row;

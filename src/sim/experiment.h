@@ -13,6 +13,7 @@
 #ifndef VLPSIM_SIM_EXPERIMENT_H
 #define VLPSIM_SIM_EXPERIMENT_H
 
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -23,11 +24,13 @@
 #include "core/path_history.h"
 #include "core/profiler.h"
 #include "sim/simulator.h"
+#include "trace/streaming.h"
 #include "workload/benchmarks.h"
 
 namespace vlp {
 namespace store {
 class ArtifactStore;
+class CacheKey;
 } // namespace store
 
 namespace sim {
@@ -53,6 +56,32 @@ struct ComparisonRow
      * @throws std::runtime_error if absent
      */
     const RateEntry &entry(const std::string &predictor) const;
+};
+
+/**
+ * An external on-disk .vbt trace as consumed by the experiment layer.
+ *
+ * Identity for caching is the file's *content hash* (see
+ * trace::hashTraceFile), not the synthetic generator version or
+ * VLPSIM_SCALE: artifacts survive renames and moves of the trace
+ * file, and a changed file can never be served stale artifacts.
+ * External traces are replayed through a bounded-memory streaming
+ * reader; they are never materialized whole.
+ */
+struct ExternalTrace
+{
+    /** Display name (usually the file's basename). */
+    std::string name;
+    /** Path to the .vbt file. */
+    std::string path;
+    /** 32-hex content hash of the file (trace::hashTraceFile). */
+    std::string contentHash;
+    /** Records buffered per streaming chunk. */
+    std::size_t chunkRecords =
+        trace::StreamingTraceReader::defaultChunkRecords;
+    /** How to open the file; empty = plain stdio (tests inject
+     *  fault-wrapped openers here). */
+    trace::FileOpener opener;
 };
 
 /**
@@ -135,6 +164,30 @@ class ExperimentContext
                        core::PathHistoryOptions history = {});
 
     /**
+     * Open an external trace for one streaming replay. Each call
+     * returns a fresh bounded-memory reader; external traces are
+     * deliberately excluded from the in-memory trace LRU.
+     * @throws util::TransientError / std::runtime_error from the
+     *         underlying file
+     */
+    std::unique_ptr<trace::TraceSource>
+    openExternal(const ExternalTrace &trace) const;
+
+    /**
+     * Step-1 sweep over an external trace, cached in this context and
+     * (with a store attached) on disk under the trace's content hash.
+     */
+    const core::FixedLengthSweep &
+    externalSweep(const ExternalTrace &trace, unsigned index_bits,
+                  bool indirect);
+
+    /** Full two-step profiling result for an external trace, cached
+     *  like externalSweep(). */
+    const core::HashAssignment &
+    externalAssignment(const ExternalTrace &trace, unsigned index_bits,
+                       bool indirect);
+
+    /**
      * Average conditional misprediction rate per path length over the
      * whole suite at a table of @p bytes (profile inputs) — the curve
      * whose minimum defines the paper's global fixed length (Table 2).
@@ -162,16 +215,32 @@ class ExperimentContext
 
     using Key = std::string;
 
+    /** Produces a fresh (reset) profile-input trace on demand. */
+    using TraceProvider =
+        std::function<std::shared_ptr<trace::TraceSource>()>;
+
     static Key makeKey(const std::string &name, unsigned index_bits,
                        bool indirect, core::PathHistoryOptions history);
 
-    ProfilerEntry &profilerEntry(const workload::BenchmarkSpec &spec,
+    ProfilerEntry &profilerEntry(const std::string &name,
                                  unsigned index_bits, bool indirect,
                                  core::PathHistoryOptions history);
 
-    /** Ensure step 1 has run for @p entry. */
+    /**
+     * Ensure step 1 has run for @p entry: restore it from the store
+     * under @p key when possible, otherwise replay the trace from
+     * @p profile_trace (and persist the result).
+     */
     void ensureStep1(ProfilerEntry &entry,
-                     const workload::BenchmarkSpec &spec);
+                     const std::optional<store::CacheKey> &key,
+                     const TraceProvider &profile_trace);
+
+    /** Shared body of the four assignment accessors. */
+    const core::HashAssignment &
+    ensureAssignment(ProfilerEntry &entry,
+                     const std::optional<store::CacheKey> &assignment_key,
+                     const std::optional<store::CacheKey> &profile_key,
+                     const TraceProvider &profile_trace);
 
     static constexpr std::size_t traceCacheCapacity = 4;
 
@@ -211,6 +280,25 @@ ComparisonRow compareIndirect(ExperimentContext &context,
                               std::size_t bytes,
                               unsigned global_length,
                               bool include_tuned = false);
+
+/**
+ * compareConditional() for an external trace: gshare, fixed length
+ * path at @p global_length, the per-trace tuned fixed length, and the
+ * variable length path predictor. External traces are single inputs,
+ * so profiling and evaluation run over the same file (the paper's
+ * profile/test split needs two inputs per workload; callers that have
+ * them can register two ExternalTraces and cross-evaluate).
+ */
+ComparisonRow compareExternalConditional(ExperimentContext &context,
+                                         const ExternalTrace &trace,
+                                         std::size_t bytes,
+                                         unsigned global_length);
+
+/** Indirect counterpart of compareExternalConditional(). */
+ComparisonRow compareExternalIndirect(ExperimentContext &context,
+                                      const ExternalTrace &trace,
+                                      std::size_t bytes,
+                                      unsigned global_length);
 
 /** Canonical predictor display names used in comparison rows. */
 namespace names {

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * TraceSuiteRunner implementation.
+ */
+
+#include "sim/suite_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "core/profiler.h"
+#include "predictors/budget.h"
+#include "store/artifact_store.h"
+#include "store/checkpoint.h"
+#include "store/serialize.h"
+#include "trace/streaming.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace fs = std::filesystem;
+
+namespace vlp {
+namespace sim {
+
+namespace {
+
+/** Indirect sweeps below this many branches are noise, not signal
+ *  (mirrors ExperimentContext::averageIndirectSweep). */
+constexpr std::uint64_t minIndirectBranches = 1000;
+
+/**
+ * Run @p fn, retrying util::TransientError with bounded exponential
+ * backoff. Permanent errors and the final transient error propagate.
+ */
+template <typename Fn>
+auto
+retryTransient(const TraceSuiteOptions &options, Fn &&fn)
+{
+    unsigned attempt = 0;
+    for (;;) {
+        try {
+            return fn();
+        } catch (const util::TransientError &) {
+            ++attempt;
+            if (attempt >= std::max(options.maxAttempts, 1u))
+                throw;
+            const unsigned delay_ms = options.backoffBaseMs
+                << (attempt - 1);
+            if (options.sleeper) {
+                options.sleeper(delay_ms);
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+            }
+        }
+    }
+}
+
+/** Per-trace working state threaded through the phases. */
+struct TraceWork
+{
+    TraceOutcome outcome;
+    ExternalTrace ext;
+    /** Passed validation and sweeps; eligible for comparisons. */
+    bool valid = false;
+    /** Step-1 rate curves (percent, index L-1), for the suite
+     *  average. */
+    std::vector<double> condRates;
+    std::vector<double> indRates;
+};
+
+/** Journal cell key for one per-trace sweep. */
+std::string
+sweepCellKey(const std::string &content_hash, bool indirect,
+             unsigned index_bits)
+{
+    return std::string("sweep;v")
+        + std::to_string(store::artifactFormatVersion)
+        + ";class=" + (indirect ? "ind" : "cond")
+        + ";trace=" + content_hash
+        + ";bits=" + std::to_string(index_bits);
+}
+
+/** Journal cell key for one comparison row. */
+std::string
+rowCellKey(const std::string &content_hash, bool indirect,
+           std::size_t bytes, unsigned global_length)
+{
+    return std::string("row;v")
+        + std::to_string(store::artifactFormatVersion)
+        + ";class=" + (indirect ? "ind" : "cond")
+        + ";trace=" + content_hash
+        + ";bytes=" + std::to_string(bytes)
+        + ";global=" + std::to_string(global_length);
+}
+
+/** Sweep cell payload: the integer counters, never the derived
+ *  rates, so a resumed average is bit-identical by construction. */
+std::vector<std::uint8_t>
+encodeSweepCell(const core::FixedLengthSweep &sweep)
+{
+    store::Encoder encoder;
+    encoder.u64(sweep.branches);
+    encoder.u32(sweep.minLength);
+    encoder.u32(static_cast<std::uint32_t>(sweep.mispredictions.size()));
+    for (const std::uint64_t count : sweep.mispredictions)
+        encoder.u64(count);
+    return encoder.take();
+}
+
+core::FixedLengthSweep
+decodeSweepCell(const std::vector<std::uint8_t> &payload)
+{
+    store::Decoder decoder(payload);
+    core::FixedLengthSweep sweep;
+    sweep.branches = decoder.u64();
+    sweep.minLength = decoder.u32();
+    const std::uint32_t count = decoder.u32();
+    if (count == 0 || count > core::maxPathLength)
+        throw std::runtime_error("sweep cell has absurd length count");
+    sweep.mispredictions.resize(count);
+    for (std::uint64_t &value : sweep.mispredictions)
+        value = decoder.u64();
+    decoder.expectEnd();
+    return sweep;
+}
+
+/** Rate curve (percent per length) from a sweep, like
+ *  FixedLengthSweep::rate() over the full range. */
+std::vector<double>
+rateCurve(const core::FixedLengthSweep &sweep)
+{
+    std::vector<double> rates(sweep.mispredictions.size(), 0.0);
+    if (sweep.branches == 0)
+        return rates;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        rates[i] = 100.0 * static_cast<double>(sweep.mispredictions[i])
+            / static_cast<double>(sweep.branches);
+    }
+    return rates;
+}
+
+/** Journal lookup that treats undecodable payloads as misses. */
+template <typename Decode>
+auto
+journalFetch(store::CheckpointJournal *journal, const std::string &key,
+             Decode &&decode)
+    -> std::optional<decltype(decode(std::vector<std::uint8_t>{}))>
+{
+    if (journal == nullptr)
+        return std::nullopt;
+    const auto payload = journal->lookup(key);
+    if (!payload)
+        return std::nullopt;
+    try {
+        return decode(*payload);
+    } catch (const std::exception &error) {
+        util::warn(std::string("ignoring unusable checkpoint cell ")
+                   + key + ": " + error.what());
+        return std::nullopt;
+    }
+}
+
+/**
+ * Obtain one per-trace sweep: journal first, else compute through the
+ * context (with transient retries) and journal the result.
+ */
+core::FixedLengthSweep
+obtainSweep(const TraceSuiteOptions &options,
+            store::CheckpointJournal *journal, ExperimentContext &context,
+            const ExternalTrace &ext, bool indirect, unsigned index_bits)
+{
+    const std::string key =
+        sweepCellKey(ext.contentHash, indirect, index_bits);
+    if (auto cached = journalFetch(journal, key, decodeSweepCell))
+        return *cached;
+
+    const core::FixedLengthSweep sweep = retryTransient(options, [&] {
+        return context.externalSweep(ext, index_bits, indirect);
+    });
+    if (journal != nullptr)
+        journal->record(key, encodeSweepCell(sweep));
+    return sweep;
+}
+
+/**
+ * Obtain one comparison row: journal first, else compute (with
+ * transient retries) and journal the result.
+ */
+ComparisonRow
+obtainRow(const TraceSuiteOptions &options,
+          store::CheckpointJournal *journal, ExperimentContext &context,
+          const ExternalTrace &ext, bool indirect, std::size_t bytes,
+          unsigned global_length)
+{
+    const std::string key =
+        rowCellKey(ext.contentHash, indirect, bytes, global_length);
+    if (auto cached = journalFetch(journal, key,
+                                   store::decodeComparisonRow)) {
+        return *cached;
+    }
+
+    const ComparisonRow row = retryTransient(options, [&] {
+        return indirect
+            ? compareExternalIndirect(context, ext, bytes,
+                                      global_length)
+            : compareExternalConditional(context, ext, bytes,
+                                         global_length);
+    });
+    if (journal != nullptr)
+        journal->record(key, store::encodeComparisonRow(row));
+    return row;
+}
+
+/** Quarantine @p work with a deterministic cause string. */
+void
+quarantine(TraceWork &work, const std::string &cause)
+{
+    work.outcome.status = TraceStatus::Quarantined;
+    work.outcome.cause = cause;
+    work.valid = false;
+    util::warn("quarantined trace " + work.outcome.name + ": " + cause);
+}
+
+/**
+ * Static-sharded parallel loop: item i runs on worker i % jobs, each
+ * worker walks its items in increasing order (mirrors
+ * ParallelRunner::runSharded). jobs == 1 runs inline. fn(worker, i)
+ * must not throw — per-trace errors are absorbed into outcomes — but
+ * a stray exception is still captured and rethrown, first one wins.
+ */
+void
+forEachSharded(util::ThreadPool *pool, unsigned jobs, std::size_t count,
+               const std::function<void(unsigned, std::size_t)> &fn)
+{
+    if (pool == nullptr || jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(0, i);
+        return;
+    }
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    for (unsigned worker = 0; worker < jobs; ++worker) {
+        pool->submit([&, worker] {
+            try {
+                for (std::size_t i = worker; i < count; i += jobs)
+                    fn(worker, i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+    pool->wait();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+unsigned
+argminLength(const std::vector<double> &rates)
+{
+    unsigned best = 1;
+    for (unsigned length = 2; length <= rates.size(); ++length) {
+        if (rates[length - 1] < rates[best - 1])
+            best = length;
+    }
+    return best;
+}
+
+void
+printRow(std::ostream &out, const ComparisonRow &row)
+{
+    for (const RateEntry &entry : row.entries) {
+        char rate[32];
+        std::snprintf(rate, sizeof(rate), "%.4f", entry.rate);
+        out << "    " << entry.predictor << ": " << rate << "% ("
+            << entry.mispredictions << "/" << entry.branches << ")\n";
+    }
+}
+
+} // anonymous namespace
+
+std::size_t
+SuiteReport::okCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(traces.begin(), traces.end(),
+                      [](const TraceOutcome &outcome) {
+                          return outcome.status == TraceStatus::Ok;
+                      }));
+}
+
+std::size_t
+SuiteReport::quarantinedCount() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        traces.begin(), traces.end(), [](const TraceOutcome &outcome) {
+            return outcome.status == TraceStatus::Quarantined;
+        }));
+}
+
+std::size_t
+SuiteReport::skippedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(traces.begin(), traces.end(),
+                      [](const TraceOutcome &outcome) {
+                          return outcome.status == TraceStatus::Skipped;
+                      }));
+}
+
+void
+SuiteReport::print(std::ostream &out) const
+{
+    out << "external trace suite\n";
+    out << "table budget: " << bytes << " bytes\n";
+    out << "global conditional path length: ";
+    if (globalConditionalLength > 0)
+        out << globalConditionalLength << "\n";
+    else
+        out << "n/a\n";
+    out << "global indirect path length: ";
+    if (globalIndirectLength > 0)
+        out << globalIndirectLength << "\n";
+    else
+        out << "n/a\n";
+    out << "traces: " << okCount() << " ok, " << quarantinedCount()
+        << " quarantined, " << skippedCount() << " skipped\n";
+
+    for (const TraceOutcome &outcome : traces) {
+        out << "\n" << outcome.name << ": ";
+        switch (outcome.status) {
+        case TraceStatus::Ok:
+            out << "ok (VBT" << outcome.formatVersion << ", "
+                << outcome.records << " records)\n";
+            if (outcome.formatVersion < 2)
+                out << "  warning: unchecksummed VBT1 container\n";
+            if (outcome.conditional) {
+                out << "  conditional ("
+                    << outcome.conditionalBranches << " branches)\n";
+                printRow(out, *outcome.conditional);
+            }
+            if (outcome.indirect) {
+                out << "  indirect (" << outcome.indirectBranches
+                    << " branches)\n";
+                printRow(out, *outcome.indirect);
+            }
+            break;
+        case TraceStatus::Quarantined:
+            out << "quarantined (" << outcome.cause << ")\n";
+            break;
+        case TraceStatus::Skipped:
+            out << "skipped (" << outcome.cause << ")\n";
+            break;
+        }
+    }
+}
+
+TraceSuiteRunner::TraceSuiteRunner(TraceSuiteOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::vector<std::pair<std::string, std::string>>
+TraceSuiteRunner::discoverTraces(const std::string &directory)
+{
+    std::error_code error;
+    std::vector<std::pair<std::string, std::string>> traces;
+    for (fs::recursive_directory_iterator it(directory, error), end;
+         !error && it != end; it.increment(error)) {
+        if (!it->is_regular_file()
+            || it->path().extension() != ".vbt") {
+            continue;
+        }
+        traces.emplace_back(
+            it->path().lexically_relative(directory).generic_string(),
+            it->path().string());
+    }
+    if (error) {
+        util::fatal("cannot scan trace directory: " + directory + " ("
+                    + error.message() + ")");
+    }
+    std::sort(traces.begin(), traces.end());
+    return traces;
+}
+
+SuiteReport
+TraceSuiteRunner::run()
+{
+    const auto discovered = discoverTraces(options_.directory);
+
+    std::unique_ptr<store::CheckpointJournal> journal;
+    if (!options_.checkpoint.empty()) {
+        journal = std::make_unique<store::CheckpointJournal>(
+            options_.checkpoint);
+    }
+
+    const unsigned jobs = options_.jobs == 0
+        ? util::ThreadPool::defaultThreadCount()
+        : options_.jobs;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (jobs > 1 && discovered.size() > 1)
+        pool = std::make_unique<util::ThreadPool>(jobs);
+
+    std::vector<std::unique_ptr<ExperimentContext>> contexts;
+    for (unsigned worker = 0; worker < jobs; ++worker) {
+        contexts.push_back(std::make_unique<ExperimentContext>());
+        contexts.back()->setStore(options_.store);
+    }
+
+    std::vector<TraceWork> work(discovered.size());
+    for (std::size_t i = 0; i < discovered.size(); ++i) {
+        work[i].outcome.name = discovered[i].first;
+        work[i].outcome.path = discovered[i].second;
+    }
+
+    const unsigned cond_bits = pred::conditionalIndexBits(options_.bytes);
+    const unsigned ind_bits = pred::indirectIndexBits(options_.bytes);
+
+    // Phase A+B: validate each trace and collect its step-1 sweeps.
+    forEachSharded(pool.get(), jobs, work.size(),
+                   [&](unsigned worker, std::size_t i) {
+        TraceWork &item = work[i];
+        ExperimentContext &context = *contexts[worker];
+        const auto open = [&](const std::string &path) {
+            return options_.opener ? options_.opener(path)
+                                   : trace::openByteFile(path);
+        };
+        try {
+            // Identity and header validation, under retry: a trace
+            // whose content cannot even be hashed is quarantined.
+            item.ext.name = item.outcome.name;
+            item.ext.path = item.outcome.path;
+            item.ext.chunkRecords = options_.chunkRecords;
+            item.ext.opener = options_.opener;
+            item.ext.contentHash = retryTransient(options_, [&] {
+                const auto file = open(item.outcome.path);
+                return trace::hashTraceFile(*file);
+            });
+            retryTransient(options_, [&] {
+                trace::StreamingTraceReader reader(
+                    open(item.outcome.path), options_.chunkRecords);
+                item.outcome.formatVersion = reader.formatVersion();
+                item.outcome.records = reader.count();
+            });
+            if (item.outcome.formatVersion < 2) {
+                util::warn("trace " + item.outcome.name
+                           + " is an unchecksummed VBT1 container; "
+                             "corruption would go undetected");
+            }
+
+            const core::FixedLengthSweep cond_sweep =
+                obtainSweep(options_, journal.get(), context, item.ext,
+                            false, cond_bits);
+            const core::FixedLengthSweep ind_sweep =
+                obtainSweep(options_, journal.get(), context, item.ext,
+                            true, ind_bits);
+            item.outcome.conditionalBranches = cond_sweep.branches;
+            item.outcome.indirectBranches = ind_sweep.branches;
+            item.condRates = rateCurve(cond_sweep);
+            item.indRates = rateCurve(ind_sweep);
+            item.valid = true;
+        } catch (const util::TransientError &error) {
+            quarantine(item,
+                       std::string("transient failure persisted after ")
+                           + std::to_string(
+                                 std::max(options_.maxAttempts, 1u))
+                           + " attempts: " + error.what());
+        } catch (const std::exception &error) {
+            quarantine(item, error.what());
+        }
+    });
+
+    // Suite-wide global lengths, accumulated in sorted-trace order on
+    // this thread so the averages are bit-identical for any jobs
+    // value (mirrors the paper's Table 2 methodology).
+    std::vector<double> cond_average(core::maxPathLength, 0.0);
+    std::vector<double> ind_average(core::maxPathLength, 0.0);
+    unsigned cond_counted = 0;
+    unsigned ind_counted = 0;
+    for (TraceWork &item : work) {
+        if (!item.valid)
+            continue;
+        if (item.outcome.conditionalBranches > 0) {
+            ++cond_counted;
+            for (std::size_t l = 0; l < item.condRates.size(); ++l)
+                cond_average[l] += item.condRates[l];
+        }
+        if (item.outcome.indirectBranches >= minIndirectBranches) {
+            ++ind_counted;
+            for (std::size_t l = 0; l < item.indRates.size(); ++l)
+                ind_average[l] += item.indRates[l];
+        }
+        if (item.outcome.conditionalBranches == 0
+            && item.outcome.indirectBranches < minIndirectBranches) {
+            item.valid = false;
+            item.outcome.status = TraceStatus::Skipped;
+            item.outcome.cause = "no usable branches ("
+                + std::to_string(item.outcome.conditionalBranches)
+                + " conditional, "
+                + std::to_string(item.outcome.indirectBranches)
+                + " indirect)";
+        }
+    }
+    unsigned global_cond = 0;
+    unsigned global_ind = 0;
+    if (cond_counted > 0) {
+        for (double &rate : cond_average)
+            rate /= static_cast<double>(cond_counted);
+        global_cond = argminLength(cond_average);
+    }
+    if (ind_counted > 0) {
+        for (double &rate : ind_average)
+            rate /= static_cast<double>(ind_counted);
+        global_ind = argminLength(ind_average);
+    }
+
+    // Phase C: comparison rows per surviving trace, same sharding so
+    // each worker reuses its own phase-B profiler caches.
+    forEachSharded(pool.get(), jobs, work.size(),
+                   [&](unsigned worker, std::size_t i) {
+        TraceWork &item = work[i];
+        if (!item.valid)
+            return;
+        ExperimentContext &context = *contexts[worker];
+        try {
+            if (item.outcome.conditionalBranches > 0
+                && global_cond > 0) {
+                item.outcome.conditional =
+                    obtainRow(options_, journal.get(), context,
+                              item.ext, false, options_.bytes,
+                              global_cond);
+            }
+            if (item.outcome.indirectBranches >= minIndirectBranches
+                && global_ind > 0) {
+                item.outcome.indirect =
+                    obtainRow(options_, journal.get(), context,
+                              item.ext, true, options_.bytes,
+                              global_ind);
+            }
+        } catch (const util::TransientError &error) {
+            quarantine(item,
+                       std::string("transient failure persisted after ")
+                           + std::to_string(
+                                 std::max(options_.maxAttempts, 1u))
+                           + " attempts: " + error.what());
+        } catch (const std::exception &error) {
+            quarantine(item, error.what());
+        }
+    });
+
+    SuiteReport report;
+    report.bytes = options_.bytes;
+    report.globalConditionalLength = global_cond;
+    report.globalIndirectLength = global_ind;
+    if (journal)
+        report.resumedCells = journal->resumedEntries();
+    report.traces.reserve(work.size());
+    for (TraceWork &item : work)
+        report.traces.push_back(std::move(item.outcome));
+    return report;
+}
+
+} // namespace sim
+} // namespace vlp

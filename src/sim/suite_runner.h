@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Robust suite runner for external trace corpora.
+ *
+ * TraceSuiteRunner replays the paper's methodology over a directory of
+ * .vbt traces: per-trace fixed-length sweeps, a suite-wide global
+ * fixed length, then predictor-comparison rows per trace. Unlike the
+ * synthetic pipeline it must survive hostile inputs:
+ *
+ *  - transient IO failures are retried with bounded exponential
+ *    backoff (util::TransientError is the retry signal);
+ *  - traces that stay unreadable — truncated files, checksum
+ *    mismatches, malformed records — are quarantined with a structured
+ *    cause and the run continues; the exit status is only nonzero when
+ *    *every* trace failed;
+ *  - with a checkpoint journal attached, every completed (trace,
+ *    predictor class, configuration) cell is durably recorded, so a
+ *    killed run resumes where it left off and produces a report
+ *    byte-identical to an uninterrupted run.
+ *
+ * Determinism contract: traces are processed in sorted-path order with
+ * static sharding (trace i on worker i % jobs), per-trace work is a
+ * pure function of the trace bytes and options, and the report is
+ * assembled in sorted order on the controlling thread — so the printed
+ * report is bit-identical across jobs values, interruptions, and
+ * resumes.
+ */
+
+#ifndef VLPSIM_SIM_SUITE_RUNNER_H
+#define VLPSIM_SIM_SUITE_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "trace/byte_file.h"
+
+namespace vlp {
+namespace store {
+class ArtifactStore;
+class CheckpointJournal;
+} // namespace store
+
+namespace sim {
+
+/** Configuration for one external-trace suite run. */
+struct TraceSuiteOptions
+{
+    /** Directory scanned (recursively) for .vbt traces. */
+    std::string directory;
+    /** Predictor table budget in bytes. */
+    std::size_t bytes = 8 * 1024;
+    /** Worker threads across traces (0 = one per hardware thread;
+     *  per-trace step-1 sweeps stay serial so peak memory is bounded
+     *  by jobs x one streaming chunk). */
+    unsigned jobs = 1;
+    /** Checkpoint journal path; empty disables checkpointing. */
+    std::string checkpoint;
+    /** Total attempts per trace operation (1 = no retries). */
+    unsigned maxAttempts = 4;
+    /** Backoff before retry r (0-based) is backoffBaseMs << r. */
+    unsigned backoffBaseMs = 10;
+    /** Records buffered per streaming chunk (bounds peak memory). */
+    std::size_t chunkRecords =
+        trace::StreamingTraceReader::defaultChunkRecords;
+    /** File opener; empty = plain stdio (tests inject faults here). */
+    trace::FileOpener opener;
+    /** Optional artifact store shared by all workers. */
+    std::shared_ptr<store::ArtifactStore> store;
+    /**
+     * Backoff sleep hook (milliseconds); empty = real sleep. Tests
+     * replace it to observe retries without wall-clock delays.
+     */
+    std::function<void(unsigned)> sleeper;
+};
+
+/** Per-trace disposition in a suite run. */
+enum class TraceStatus {
+    /** Fully processed; comparison rows present. */
+    Ok,
+    /** Unreadable or invalid after retries; excluded from results. */
+    Quarantined,
+    /** Readable but carries no usable branches; excluded. */
+    Skipped,
+};
+
+/** Everything the suite learned about one trace. */
+struct TraceOutcome
+{
+    /** Path relative to the suite directory (stable sort key). */
+    std::string name;
+    /** Absolute/original path on disk. */
+    std::string path;
+    TraceStatus status = TraceStatus::Ok;
+    /** Failure/skip cause; empty for Ok traces. */
+    std::string cause;
+    /** Trace container version (1 = unchecksummed VBT1, 2 = VBT2);
+     *  0 when the header was never successfully read. */
+    unsigned formatVersion = 0;
+    /** Records promised by the trace header. */
+    std::uint64_t records = 0;
+    /** Conditional branches seen while profiling. */
+    std::uint64_t conditionalBranches = 0;
+    /** Indirect branches seen while profiling. */
+    std::uint64_t indirectBranches = 0;
+    std::optional<ComparisonRow> conditional;
+    std::optional<ComparisonRow> indirect;
+};
+
+/** Structured result of a suite run. */
+struct SuiteReport
+{
+    /** Outcomes in sorted-name order. */
+    std::vector<TraceOutcome> traces;
+    std::size_t bytes = 0;
+    unsigned globalConditionalLength = 0;
+    /** 0 when no trace had enough indirect branches to evaluate. */
+    unsigned globalIndirectLength = 0;
+    /** Cells replayed from the checkpoint journal (not printed: the
+     *  report text stays identical across interruptions). */
+    std::size_t resumedCells = 0;
+
+    std::size_t okCount() const;
+    std::size_t quarantinedCount() const;
+    std::size_t skippedCount() const;
+
+    /** True when no trace completed — the run produced nothing. */
+    bool allFailed() const { return okCount() == 0; }
+
+    /**
+     * Deterministic text rendering: identical doubles produce
+     * identical bytes, independent of jobs, interruption, or resume.
+     */
+    void print(std::ostream &out) const;
+};
+
+/** Runs the external-trace suite described by TraceSuiteOptions. */
+class TraceSuiteRunner
+{
+  public:
+    explicit TraceSuiteRunner(TraceSuiteOptions options);
+
+    TraceSuiteRunner(const TraceSuiteRunner &) = delete;
+    TraceSuiteRunner &operator=(const TraceSuiteRunner &) = delete;
+
+    /**
+     * Execute the suite: discover, validate, sweep, compare.
+     * @throws std::runtime_error only for environment-level failures
+     *         (unreadable directory, unusable checkpoint journal);
+     *         per-trace failures are reported, never thrown
+     */
+    SuiteReport run();
+
+    /**
+     * The .vbt files under @p directory (recursive), sorted by
+     * path-relative name. Exposed for the CLI and tests.
+     * @return (relative name, full path) pairs
+     * @throws std::runtime_error if the directory cannot be read
+     */
+    static std::vector<std::pair<std::string, std::string>>
+    discoverTraces(const std::string &directory);
+
+  private:
+    TraceSuiteOptions options_;
+};
+
+} // namespace sim
+} // namespace vlp
+
+#endif // VLPSIM_SIM_SUITE_RUNNER_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Checkpoint journal implementation.
+ */
+
+#include "store/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace vlp {
+namespace store {
+
+namespace {
+
+constexpr char journalMagic[8] = {'V', 'L', 'P', 'C',
+                                  'K', 'P', 'T', '1'};
+/** Bound on key/payload lengths: rejects garbage length fields fast. */
+constexpr std::uint32_t maxFieldBytes = 1u << 30;
+
+std::uint32_t
+getU32(const std::uint8_t *buffer)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *buffer)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+void
+putU32(std::uint8_t *buffer, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void
+putU64(std::uint8_t *buffer, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+} // anonymous namespace
+
+CheckpointJournal::CheckpointJournal(const std::string &path)
+    : path_(path)
+{
+    load();
+}
+
+CheckpointJournal::~CheckpointJournal()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+CheckpointJournal::load()
+{
+    std::uint64_t valid_bytes = sizeof(journalMagic);
+    bool existed = false;
+
+    if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
+        existed = true;
+        char magic[sizeof(journalMagic)];
+        if (std::fread(magic, 1, sizeof(magic), in) != sizeof(magic)
+            || std::memcmp(magic, journalMagic, sizeof(magic)) != 0) {
+            std::fclose(in);
+            util::fatal("not a checkpoint journal: " + path_);
+        }
+        // Replay entries until the first torn or corrupt one; that
+        // entry and everything after it is discarded below.
+        for (;;) {
+            std::uint8_t lengths[8];
+            if (std::fread(lengths, 1, 8, in) != 8)
+                break;
+            const std::uint32_t key_bytes = getU32(lengths);
+            const std::uint32_t payload_bytes = getU32(lengths + 4);
+            if (key_bytes == 0 || key_bytes > maxFieldBytes
+                || payload_bytes > maxFieldBytes) {
+                break;
+            }
+            std::string key(key_bytes, '\0');
+            std::vector<std::uint8_t> payload(payload_bytes);
+            if (std::fread(key.data(), 1, key_bytes, in) != key_bytes)
+                break;
+            if (payload_bytes > 0
+                && std::fread(payload.data(), 1, payload_bytes, in)
+                       != payload_bytes) {
+                break;
+            }
+            std::uint8_t trailer[8];
+            if (std::fread(trailer, 1, 8, in) != 8)
+                break;
+            util::Fnv1a checksum;
+            checksum.update(key.data(), key_bytes);
+            checksum.update(payload.data(), payload_bytes);
+            if (checksum.digest() != getU64(trailer))
+                break;
+            cells_.emplace(std::move(key), std::move(payload));
+            valid_bytes += 8 + key_bytes + payload_bytes + 8;
+        }
+        std::fclose(in);
+        resumed_ = cells_.size();
+    }
+
+    if (existed) {
+        // Drop the torn tail so the append position is clean.
+        std::error_code error;
+        if (fs::file_size(path_, error) != valid_bytes && !error)
+            fs::resize_file(path_, valid_bytes, error);
+        if (error) {
+            util::fatal("cannot truncate checkpoint journal: " + path_
+                        + " (" + error.message() + ")");
+        }
+        file_ = std::fopen(path_.c_str(), "ab");
+        if (file_ == nullptr)
+            util::fatal("cannot append to checkpoint journal: "
+                        + path_);
+    } else {
+        file_ = std::fopen(path_.c_str(), "wb");
+        if (file_ == nullptr)
+            util::fatal("cannot create checkpoint journal: " + path_);
+        if (std::fwrite(journalMagic, 1, sizeof(journalMagic), file_)
+            != sizeof(journalMagic)) {
+            util::fatal("cannot write checkpoint journal header: "
+                        + path_);
+        }
+        std::fflush(file_);
+    }
+}
+
+std::optional<std::vector<std::uint8_t>>
+CheckpointJournal::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cells_.find(key);
+    if (it == cells_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+CheckpointJournal::record(const std::string &key,
+                          const std::vector<std::uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cells_.count(key) > 0)
+        return;
+
+    std::uint8_t lengths[8];
+    putU32(lengths, static_cast<std::uint32_t>(key.size()));
+    putU32(lengths + 4, static_cast<std::uint32_t>(payload.size()));
+    util::Fnv1a checksum;
+    checksum.update(key.data(), key.size());
+    checksum.update(payload.data(), payload.size());
+    std::uint8_t trailer[8];
+    putU64(trailer, checksum.digest());
+
+    // One torn entry at the tail is tolerated on reload; a flush per
+    // cell keeps the window to the entry being appended.
+    bool ok = std::fwrite(lengths, 1, 8, file_) == 8;
+    ok = ok
+        && std::fwrite(key.data(), 1, key.size(), file_) == key.size();
+    ok = ok
+        && (payload.empty()
+            || std::fwrite(payload.data(), 1, payload.size(), file_)
+                   == payload.size());
+    ok = ok && std::fwrite(trailer, 1, 8, file_) == 8;
+    if (!ok || std::fflush(file_) != 0) {
+        util::warn("failed to journal checkpoint cell (disk full?): "
+                   + path_);
+        return;
+    }
+    cells_.emplace(key, payload);
+}
+
+std::size_t
+CheckpointJournal::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
+} // namespace store
+} // namespace vlp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Crash-tolerant checkpoint journal for long suite runs.
+ *
+ * An append-only file of (cell key, payload) entries, each protected
+ * by an FNV-1a checksum over the key and payload bytes:
+ *
+ *   bytes 0..7   magic "VLPCKPT1"
+ *   then, per entry:
+ *     uint32 key length     uint32 payload length
+ *     key bytes             payload bytes
+ *     uint64 FNV-1a checksum of key bytes + payload bytes
+ *
+ * A run killed mid-append leaves at most one torn entry at the tail;
+ * open() replays the journal up to the last fully valid entry and
+ * truncates the rest, so resume sees exactly the cells that had been
+ * durably recorded — never a partial one. Cell keys name everything
+ * the recorded result depends on (trace content hash, predictor
+ * class, table budget, global length, artifact format version), so a
+ * checkpoint written under one configuration is simply a set of
+ * misses under any other.
+ *
+ * record() appends and flushes before returning; the journal is
+ * intended for one writing process at a time (unlike the artifact
+ * store, which is multi-process safe).
+ */
+
+#ifndef VLPSIM_STORE_CHECKPOINT_H
+#define VLPSIM_STORE_CHECKPOINT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vlp {
+namespace store {
+
+/** One on-disk checkpoint journal; thread-safe. */
+class CheckpointJournal
+{
+  public:
+    /**
+     * Open @p path, creating it if absent, and replay any existing
+     * entries (dropping a torn or corrupt tail).
+     * @throws std::runtime_error if the file cannot be opened or is
+     *         not a checkpoint journal
+     */
+    explicit CheckpointJournal(const std::string &path);
+
+    ~CheckpointJournal();
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /** The payload recorded under @p key, or nullopt. */
+    std::optional<std::vector<std::uint8_t>>
+    lookup(const std::string &key) const;
+
+    /**
+     * Durably record @p payload under @p key (append + flush). A key
+     * that is already present is left untouched — completed cells are
+     * immutable.
+     */
+    void record(const std::string &key,
+                const std::vector<std::uint8_t> &payload);
+
+    /** Number of recorded cells. */
+    std::size_t entries() const;
+
+    /** Cells replayed from disk at open (before any record()). */
+    std::size_t resumedEntries() const { return resumed_; }
+
+    /** The journal's path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    void load();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<std::uint8_t>> cells_;
+    std::size_t resumed_ = 0;
+};
+
+} // namespace store
+} // namespace vlp
+
+#endif // VLPSIM_STORE_CHECKPOINT_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FaultyDir implementation.
+ */
+
+#include "store/fault_injection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace vlp {
+namespace store {
+
+namespace {
+
+void
+applyFault(const std::string &path, FaultyDir::Fault fault,
+           util::Rng &rng)
+{
+    std::error_code error;
+    const std::uint64_t bytes = fs::file_size(path, error);
+    if (error)
+        util::fatal("cannot stat file to corrupt: " + path);
+    if (bytes == 0)
+        return;
+
+    switch (fault) {
+    case FaultyDir::Fault::TruncateTail: {
+        const std::uint64_t keep = bytes - std::max<std::uint64_t>(
+            std::uint64_t{1}, bytes / 4);
+        fs::resize_file(path, keep, error);
+        if (error)
+            util::fatal("cannot truncate file: " + path);
+        break;
+    }
+    case FaultyDir::Fault::FlipBit: {
+        std::FILE *file = std::fopen(path.c_str(), "r+b");
+        if (file == nullptr)
+            util::fatal("cannot open file to corrupt: " + path);
+        const std::uint64_t offset = rng.nextBelow(bytes);
+        std::fseek(file, static_cast<long>(offset), SEEK_SET);
+        const int byte = std::fgetc(file);
+        std::fseek(file, static_cast<long>(offset), SEEK_SET);
+        std::fputc((byte == EOF ? 0 : byte)
+                       ^ (1 << rng.nextBelow(8)),
+                   file);
+        std::fclose(file);
+        break;
+    }
+    case FaultyDir::Fault::ZeroHeader: {
+        std::FILE *file = std::fopen(path.c_str(), "r+b");
+        if (file == nullptr)
+            util::fatal("cannot open file to corrupt: " + path);
+        const std::uint8_t zeros[8] = {};
+        std::fwrite(zeros, 1,
+                    static_cast<std::size_t>(
+                        std::min<std::uint64_t>(bytes, 8)),
+                    file);
+        std::fclose(file);
+        break;
+    }
+    }
+}
+
+} // anonymous namespace
+
+FaultyDir::FaultyDir(std::string directory, std::uint64_t seed)
+    : directory_(std::move(directory)), seed_(seed)
+{
+}
+
+std::vector<FaultyDir::Applied>
+FaultyDir::corrupt(double fraction, const std::string &extension)
+{
+    std::error_code error;
+    std::vector<std::string> files;
+    for (fs::recursive_directory_iterator
+             it(directory_, error), end;
+         !error && it != end; it.increment(error)) {
+        if (!it->is_regular_file())
+            continue;
+        if (!extension.empty()
+            && it->path().extension() != extension) {
+            continue;
+        }
+        files.push_back(it->path().string());
+    }
+    if (error) {
+        util::fatal("cannot list directory to corrupt: " + directory_
+                    + " (" + error.message() + ")");
+    }
+    std::sort(files.begin(), files.end());
+
+    util::Rng rng(seed_);
+    std::vector<Applied> applied;
+    for (const std::string &path : files) {
+        // One decision draw and one kind draw per file, in sorted
+        // order: the victim set depends only on (listing, seed).
+        const bool victim = rng.nextBool(fraction);
+        const Fault fault = static_cast<Fault>(rng.nextBelow(3));
+        if (!victim)
+            continue;
+        applyFault(path, fault, rng);
+        applied.push_back({path, fault});
+    }
+    if (applied.empty() && !files.empty() && fraction > 0.0) {
+        // Guarantee progress for tiny corpora: corrupt the first file.
+        applyFault(files.front(), Fault::TruncateTail, rng);
+        applied.push_back({files.front(), Fault::TruncateTail});
+    }
+    return applied;
+}
+
+const char *
+FaultyDir::faultName(Fault fault)
+{
+    switch (fault) {
+    case Fault::TruncateTail:
+        return "truncate-tail";
+    case Fault::FlipBit:
+        return "flip-bit";
+    case Fault::ZeroHeader:
+        return "zero-header";
+    }
+    return "unknown";
+}
+
+} // namespace store
+} // namespace vlp

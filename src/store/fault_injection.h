@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic on-disk corruption for robustness tests.
+ *
+ * FaultyDir damages a chosen subset of the files in a directory —
+ * trace corpora, artifact-cache object trees, checkpoint journals —
+ * the way real storage does: truncated tails, flipped bits, zeroed
+ * headers. Victims and fault kinds are a pure function of the seed
+ * and the sorted file list, so a test (or the CI kill/resume job) can
+ * corrupt "the same" files on every run and assert byte-identical
+ * recovery behavior.
+ */
+
+#ifndef VLPSIM_STORE_FAULT_INJECTION_H
+#define VLPSIM_STORE_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlp {
+namespace store {
+
+/** Deterministically corrupts files under one directory. */
+class FaultyDir
+{
+  public:
+    /** Fault kinds applied to victim files. */
+    enum class Fault {
+        /** Cut the final quarter (at least one byte) off the file. */
+        TruncateTail,
+        /** Invert one bit somewhere in the file body. */
+        FlipBit,
+        /** Zero the first 8 bytes (magic and friends). */
+        ZeroHeader,
+    };
+
+    /** One applied corruption, for logging and assertions. */
+    struct Applied
+    {
+        std::string path;
+        Fault fault;
+    };
+
+    /**
+     * @param directory corrupted in place — point this at copies
+     * @param seed selects victims and fault kinds
+     */
+    FaultyDir(std::string directory, std::uint64_t seed);
+
+    /**
+     * Corrupt roughly @p fraction of the matching files (always at
+     * least one when any match and fraction > 0). Files are selected
+     * from the lexicographically sorted recursive listing, so the
+     * victim set is stable for a given directory content and seed.
+     *
+     * @param extension only files with this extension (e.g. ".vbt");
+     *        empty matches everything
+     * @return the corruptions applied, in sorted-path order
+     * @throws std::runtime_error if the directory cannot be read
+     */
+    std::vector<Applied> corrupt(double fraction,
+                                 const std::string &extension = "");
+
+    /** Human-readable fault name ("truncate-tail", ...). */
+    static const char *faultName(Fault fault);
+
+  private:
+    std::string directory_;
+    std::uint64_t seed_;
+};
+
+} // namespace store
+} // namespace vlp
+
+#endif // VLPSIM_STORE_FAULT_INJECTION_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stdio-backed ByteFile implementation.
+ */
+
+#include "trace/byte_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace trace {
+
+namespace {
+
+/** Errnos that name a condition a retry can plausibly clear. */
+bool
+isTransientErrno(int error)
+{
+    return error == EINTR || error == EAGAIN
+#ifdef EWOULDBLOCK
+        || error == EWOULDBLOCK
+#endif
+        || error == EBUSY;
+}
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    const int error = errno;
+    const std::string message =
+        what + ": " + path + " (" + std::strerror(error) + ")";
+    if (isTransientErrno(error))
+        throw util::TransientError(message);
+    throw std::runtime_error(message);
+}
+
+} // anonymous namespace
+
+StdioByteFile::StdioByteFile(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        throwErrno("cannot open trace file", path_);
+}
+
+StdioByteFile::~StdioByteFile()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+std::size_t
+StdioByteFile::read(void *buffer, std::size_t size)
+{
+    const std::size_t got = std::fread(buffer, 1, size, file_);
+    if (got < size && std::ferror(file_)) {
+        std::clearerr(file_);
+        throwErrno("read failed", path_);
+    }
+    return got;
+}
+
+void
+StdioByteFile::seek(std::uint64_t offset)
+{
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0)
+        throwErrno("seek failed", path_);
+}
+
+std::uint64_t
+StdioByteFile::size()
+{
+    const long position = std::ftell(file_);
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        throwErrno("seek failed", path_);
+    const long end = std::ftell(file_);
+    if (std::fseek(file_, position, SEEK_SET) != 0)
+        throwErrno("seek failed", path_);
+    return static_cast<std::uint64_t>(end);
+}
+
+std::unique_ptr<ByteFile>
+openByteFile(const std::string &path)
+{
+    return std::make_unique<StdioByteFile>(path);
+}
+
+} // namespace trace
+} // namespace vlp

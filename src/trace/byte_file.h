@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Byte-level file access behind a virtual seam.
+ *
+ * Trace readers consume raw bytes through the ByteFile interface
+ * instead of touching stdio directly, so tests can interpose
+ * deterministic fault injection (trace/fault_injection.h) on the exact
+ * code paths production uses: the same short-read loops, the same
+ * error classification, the same checksum verification.
+ *
+ * Error model: read()/seek()/size() throw util::TransientError for
+ * failures worth retrying (EINTR/EAGAIN-class) and std::runtime_error
+ * for everything else. read() may legitimately return fewer bytes than
+ * requested (a short read) — callers must loop.
+ */
+
+#ifndef VLPSIM_TRACE_BYTE_FILE_H
+#define VLPSIM_TRACE_BYTE_FILE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace vlp {
+namespace trace {
+
+/** A seekable, read-only stream of bytes. */
+class ByteFile
+{
+  public:
+    virtual ~ByteFile() = default;
+
+    /**
+     * Read up to @p size bytes into @p buffer.
+     * @return bytes actually read; 0 only at end of file. May be
+     *         short — callers loop until satisfied or 0.
+     * @throws util::TransientError on retryable failures
+     * @throws std::runtime_error on permanent failures
+     */
+    virtual std::size_t read(void *buffer, std::size_t size) = 0;
+
+    /** Reposition the stream to absolute @p offset. */
+    virtual void seek(std::uint64_t offset) = 0;
+
+    /** Total byte length of the file. */
+    virtual std::uint64_t size() = 0;
+
+    /** Path (or other identity) for error messages. */
+    virtual const std::string &name() const = 0;
+};
+
+/** Plain stdio-backed ByteFile. */
+class StdioByteFile : public ByteFile
+{
+  public:
+    /**
+     * @throws util::TransientError when the open fails with a
+     *         retryable errno, std::runtime_error otherwise
+     */
+    explicit StdioByteFile(const std::string &path);
+    ~StdioByteFile() override;
+
+    StdioByteFile(const StdioByteFile &) = delete;
+    StdioByteFile &operator=(const StdioByteFile &) = delete;
+
+    std::size_t read(void *buffer, std::size_t size) override;
+    void seek(std::uint64_t offset) override;
+    std::uint64_t size() override;
+    const std::string &name() const override { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+/**
+ * How trace consumers open files. The default opener returns a
+ * StdioByteFile; tests substitute a fault-injecting opener (see
+ * trace::FaultInjector::opener()).
+ */
+using FileOpener =
+    std::function<std::unique_ptr<ByteFile>(const std::string &path)>;
+
+/** Open @p path as a plain StdioByteFile. */
+std::unique_ptr<ByteFile> openByteFile(const std::string &path);
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_BYTE_FILE_H

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Streaming .vbt reader implementation.
+ */
+
+#include "trace/streaming.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace trace {
+
+namespace {
+
+constexpr std::array<char, 4> traceMagicV1 = {'V', 'B', 'T', '1'};
+constexpr std::array<char, 4> traceMagicV2 = {'V', 'B', 'T', '2'};
+constexpr std::size_t recordBytes = 1 + 1 + 8 + 8;
+constexpr std::uint64_t headerBytesV1 = 12;
+constexpr std::uint64_t headerBytesV2 = 20;
+
+std::uint64_t
+getU64(const std::uint8_t *buffer)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+    return value;
+}
+
+} // anonymous namespace
+
+StreamingTraceReader::StreamingTraceReader(std::unique_ptr<ByteFile> file,
+                                           std::size_t chunk_records)
+    : file_(std::move(file)),
+      chunkRecords_(chunk_records > 0 ? chunk_records : 1)
+{
+    std::uint8_t header[headerBytesV2];
+    readFully(header, headerBytesV1);
+    if (std::memcmp(header, traceMagicV2.data(), 4) == 0) {
+        formatVersion_ = 2;
+        headerBytes_ = headerBytesV2;
+        readFully(header + headerBytesV1, 8);
+        expectedChecksum_ = getU64(header + 12);
+    } else if (std::memcmp(header, traceMagicV1.data(), 4) == 0) {
+        // VBT1 headers end at the record count; there is no checksum
+        // field to skip, and the first record starts at byte 12.
+        formatVersion_ = 1;
+        headerBytes_ = headerBytesV1;
+    } else {
+        util::fatal("not a .vbt trace file: " + file_->name());
+    }
+    count_ = getU64(header + 4);
+
+    // Reject truncated or torn files up front, exactly like the
+    // materializing TraceReader: the record stream must hold the bytes
+    // the header promises.
+    const std::uint64_t expected =
+        headerBytes_ + count_ * recordBytes;
+    const std::uint64_t actual = file_->size();
+    if (actual != expected) {
+        util::fatal("truncated or corrupt trace file: " + file_->name()
+                    + " (header promises " + std::to_string(expected)
+                    + " bytes, file has " + std::to_string(actual)
+                    + ")");
+    }
+    buffer_.reserve(chunkRecords_ * recordBytes);
+}
+
+StreamingTraceReader::StreamingTraceReader(const std::string &path,
+                                           std::size_t chunk_records)
+    : StreamingTraceReader(openByteFile(path), chunk_records)
+{
+}
+
+void
+StreamingTraceReader::readFully(std::uint8_t *buffer, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const std::size_t chunk =
+            file_->read(buffer + got, size - got);
+        if (chunk == 0)
+            util::fatal("truncated trace file: " + file_->name());
+        got += chunk;
+    }
+}
+
+void
+StreamingTraceReader::refill()
+{
+    const std::uint64_t remaining = count_ - read_;
+    const std::size_t records = static_cast<std::size_t>(
+        remaining < chunkRecords_ ? remaining : chunkRecords_);
+    buffer_.resize(records * recordBytes);
+    readFully(buffer_.data(), buffer_.size());
+    bufferPos_ = 0;
+    bufferBytes_ = buffer_.size();
+    if (bufferBytes_ > peakBufferBytes_)
+        peakBufferBytes_ = bufferBytes_;
+}
+
+bool
+StreamingTraceReader::next(BranchRecord &record)
+{
+    if (read_ >= count_)
+        return false;
+    if (bufferPos_ >= bufferBytes_)
+        refill();
+    const std::uint8_t *bytes = buffer_.data() + bufferPos_;
+    if (bytes[0] >= numBranchKinds)
+        util::fatal("corrupt trace record: bad branch kind");
+    if (bytes[1] > 1)
+        util::fatal("corrupt trace record: bad taken flag");
+    record.kind = static_cast<BranchKind>(bytes[0]);
+    record.taken = bytes[1] != 0;
+    record.pc = getU64(bytes + 2);
+    record.nextPc = getU64(bytes + 10);
+    if (formatVersion_ >= 2) {
+        checksum_.update(bytes, recordBytes);
+        if (read_ + 1 == count_
+            && checksum_.digest() != expectedChecksum_) {
+            util::fatal("corrupt trace file: checksum mismatch: "
+                        + file_->name());
+        }
+    }
+    bufferPos_ += recordBytes;
+    ++read_;
+    return true;
+}
+
+void
+StreamingTraceReader::reset()
+{
+    file_->seek(headerBytes_);
+    read_ = 0;
+    bufferPos_ = 0;
+    bufferBytes_ = 0;
+    checksum_.reset();
+}
+
+std::string
+hashTraceFile(ByteFile &file)
+{
+    // Two independently seeded 64-bit FNV-1a streams give the 128-bit
+    // identity; seeds match nothing else in the repository so trace
+    // hashes never collide with cache-key hashes by construction.
+    util::Fnv1a low(util::Fnv1a::offsetBasis);
+    util::Fnv1a high(util::Fnv1a::offsetBasis
+                     ^ 0x9e3779b97f4a7c15ULL);
+    file.seek(0);
+    std::array<std::uint8_t, 65536> buffer;
+    for (;;) {
+        const std::size_t got = file.read(buffer.data(), buffer.size());
+        if (got == 0)
+            break;
+        low.update(buffer.data(), got);
+        high.update(buffer.data(), got);
+    }
+    char text[33];
+    std::snprintf(text, sizeof(text), "%016llx%016llx",
+                  static_cast<unsigned long long>(high.digest()),
+                  static_cast<unsigned long long>(low.digest()));
+    return text;
+}
+
+std::string
+hashTraceFile(const std::string &path)
+{
+    const auto file = openByteFile(path);
+    return hashTraceFile(*file);
+}
+
+} // namespace trace
+} // namespace vlp

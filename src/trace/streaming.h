@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded-memory streaming replay of .vbt trace files.
+ *
+ * StreamingTraceReader refills a fixed-size chunk of decoded records
+ * from a ByteFile, so replaying a multi-gigabyte external trace holds
+ * peak trace-buffer memory at chunkRecords * 18 bytes regardless of
+ * file size — the property the external-trace suite runner relies on.
+ * peakBufferBytes() reports the high-water mark so tests can hold the
+ * cap.
+ *
+ * Validation matches trace_io.h's TraceReader: magic and header-vs-
+ * file-size checks at open (truncated files fail before any record is
+ * served), per-record kind/taken checks, and — for VBT2 — a
+ * stream checksum verified when the final record is consumed.
+ * formatVersion() lets callers warn on unchecksummed VBT1 inputs.
+ */
+
+#ifndef VLPSIM_TRACE_STREAMING_H
+#define VLPSIM_TRACE_STREAMING_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/byte_file.h"
+#include "trace/trace_source.h"
+#include "util/checksum.h"
+
+namespace vlp {
+namespace trace {
+
+/** Streams a .vbt file as a TraceSource with bounded buffering. */
+class StreamingTraceReader : public TraceSource
+{
+  public:
+    /** Default chunk size: 4096 records = 72 KiB of buffer. */
+    static constexpr std::size_t defaultChunkRecords = 4096;
+
+    /**
+     * Take ownership of @p file, validate the header, and verify the
+     * file holds exactly the record bytes the header promises.
+     * @throws std::runtime_error on bad magic or truncation
+     * @throws util::TransientError propagated from @p file
+     */
+    explicit StreamingTraceReader(
+        std::unique_ptr<ByteFile> file,
+        std::size_t chunk_records = defaultChunkRecords);
+
+    /** Convenience: open @p path with a plain stdio file. */
+    explicit StreamingTraceReader(
+        const std::string &path,
+        std::size_t chunk_records = defaultChunkRecords);
+
+    /**
+     * @throws std::runtime_error on a corrupt record or (VBT2, after
+     *         the final record) a checksum mismatch
+     */
+    bool next(BranchRecord &record) override;
+
+    void reset() override;
+
+    /** Total records according to the header. */
+    std::uint64_t count() const { return count_; }
+
+    /** .vbt format version: 1 (no checksum) or 2. */
+    unsigned formatVersion() const { return formatVersion_; }
+
+    /** High-water mark of the record buffer, in bytes. */
+    std::size_t peakBufferBytes() const { return peakBufferBytes_; }
+
+  private:
+    /** Refill the chunk buffer from the file. */
+    void refill();
+
+    /** Read exactly @p size bytes, looping over short reads. */
+    void readFully(std::uint8_t *buffer, std::size_t size);
+
+    std::unique_ptr<ByteFile> file_;
+    std::size_t chunkRecords_;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+    unsigned formatVersion_ = 2;
+    std::uint64_t expectedChecksum_ = 0;
+    std::uint64_t headerBytes_ = 0;
+    util::Fnv1a checksum_;
+
+    std::vector<std::uint8_t> buffer_;
+    std::size_t bufferPos_ = 0;   // byte offset of the next record
+    std::size_t bufferBytes_ = 0; // valid bytes in buffer_
+    std::size_t peakBufferBytes_ = 0;
+};
+
+/**
+ * Content hash of a trace file as a 32-hex-digit string, computed by
+ * streaming the raw bytes (header included) through two independently
+ * seeded FNV-1a hashes — the identity external traces are cached
+ * under, replacing the synthetic workloads' generator version.
+ */
+std::string hashTraceFile(ByteFile &file);
+
+/** Convenience: hash the file at @p path. */
+std::string hashTraceFile(const std::string &path);
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_STREAMING_H

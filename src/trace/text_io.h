@@ -18,8 +18,10 @@
 #ifndef VLPSIM_TRACE_TEXT_IO_H
 #define VLPSIM_TRACE_TEXT_IO_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace_source.h"
 
@@ -53,6 +55,34 @@ void saveTextTrace(const VectorTraceSource &source,
  * @throws std::runtime_error for unknown names
  */
 BranchKind parseBranchKind(const std::string &name);
+
+/**
+ * Outcome of a lenient text-to-.vbt conversion (`vlpsim convert`).
+ * Malformed lines are skipped and reported with their line numbers
+ * instead of aborting the import — external branch logs routinely
+ * carry a handful of mangled lines.
+ */
+struct ConvertReport
+{
+    /** Diagnostics kept; further bad lines only bump skipped. */
+    static constexpr std::size_t maxDiagnostics = 20;
+
+    /** Records successfully parsed. */
+    std::uint64_t imported = 0;
+    /** Malformed lines skipped. */
+    std::uint64_t skipped = 0;
+    /** "line N: why" messages for the first maxDiagnostics bad lines. */
+    std::vector<std::string> diagnostics;
+};
+
+/**
+ * Parse a text branch log leniently. Accepts the native format
+ * (`kind pc next T|N`) and a ChampSim-style reduced form
+ * (`pc next T|N|1|0`, kind defaulting to cond). Malformed lines are
+ * recorded in @p report and skipped; never throws on content.
+ */
+VectorTraceSource readTextTraceLenient(std::istream &in,
+                                       ConvertReport &report);
 
 } // namespace trace
 } // namespace vlp

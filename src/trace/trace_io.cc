@@ -120,6 +120,10 @@ TraceReader::TraceReader(const std::string &path)
         }
         expectedChecksum_ = getU64(header + 12);
     } else if (std::memcmp(header, traceMagicV1.data(), 4) == 0) {
+        // VBT1 has no checksum field: the 12-byte header ends at the
+        // record count and the first record starts immediately after
+        // it. Nothing is read (or skipped) beyond those 12 bytes, and
+        // expectedChecksum_ stays unused (hasChecksum_ == false).
         headerBytes_ = headerBytesV1;
     } else {
         std::fclose(file_);

@@ -98,6 +98,14 @@ class TraceReader : public TraceSource
     /** Total records according to the header. */
     std::uint64_t count() const { return count_; }
 
+    /**
+     * The file's .vbt format version: 1 (VBT1, no checksum field —
+     * the record stream starts right after the count, and corruption
+     * inside records goes undetected) or 2 (VBT2, checksummed).
+     * Callers ingesting third-party traces warn on version 1.
+     */
+    unsigned formatVersion() const { return hasChecksum_ ? 2u : 1u; }
+
   private:
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;

@@ -16,6 +16,19 @@
 namespace vlp {
 namespace util {
 
+/**
+ * An I/O failure that is worth retrying: an interrupted read, a
+ * momentarily unavailable file, an injected transient fault. Callers
+ * that replay whole units of work (the external-trace suite runner)
+ * catch this separately from std::runtime_error and retry with
+ * backoff; anything else is treated as permanent.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Print an informational message to stderr ("info: ..."). */
 void inform(const std::string &message);
 

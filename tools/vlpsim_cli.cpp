@@ -32,6 +32,15 @@
  *       on-disk store, so a warm rerun skips the fixed-length sweeps
  *       and prints byte-identical results; --cache-max-bytes N bounds
  *       the store, --no-cache disables it.
+ *   suite --traces <dir> [bytes] [--checkpoint FILE] [--jobs N]
+ *       External-trace mode: run the paper's methodology over every
+ *       .vbt file under <dir> through the hardened ingestion pipeline.
+ *       Traces stream in bounded-memory chunks, transient IO errors
+ *       are retried with backoff, unreadable traces are quarantined
+ *       (listed with their cause) while the run continues, and with
+ *       --checkpoint every completed per-trace cell is journaled so a
+ *       killed run resumes where it left off with a byte-identical
+ *       report. Exits nonzero only when no trace completed.
  *   cache <stats|verify|clear> <dir>
  *       Inspect the artifact cache: stats prints entry counts, bytes,
  *       and lifetime hit/miss counters; verify re-validates every
@@ -39,12 +48,17 @@
  *   import <in.txt> <out.vbt> / export <in.vbt> <out.txt>
  *       Convert between the text trace format (one branch per line —
  *       the adapter path for external tools) and the binary format.
+ *   convert <in.txt> <out.vbt>
+ *       Like import, but lenient: malformed lines are skipped and
+ *       reported with their line numbers instead of aborting, for
+ *       external branch logs (ChampSim-style reduced lines accepted).
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -59,6 +73,7 @@
 #include "sim/experiment.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
+#include "sim/suite_runner.h"
 #include "store/artifact_store.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
@@ -87,9 +102,12 @@ usage()
         "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
         "         [--cache-dir DIR] [--cache-max-bytes N] "
         "[--no-cache]\n"
+        "  vlpsim suite --traces <dir> [bytes] [--checkpoint FILE]\n"
+        "         [--jobs N] [cache flags]\n"
         "  vlpsim cache <stats|verify|clear> <dir>\n"
         "  vlpsim import <in.txt> <out.vbt>\n"
-        "  vlpsim export <in.vbt> <out.txt>\n";
+        "  vlpsim export <in.vbt> <out.txt>\n"
+        "  vlpsim convert <in.txt> <out.vbt>\n";
     return 2;
 }
 
@@ -233,6 +251,11 @@ cmdStats(int argc, char **argv)
     if (argc < 3)
         return usage();
     trace::TraceReader reader(argv[2]);
+    if (reader.formatVersion() < 2) {
+        std::cerr << "warning: " << argv[2]
+                  << " is an unchecksummed VBT1 container; corruption "
+                     "would go undetected (re-export to upgrade)\n";
+    }
     trace::TraceStats stats;
     stats.observeAll(reader);
     std::cout << stats.summary() << "\n";
@@ -395,9 +418,66 @@ cmdTop(int argc, char **argv)
     return 0;
 }
 
+/** `suite --traces DIR`: the external-trace ingestion pipeline. */
+int
+cmdSuiteTraces(int argc, char **argv)
+{
+    sim::TraceSuiteOptions options;
+    options.jobs = parseJobs(argc, argv);
+    options.store = openCache(argc, argv);
+    bool have_bytes = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string argument = argv[i];
+        if (argument == "--traces"
+            || argument.rfind("--traces=", 0) == 0) {
+            options.directory = flagValue(argc, argv, i, "--traces");
+        } else if (argument == "--checkpoint"
+                   || argument.rfind("--checkpoint=", 0) == 0) {
+            options.checkpoint =
+                flagValue(argc, argv, i, "--checkpoint");
+        } else if (argument == "--jobs") {
+            ++i; // value consumed by parseJobs
+        } else if (argument == "--cache-dir"
+                   || argument == "--cache-max-bytes") {
+            ++i; // value consumed by openCache
+        } else if (argument.rfind("--", 0) == 0) {
+            continue; // --jobs=N / cache flags / --no-cache
+        } else if (!have_bytes) {
+            options.bytes = std::strtoul(argv[i], nullptr, 0);
+            have_bytes = true;
+            if (options.bytes == 0) {
+                util::fatal("table budget must be a positive byte "
+                            "count");
+            }
+        } else {
+            return usage();
+        }
+    }
+    if (options.directory.empty())
+        return usage();
+
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+    if (report.resumedCells > 0) {
+        std::cerr << "checkpoint: resumed " << report.resumedCells
+                  << " completed cells\n";
+    }
+    report.print(std::cout);
+    // A partially failed corpus still produced results; only a run
+    // that completed nothing exits nonzero.
+    return report.allFailed() ? 1 : 0;
+}
+
 int
 cmdSuite(int argc, char **argv)
 {
+    for (int i = 2; i < argc; ++i) {
+        const std::string argument = argv[i];
+        if (argument == "--traces"
+            || argument.rfind("--traces=", 0) == 0) {
+            return cmdSuiteTraces(argc, argv);
+        }
+    }
     if (argc < 4)
         return usage();
     const bool indirect = parseIndirect(argv[2]);
@@ -520,6 +600,32 @@ cmdExport(int argc, char **argv)
     return 0;
 }
 
+int
+cmdConvert(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in)
+        util::fatal(std::string("cannot open text trace: ") + argv[2]);
+    trace::ConvertReport report;
+    auto trace = trace::readTextTraceLenient(in, report);
+    for (const std::string &diagnostic : report.diagnostics)
+        std::cerr << argv[2] << ": " << diagnostic << "\n";
+    if (report.skipped > report.diagnostics.size()) {
+        std::cerr << argv[2] << ": ... and "
+                  << report.skipped - report.diagnostics.size()
+                  << " more malformed lines\n";
+    }
+    if (report.imported == 0)
+        util::fatal(std::string("no usable records in ") + argv[2]);
+    trace::saveTrace(trace, argv[3]);
+    std::cout << "converted " << util::formatScaled(report.imported)
+              << " records (" << report.skipped
+              << " malformed lines skipped) -> " << argv[3] << "\n";
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -549,6 +655,8 @@ main(int argc, char **argv)
             return cmdImport(argc, argv);
         if (command == "export")
             return cmdExport(argc, argv);
+        if (command == "convert")
+            return cmdConvert(argc, argv);
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
