@@ -19,6 +19,7 @@
 #include "core/path_predictor.h"
 #include "core/profiler.h"
 #include "predictors/budget.h"
+#include "workload/benchmarks.h"
 
 namespace {
 
@@ -91,13 +92,13 @@ struct AblationConfig
 int
 main(int argc, char **argv)
 {
-    bench::banner("Ablations: rotation, returns-in-THB, profiling "
-                  "parameters, hash-function subset, HFNT",
-                  "gcc, 16K byte conditional predictor, test input");
-
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
+    bench::Driver driver(
+        "bench_ablation",
+        "Ablations: rotation, returns-in-THB, profiling "
+        "parameters, hash-function subset, HFNT",
+        "gcc, 16K byte conditional predictor, test input");
+    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
+                                     sim::Report &report) {
     const auto &spec = workload::findBenchmark("gcc");
 
     core::ProfileOptions base;
@@ -173,10 +174,12 @@ main(int argc, char **argv)
             return rate;
         });
 
-    util::TablePrinter table({"configuration", "VLP mispredict (%)"});
+    sim::Section &ablations = report.addSection("ablations");
+    ablations.columns = {{"configuration"}, {"VLP mispredict (%)"}};
     for (std::size_t i = 0; i < configs.size(); ++i)
-        table.addRow({configs[i].label, bench::rate(rates[i])});
-    table.print(std::cout);
+        ablations.addRow(configs[i].label,
+                         {sim::Cell::text(configs[i].label),
+                          sim::Cell::percent(rates[i])});
 
     // --- HFNT re-predict rate (Section 4.3) --------------------------
     {
@@ -192,10 +195,13 @@ main(int argc, char **argv)
         const core::HashAssignment assignment =
             profiler.profile(profile_trace);
 
-        std::cout << "\nHFNT re-predict rates (prediction uses the "
-                     "table's number; decode reveals the actual):\n";
-        util::TablePrinter hfnt_table(
-            {"HFNT entries", "size (bytes)", "mismatch rate (%)"});
+        sim::Section &hfnt_section = report.addSection("hfnt");
+        hfnt_section.caption =
+            "\nHFNT re-predict rates (prediction uses the "
+            "table's number; decode reveals the actual):\n";
+        hfnt_section.columns = {{"HFNT entries"},
+                                {"size (bytes)"},
+                                {"mismatch rate (%)"}};
         for (const unsigned bits : {6u, 8u, 10u, 12u}) {
             core::HashFunctionNumberTable hfnt(bits);
             test_trace.reset();
@@ -206,15 +212,14 @@ main(int argc, char **argv)
                 hfnt.predictNumber(record.pc);
                 hfnt.update(record.pc, assignment.lookup(record.pc));
             }
-            hfnt_table.addRow({
+            hfnt_section.addRow(
                 std::to_string(1u << bits),
-                std::to_string(hfnt.sizeBytes()),
-                bench::rate(hfnt.mismatchRate()),
-            });
+                {
+                    sim::Cell::count(1u << bits),
+                    sim::Cell::count(hfnt.sizeBytes()),
+                    sim::Cell::percent(hfnt.mismatchRate()),
+                });
         }
-        hfnt_table.print(std::cout);
     }
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+    });
 }

@@ -1,26 +1,35 @@
 /**
  * @file
- * Shared helpers for the bench binaries that regenerate the paper's
+ * Shared driver for the bench binaries that regenerate the paper's
  * tables and figures.
+ *
+ * Every binary is now "declare columns, fill rows": it constructs a
+ * bench::Driver with its banner text and hands run() a body that
+ * fills a sim::Report from a sim::ParallelRunner. The driver owns
+ * everything the binaries used to copy-paste — argument parsing
+ * (--jobs, the cache flags, --format, --out, --help), artifact-store
+ * attachment, banner and run-summary emission, and report rendering
+ * through the selected sim::ReportSink. With the default
+ * `--format ascii` the stdout is byte-identical to the pre-driver
+ * binaries at any --jobs value (tests/golden locks this for
+ * bench_table2 and bench_fig5_6).
  */
 
 #ifndef VLPSIM_BENCH_BENCH_COMMON_H
 #define VLPSIM_BENCH_BENCH_COMMON_H
 
 #include <chrono>
-#include <cstdlib>
-#include <iostream>
-#include <memory>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <string>
-#include <vector>
 
-#include "predictors/budget.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
-#include "store/artifact_store.h"
-#include "util/logging.h"
+#include "sim/report.h"
+#include "sim/run_options.h"
+#include "util/args.h"
 #include "util/stats.h"
-#include "util/table.h"
 
 namespace bench {
 
@@ -31,180 +40,31 @@ rate(double value)
     return vlp::util::formatDouble(value, 2);
 }
 
-/** Banner identifying which paper artifact a binary regenerates. */
-inline void
-banner(const std::string &what, const std::string &configuration)
-{
-    std::cout << "==================================================="
-                 "=========\n"
-              << what << "\n"
-              << configuration << "\n"
-              << "(synthetic workloads; compare shapes, not absolute "
-                 "values — see EXPERIMENTS.md)\n"
-              << "==================================================="
-                 "=========\n";
-    const double scale = vlp::util::workloadScale();
-    if (scale != 1.0)
-        std::cout << "note: VLPSIM_SCALE=" << scale << "\n";
-}
-
-/** Percentage reduction in mispredictions of @p better vs @p base. */
+/**
+ * Signed percentage reduction in mispredictions of @p better relative
+ * to @p base.
+ *
+ * Convention: positive means @p better mispredicts less than the
+ * baseline; negative means a regression (better > base), reported at
+ * its true magnitude rather than clamped. When the baseline itself
+ * has zero mispredictions no finite percentage describes a nonzero
+ * comparison, so the edge cases are explicit: 0 vs 0 is 0.0 (no
+ * change), and any nonzero count against a zero baseline returns
+ * -infinity (rendered "-inf" by util::formatDouble).
+ */
 inline double
 reduction(const vlp::sim::RateEntry &base,
           const vlp::sim::RateEntry &better)
 {
-    if (base.mispredictions == 0)
-        return 0.0;
+    if (base.mispredictions == 0) {
+        if (better.mispredictions == 0)
+            return 0.0;
+        return -std::numeric_limits<double>::infinity();
+    }
     return 100.0
         * (static_cast<double>(base.mispredictions)
            - static_cast<double>(better.mispredictions))
         / static_cast<double>(base.mispredictions);
-}
-
-/**
- * Parse a `--jobs N` (or `--jobs=N`) flag from the command line.
- * Returns 0 ("one worker per hardware thread") when absent; 1
- * preserves the exact serial code path.
- */
-inline unsigned
-parseJobs(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        const std::string argument = argv[i];
-        std::string value;
-        if (argument == "--jobs") {
-            if (i + 1 >= argc) {
-                std::cerr << "error: --jobs requires a worker count\n";
-                std::exit(2);
-            }
-            value = argv[i + 1];
-        } else if (argument.rfind("--jobs=", 0) == 0) {
-            value = argument.substr(7);
-        } else {
-            continue;
-        }
-        char *end = nullptr;
-        const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || jobs > 4096) {
-            std::cerr << "error: malformed --jobs value: " << value
-                      << "\n";
-            std::exit(2);
-        }
-        return static_cast<unsigned>(jobs);
-    }
-    return 0;
-}
-
-/**
- * Artifact-cache configuration parsed from the command line:
- * `--cache-dir DIR` (or `--cache-dir=DIR`) enables the on-disk store,
- * `--cache-max-bytes N` bounds it (LRU eviction; 0 = unbounded), and
- * `--no-cache` disables it even if VLPSIM_CACHE_DIR is set in the
- * environment.
- */
-struct CacheConfig
-{
-    std::string directory;
-    std::uint64_t maxBytes = 0;
-    bool disabled = false;
-
-    bool enabled() const { return !disabled && !directory.empty(); }
-};
-
-/** Parse a flag's value at argv[i], advancing @p i for the
- *  space-separated form. Exits with a usage error when missing. */
-inline std::string
-flagValue(int argc, char **argv, int &i, const std::string &flag)
-{
-    const std::string argument = argv[i];
-    if (argument.size() > flag.size())
-        return argument.substr(flag.size() + 1); // "--flag=value"
-    if (i + 1 >= argc) {
-        std::cerr << "error: " << flag << " requires a value\n";
-        std::exit(2);
-    }
-    return argv[++i];
-}
-
-/**
- * Parse the cache flags from the command line. VLPSIM_CACHE_DIR in the
- * environment supplies the directory when no --cache-dir flag is
- * given, so whole suites can be cached without editing every command.
- */
-inline CacheConfig
-parseCacheConfig(int argc, char **argv)
-{
-    CacheConfig config;
-    if (const char *env = std::getenv("VLPSIM_CACHE_DIR"))
-        config.directory = env;
-    for (int i = 1; i < argc; ++i) {
-        const std::string argument = argv[i];
-        if (argument == "--no-cache") {
-            config.disabled = true;
-        } else if (argument == "--cache-dir"
-                   || argument.rfind("--cache-dir=", 0) == 0) {
-            config.directory =
-                flagValue(argc, argv, i, "--cache-dir");
-        } else if (argument == "--cache-max-bytes"
-                   || argument.rfind("--cache-max-bytes=", 0) == 0) {
-            const std::string value =
-                flagValue(argc, argv, i, "--cache-max-bytes");
-            char *end = nullptr;
-            config.maxBytes = std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0') {
-                std::cerr << "error: malformed --cache-max-bytes "
-                             "value: "
-                          << value << "\n";
-                std::exit(2);
-            }
-        }
-    }
-    return config;
-}
-
-/**
- * Open the configured artifact store (if any) and attach it to every
- * worker context of @p runner. Returns the store so the caller can
- * keep it alive and report counters; null when caching is off.
- */
-inline std::shared_ptr<vlp::store::ArtifactStore>
-attachCache(vlp::sim::ParallelRunner &runner, const CacheConfig &config)
-{
-    if (!config.enabled())
-        return nullptr;
-    vlp::store::StoreOptions options;
-    options.directory = config.directory;
-    options.maxBytes = config.maxBytes;
-    auto store = std::make_shared<vlp::store::ArtifactStore>(options);
-    runner.setStore(store);
-    return store;
-}
-
-/** Convenience: parse flags and attach in one call. */
-inline std::shared_ptr<vlp::store::ArtifactStore>
-attachCache(vlp::sim::ParallelRunner &runner, int argc, char **argv)
-{
-    return attachCache(runner, parseCacheConfig(argc, argv));
-}
-
-/**
- * One-line cache activity report on stderr (stdout stays
- * byte-identical between cold and warm runs). No-op for null stores.
- */
-inline void
-reportCache(const std::shared_ptr<vlp::store::ArtifactStore> &store)
-{
-    if (!store)
-        return;
-    const vlp::store::StoreCounters counters = store->counters();
-    std::cerr << "cache: " << counters.hits << " hits, "
-              << counters.misses << " misses, " << counters.inserts
-              << " inserts";
-    if (counters.corrupt > 0)
-        std::cerr << ", " << counters.corrupt << " corrupt";
-    if (counters.evicted > 0)
-        std::cerr << ", " << counters.evicted << " evicted";
-    std::cerr << "\n";
 }
 
 /**
@@ -219,34 +79,64 @@ class RunSummary
   public:
     RunSummary() : start_(std::chrono::steady_clock::now()) {}
 
-    /** Report @p predictions dynamic predictions from @p jobs workers. */
-    void
-    print(std::uint64_t predictions, unsigned jobs) const
-    {
-        const auto elapsed = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start_);
-        const double seconds = elapsed.count();
-        const double per_second =
-            seconds > 0.0 ? static_cast<double>(predictions) / seconds
-                          : 0.0;
-        std::cerr << "run summary: "
-                  << vlp::util::formatCount(predictions)
-                  << " branch predictions in "
-                  << vlp::util::formatDouble(seconds, 2) << " s ("
-                  << vlp::util::formatScaled(
-                         static_cast<std::uint64_t>(per_second))
-                  << " branches/s; jobs=" << jobs << ")\n";
-    }
+    /** Report @p predictions dynamic predictions from @p jobs
+     *  workers. */
+    void print(std::uint64_t predictions, unsigned jobs) const;
 
     /** Convenience over a runner's built-in prediction counter. */
-    void
-    print(const vlp::sim::ParallelRunner &runner) const
+    void print(const vlp::sim::ParallelRunner &runner) const
     {
         print(runner.predictions(), runner.jobs());
     }
 
   private:
     std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * The shared main() of every bench binary.
+ *
+ * Owns the command line (common flags plus whatever the binary adds
+ * through parser() before run()), the parallel runner and its
+ * artifact store, the report skeleton (banner text, scale, jobs and
+ * cache metadata), and the output sink. The body callback only fills
+ * sections.
+ */
+class Driver
+{
+  public:
+    /**
+     * @param program        binary name for usage text
+     * @param title          banner headline / report title
+     * @param configuration  banner configuration line
+     */
+    Driver(std::string program, std::string title,
+           std::string configuration);
+
+    /** The argument parser, for binaries that add extra flags. */
+    vlp::util::ArgParser &parser() { return parser_; }
+
+    /** The execution options (jobs, cache) after parsing. */
+    vlp::sim::RunOptions &options() { return options_; }
+
+    /** The output options (--format, --out) after parsing. */
+    vlp::sim::OutputOptions &output() { return output_; }
+
+    /**
+     * Parse the command line, run @p body to fill the report, render
+     * it, and emit the stderr run summary and cache counters.
+     * @return process exit code
+     */
+    int run(int argc, char **argv,
+            const std::function<void(vlp::sim::ParallelRunner &,
+                                     vlp::sim::Report &)> &body);
+
+  private:
+    std::string title_;
+    std::string configuration_;
+    vlp::util::ArgParser parser_;
+    vlp::sim::RunOptions options_;
+    vlp::sim::OutputOptions output_;
 };
 
 } // namespace bench

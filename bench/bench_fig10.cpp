@@ -8,6 +8,9 @@
 
 #include "bench_common.h"
 
+#include "predictors/budget.h"
+#include "workload/benchmarks.h"
+
 namespace {
 
 /** Everything one table size contributes to the printed figure. */
@@ -25,73 +28,84 @@ main(int argc, char **argv)
 {
     using namespace vlp;
 
-    bench::banner("Figure 10: Indirect Misprediction Rates for Gcc",
-                  "predictor sizes 0.5K to 32K bytes, test input");
+    bench::Driver driver(
+        "bench_fig10",
+        "Figure 10: Indirect Misprediction Rates for Gcc",
+        "predictor sizes 0.5K to 32K bytes, test input");
+    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
+                                     sim::Report &report) {
+        const auto &spec = workload::findBenchmark("gcc");
 
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
-    const auto &spec = workload::findBenchmark("gcc");
+        sim::Section &section = report.addSection("sizes");
+        section.columns = {{"Size (KB)"},
+                           {"path CHP (%)"},
+                           {"pattern CHP (%)"},
+                           {"fixed length path (%)"},
+                           {"fixed length path (tuned) (%)"},
+                           {"variable length path (%)"},
+                           {"global len"},
+                           {"tuned len"}};
 
-    util::TablePrinter table({"Size (KB)", "path CHP (%)",
-                              "pattern CHP (%)",
-                              "fixed length path (%)",
-                              "fixed length path (tuned) (%)",
-                              "variable length path (%)",
-                              "global len", "tuned len"});
+        const std::vector<std::size_t> sizes = {512, 2048, 8192,
+                                                32768};
+        const auto points = runner.map<SizePoint>(
+            sizes.size(),
+            [&](sim::ExperimentContext &context, std::size_t i) {
+                const std::size_t bytes = sizes[i];
+                SizePoint point;
+                point.globalLength =
+                    context.globalIndirectLength(bytes);
+                point.tunedLength =
+                    context
+                        .indirectSweep(spec,
+                                       pred::indirectIndexBits(bytes))
+                        .bestLength();
+                point.row = sim::compareIndirect(
+                    context, spec, bytes, point.globalLength, true);
+                for (const auto &entry : point.row.entries)
+                    runner.addPredictions(entry.branches);
+                return point;
+            });
 
-    const std::vector<std::size_t> sizes = {512, 2048, 8192, 32768};
-    const auto points = runner.map<SizePoint>(
-        sizes.size(),
-        [&](sim::ExperimentContext &context, std::size_t i) {
+        double flp_cut_at_32k = 0.0, vlp_cut_at_32k = 0.0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
             const std::size_t bytes = sizes[i];
-            SizePoint point;
-            point.globalLength = context.globalIndirectLength(bytes);
-            point.tunedLength =
-                context
-                    .indirectSweep(spec, pred::indirectIndexBits(bytes))
-                    .bestLength();
-            point.row = sim::compareIndirect(
-                context, spec, bytes, point.globalLength, true);
-            for (const auto &entry : point.row.entries)
-                runner.addPredictions(entry.branches);
-            return point;
-        });
-
-    double flp_cut_at_32k = 0.0, vlp_cut_at_32k = 0.0;
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
-        const std::size_t bytes = sizes[i];
-        const unsigned global_length = points[i].globalLength;
-        const unsigned tuned_length = points[i].tunedLength;
-        const auto &row = points[i].row;
-        table.addRow({
-            util::formatDouble(bytes / 1024.0, 1),
-            bench::rate(row.entry(sim::names::chpPath).rate),
-            bench::rate(row.entry(sim::names::chpPattern).rate),
-            bench::rate(row.entry(sim::names::flp).rate),
-            bench::rate(row.entry(sim::names::flpTuned).rate),
-            bench::rate(row.entry(sim::names::vlp).rate),
-            std::to_string(global_length),
-            std::to_string(tuned_length),
-        });
-        if (bytes == 32768) {
-            const auto &path = row.entry(sim::names::chpPath);
-            const auto &pattern = row.entry(sim::names::chpPattern);
-            const auto &best_competing =
-                path.mispredictions < pattern.mispredictions ? path
-                                                             : pattern;
-            flp_cut_at_32k = bench::reduction(
-                best_competing, row.entry(sim::names::flp));
-            vlp_cut_at_32k = bench::reduction(
-                best_competing, row.entry(sim::names::vlp));
+            const auto &row = points[i].row;
+            section.addRow(
+                std::to_string(bytes),
+                {
+                    sim::Cell::real(bytes / 1024.0, 1),
+                    sim::Cell::percent(
+                        row.entry(sim::names::chpPath).rate),
+                    sim::Cell::percent(
+                        row.entry(sim::names::chpPattern).rate),
+                    sim::Cell::percent(
+                        row.entry(sim::names::flp).rate),
+                    sim::Cell::percent(
+                        row.entry(sim::names::flpTuned).rate),
+                    sim::Cell::percent(
+                        row.entry(sim::names::vlp).rate),
+                    sim::Cell::count(points[i].globalLength),
+                    sim::Cell::count(points[i].tunedLength),
+                });
+            if (bytes == 32768) {
+                const auto &path = row.entry(sim::names::chpPath);
+                const auto &pattern =
+                    row.entry(sim::names::chpPattern);
+                const auto &best_competing =
+                    path.mispredictions < pattern.mispredictions
+                        ? path
+                        : pattern;
+                flp_cut_at_32k = bench::reduction(
+                    best_competing, row.entry(sim::names::flp));
+                vlp_cut_at_32k = bench::reduction(
+                    best_competing, row.entry(sim::names::vlp));
+            }
         }
-    }
-    table.print(std::cout);
-    std::cout << "\nat 32K bytes, reduction vs best competing "
-                 "predictor: FLP "
-              << bench::rate(flp_cut_at_32k) << "% (paper 29%), VLP "
-              << bench::rate(vlp_cut_at_32k) << "% (paper 51%)\n";
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+        section.footer =
+            "\nat 32K bytes, reduction vs best competing predictor: "
+            "FLP "
+            + bench::rate(flp_cut_at_32k) + "% (paper 29%), VLP "
+            + bench::rate(vlp_cut_at_32k) + "% (paper 51%)\n";
+    });
 }

@@ -8,79 +8,12 @@
  */
 
 #include "bench_common.h"
+#include "paper_reports.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace vlp;
-
-    constexpr std::size_t bytes = 16384;
-    bench::banner("Figures 5 & 6: Conditional Misprediction Rates",
-                  "16K byte predictor, test inputs");
-
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
-    const unsigned global_length =
-        runner.globalConditionalLength(bytes);
-    std::cout << "global fixed path length: " << global_length << "\n";
-
-    // All 16 comparisons run sharded across the workers; the rows come
-    // back in suite order regardless of scheduling.
-    const auto &suite = workload::benchmarkSuite();
-    const auto rows =
-        runner.compareConditionalSuite(suite, bytes, global_length);
-
-    double total_reduction = 0.0;
-    double worst_reduction = 1e9, best_reduction = -1e9;
-    std::string worst_name, best_name;
-    unsigned count = 0;
-
-    for (const bool spec_group : {true, false}) {
-        util::TablePrinter table({"Benchmark", "gshare (%)",
-                                  "fixed length path (%)",
-                                  "variable length path (%)",
-                                  "reduction vs gshare (%)"});
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto &spec = suite[i];
-            if (spec.isSpec != spec_group)
-                continue;
-            const auto &row = rows[i];
-            const auto &gshare = row.entry(sim::names::gshare);
-            const auto &flp = row.entry(sim::names::flp);
-            const auto &vlp = row.entry(sim::names::vlp);
-            const double cut = bench::reduction(gshare, vlp);
-            table.addRow({
-                spec.name,
-                bench::rate(gshare.rate),
-                bench::rate(flp.rate),
-                bench::rate(vlp.rate),
-                bench::rate(cut),
-            });
-            total_reduction += cut;
-            ++count;
-            if (cut < worst_reduction) {
-                worst_reduction = cut;
-                worst_name = spec.name;
-            }
-            if (cut > best_reduction) {
-                best_reduction = cut;
-                best_name = spec.name;
-            }
-        }
-        std::cout << (spec_group ? "\nFigure 5 (SPECint95)\n"
-                                 : "\nFigure 6 (non-SPEC)\n");
-        table.print(std::cout);
-    }
-
-    std::cout << "\naverage reduction in mispredictions vs gshare: "
-              << bench::rate(total_reduction / count)
-              << "%  (paper: 28.6%)\n"
-              << "largest reduction: " << bench::rate(best_reduction)
-              << "% for " << best_name << "  (paper: 68.6% for perl)\n"
-              << "smallest reduction: " << bench::rate(worst_reduction)
-              << "% for " << worst_name << "  (paper: 7.4% for pgp)\n";
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+    bench::Driver driver("bench_fig5_6", bench::fig5_6Title,
+                         bench::fig5_6Configuration);
+    return driver.run(argc, argv, bench::buildFig5_6);
 }

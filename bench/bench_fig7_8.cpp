@@ -10,52 +10,66 @@
 
 #include "bench_common.h"
 
+#include "workload/benchmarks.h"
+
 int
 main(int argc, char **argv)
 {
     using namespace vlp;
 
-    constexpr std::size_t bytes = 2048;
-    bench::banner("Figures 7 & 8: Indirect Misprediction Rates",
-                  "2K byte predictor, test inputs; '*' marks the 8 "
-                  "indirect-heavy benchmarks of Table 3");
+    bench::Driver driver(
+        "bench_fig7_8", "Figures 7 & 8: Indirect Misprediction Rates",
+        "2K byte predictor, test inputs; '*' marks the 8 "
+        "indirect-heavy benchmarks of Table 3");
+    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
+                                     sim::Report &report) {
+        constexpr std::size_t bytes = 2048;
+        const unsigned global_length =
+            runner.globalIndirectLength(bytes);
+        report.addText("global-length",
+                       "global fixed path length: "
+                           + std::to_string(global_length) + "\n");
+        report.setMeta("globalIndirectLength",
+                       std::uint64_t{global_length});
 
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
-    const unsigned global_length = runner.globalIndirectLength(bytes);
-    std::cout << "global fixed path length: " << global_length << "\n";
+        const auto &suite = workload::benchmarkSuite();
+        const auto rows =
+            runner.compareIndirectSuite(suite, bytes, global_length);
 
-    const auto &suite = workload::benchmarkSuite();
-    const auto rows =
-        runner.compareIndirectSuite(suite, bytes, global_length);
-
-    for (const bool spec_group : {true, false}) {
-        util::TablePrinter table({"Benchmark", "path CHP (%)",
-                                  "pattern CHP (%)",
-                                  "fixed length path (%)",
-                                  "variable length path (%)",
-                                  "ind branches"});
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto &spec = suite[i];
-            if (spec.isSpec != spec_group)
-                continue;
-            const auto &row = rows[i];
-            table.addRow({
-                spec.name + (spec.indirectHeavy ? " *" : ""),
-                bench::rate(row.entry(sim::names::chpPath).rate),
-                bench::rate(row.entry(sim::names::chpPattern).rate),
-                bench::rate(row.entry(sim::names::flp).rate),
-                bench::rate(row.entry(sim::names::vlp).rate),
-                util::formatScaled(
-                    row.entry(sim::names::vlp).branches),
-            });
+        for (const bool spec_group : {true, false}) {
+            sim::Section &section = report.addSection(
+                spec_group ? "figure7" : "figure8");
+            section.caption = spec_group ? "\nFigure 7 (SPECint95)\n"
+                                         : "\nFigure 8 (non-SPEC)\n";
+            section.columns = {{"Benchmark"},
+                               {"path CHP (%)"},
+                               {"pattern CHP (%)"},
+                               {"fixed length path (%)"},
+                               {"variable length path (%)"},
+                               {"ind branches"}};
+            for (std::size_t i = 0; i < suite.size(); ++i) {
+                const auto &spec = suite[i];
+                if (spec.isSpec != spec_group)
+                    continue;
+                const auto &row = rows[i];
+                section.addRow(
+                    spec.name,
+                    {
+                        sim::Cell::text(
+                            spec.name
+                            + (spec.indirectHeavy ? " *" : "")),
+                        sim::Cell::percent(
+                            row.entry(sim::names::chpPath).rate),
+                        sim::Cell::percent(
+                            row.entry(sim::names::chpPattern).rate),
+                        sim::Cell::percent(
+                            row.entry(sim::names::flp).rate),
+                        sim::Cell::percent(
+                            row.entry(sim::names::vlp).rate),
+                        sim::Cell::scaled(
+                            row.entry(sim::names::vlp).branches),
+                    });
+            }
         }
-        std::cout << (spec_group ? "\nFigure 7 (SPECint95)\n"
-                                 : "\nFigure 8 (non-SPEC)\n");
-        table.print(std::cout);
-    }
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+    });
 }

@@ -34,8 +34,11 @@
 #include "predictors/gselect.h"
 #include "predictors/gshare.h"
 #include "predictors/hybrid.h"
+#include "predictors/budget.h"
 #include "predictors/target_cache.h"
 #include "predictors/two_level.h"
+#include "sim/simulator.h"
+#include "workload/benchmarks.h"
 
 namespace {
 
@@ -122,10 +125,14 @@ conditionalColumn(vlp::sim::ExperimentContext &context,
 }
 
 void
-conditionalShootout(vlp::sim::ParallelRunner &runner)
+conditionalShootout(vlp::sim::ParallelRunner &runner,
+                    vlp::sim::Report &report)
 {
-    util::TablePrinter table({"predictor", "gcc", "go", "perl",
-                              "vortex"});
+    sim::Section &section = report.addSection("conditional");
+    section.caption =
+        "\nConditional predictors @ 16 KB (mispredict %):\n";
+    section.columns = {{"predictor"}, {"gcc"}, {"go"}, {"perl"},
+                       {"vortex"}};
     // One column (benchmark) per shard; every column lists the same
     // predictors in registration order.
     const auto columns = runner.map<ShootoutColumn>(
@@ -135,17 +142,13 @@ conditionalShootout(vlp::sim::ParallelRunner &runner)
                                      condBenchmarks[i]);
         });
 
-    std::vector<std::vector<std::string>> rows;
-    for (const std::string &name : columns.front().names)
-        rows.push_back({name});
-    for (const ShootoutColumn &column : columns) {
-        for (std::size_t i = 0; i < column.rates.size(); ++i)
-            rows[i].push_back(bench::rate(column.rates[i]));
+    for (std::size_t i = 0; i < columns.front().names.size(); ++i) {
+        const std::string &name = columns.front().names[i];
+        std::vector<sim::Cell> cells = {sim::Cell::text(name)};
+        for (const ShootoutColumn &column : columns)
+            cells.push_back(sim::Cell::percent(column.rates[i]));
+        section.addRow(name, std::move(cells));
     }
-    for (auto &row : rows)
-        table.addRow(std::move(row));
-    std::cout << "\nConditional predictors @ 16 KB (mispredict %):\n";
-    table.print(std::cout);
 }
 
 ShootoutColumn
@@ -205,26 +208,27 @@ indirectColumn(vlp::sim::ExperimentContext &context,
 }
 
 void
-indirectShootout(vlp::sim::ParallelRunner &runner)
+indirectShootout(vlp::sim::ParallelRunner &runner,
+                 vlp::sim::Report &report)
 {
-    util::TablePrinter table({"predictor", "gcc", "perl", "li", "gs"});
+    sim::Section &section = report.addSection("indirect");
+    section.caption =
+        "\nIndirect predictors @ 2 KB (mispredict %):\n";
+    section.columns = {{"predictor"}, {"gcc"}, {"perl"}, {"li"},
+                       {"gs"}};
     const auto columns = runner.map<ShootoutColumn>(
         std::size(indBenchmarks),
         [&](sim::ExperimentContext &context, std::size_t i) {
             return indirectColumn(context, runner, indBenchmarks[i]);
         });
 
-    std::vector<std::vector<std::string>> rows;
-    for (const std::string &name : columns.front().names)
-        rows.push_back({name});
-    for (const ShootoutColumn &column : columns) {
-        for (std::size_t i = 0; i < column.rates.size(); ++i)
-            rows[i].push_back(bench::rate(column.rates[i]));
+    for (std::size_t i = 0; i < columns.front().names.size(); ++i) {
+        const std::string &name = columns.front().names[i];
+        std::vector<sim::Cell> cells = {sim::Cell::text(name)};
+        for (const ShootoutColumn &column : columns)
+            cells.push_back(sim::Cell::percent(column.rates[i]));
+        section.addRow(name, std::move(cells));
     }
-    for (auto &row : rows)
-        table.addRow(std::move(row));
-    std::cout << "\nIndirect predictors @ 2 KB (mispredict %):\n";
-    table.print(std::cout);
 }
 
 } // anonymous namespace
@@ -232,17 +236,16 @@ indirectShootout(vlp::sim::ParallelRunner &runner)
 int
 main(int argc, char **argv)
 {
-    bench::banner("Related-work shootout (extension, not a paper "
-                  "table)",
-                  "VLP vs the cited 1997/98 design space; elastic "
-                  "gshare isolates per-branch length selection from "
-                  "path-vs-pattern history");
-    bench::RunSummary summary;
-    vlp::sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
-    conditionalShootout(runner);
-    indirectShootout(runner);
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+    bench::Driver driver(
+        "bench_related_work",
+        "Related-work shootout (extension, not a paper table)",
+        "VLP vs the cited 1997/98 design space; elastic "
+        "gshare isolates per-branch length selection from "
+        "path-vs-pattern history");
+    return driver.run(argc, argv,
+                      [](vlp::sim::ParallelRunner &runner,
+                         vlp::sim::Report &report) {
+                          conditionalShootout(runner, report);
+                          indirectShootout(runner, report);
+                      });
 }

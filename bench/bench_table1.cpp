@@ -15,47 +15,47 @@ main(int argc, char **argv)
 {
     using namespace vlp;
 
-    bench::banner("Table 1: Benchmark Summary",
-                  "test inputs; paper dynamic counts scaled by 1/20, "
-                  "paper static counts by ~1/3 (DESIGN.md §3)");
+    bench::Driver driver(
+        "bench_table1", "Table 1: Benchmark Summary",
+        "test inputs; paper dynamic counts scaled by 1/20, "
+        "paper static counts by ~1/3 (DESIGN.md §3)");
+    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
+                                     sim::Report &report) {
+        sim::Section &section = report.addSection("benchmarks");
+        section.columns = {
+            {"Benchmark"},     {"cond dynamic"},
+            {"cond static"},   {"ind dynamic"},
+            {"ind static"},    {"paper cond dyn"},
+            {"paper cond st"}, {"paper ind dyn"},
+            {"paper ind st"},
+        };
 
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
-
-    util::TablePrinter table({
-        "Benchmark", "cond dynamic", "cond static", "ind dynamic",
-        "ind static", "paper cond dyn", "paper cond st",
-        "paper ind dyn", "paper ind st",
+        // Trace generation dominates here; shard it per benchmark
+        // and assemble the rows in suite order.
+        const auto &suite = workload::benchmarkSuite();
+        const auto rows = runner.map<std::vector<sim::Cell>>(
+            suite.size(),
+            [&](sim::ExperimentContext &, std::size_t i) {
+                const auto &spec = suite[i];
+                auto trace = workload::generateTrace(
+                    spec, workload::InputKind::Test);
+                trace::TraceStats stats;
+                stats.observeAll(trace);
+                runner.addPredictions(trace.size());
+                return std::vector<sim::Cell>{
+                    sim::Cell::text(spec.name),
+                    sim::Cell::scaled(stats.dynamicConditional()),
+                    sim::Cell::count(stats.staticConditional()),
+                    sim::Cell::scaled(stats.dynamicIndirect()),
+                    sim::Cell::count(stats.staticIndirect()),
+                    sim::Cell::scaled(spec.paperDynamicCond),
+                    sim::Cell::count(spec.paperStaticCond),
+                    sim::Cell::scaled(spec.paperDynamicIndirect),
+                    sim::Cell::count(spec.paperStaticInd),
+                };
+            });
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            section.addRow(suite[i].name,
+                           std::vector<sim::Cell>(rows[i]));
     });
-
-    // Trace generation dominates here; shard it per benchmark and
-    // assemble the rows in suite order.
-    const auto &suite = workload::benchmarkSuite();
-    const auto rows = runner.map<std::vector<std::string>>(
-        suite.size(), [&](sim::ExperimentContext &, std::size_t i) {
-            const auto &spec = suite[i];
-            auto trace = workload::generateTrace(
-                spec, workload::InputKind::Test);
-            trace::TraceStats stats;
-            stats.observeAll(trace);
-            runner.addPredictions(trace.size());
-            return std::vector<std::string>{
-                spec.name,
-                util::formatScaled(stats.dynamicConditional()),
-                std::to_string(stats.staticConditional()),
-                util::formatScaled(stats.dynamicIndirect()),
-                std::to_string(stats.staticIndirect()),
-                util::formatScaled(spec.paperDynamicCond),
-                std::to_string(spec.paperStaticCond),
-                util::formatScaled(spec.paperDynamicIndirect),
-                std::to_string(spec.paperStaticInd),
-            };
-        });
-    for (const auto &row : rows)
-        table.addRow(std::vector<std::string>(row));
-    table.print(std::cout);
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
 }

@@ -7,64 +7,12 @@
  */
 
 #include "bench_common.h"
-
-#include "predictors/budget.h"
+#include "paper_reports.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace vlp;
-
-    bench::banner("Table 2: Path Length Used for Fixed Length "
-                  "Predictor",
-                  "profile inputs, average over all 16 benchmarks");
-
-    bench::RunSummary summary;
-    sim::ParallelRunner context(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(context, argc, argv);
-
-    {
-        util::TablePrinter table(
-            {"Table Size (KB)", "Path Length", "avg mispredict (%)",
-             "paper length"});
-        const std::size_t sizes[] = {1024, 4096, 16384, 65536, 262144};
-        const unsigned paper_lengths[] = {6, 9, 14, 16, 23};
-        for (unsigned i = 0; i < 5; ++i) {
-            const auto average =
-                context.averageConditionalSweep(sizes[i]);
-            const unsigned best =
-                context.globalConditionalLength(sizes[i]);
-            table.addRow({
-                util::formatDouble(sizes[i] / 1024.0, 0),
-                std::to_string(best),
-                bench::rate(average[best - 1]),
-                std::to_string(paper_lengths[i]),
-            });
-        }
-        std::cout << "\nConditional Branches\n";
-        table.print(std::cout);
-    }
-
-    {
-        util::TablePrinter table(
-            {"Table Size (KB)", "Path Length", "avg mispredict (%)",
-             "paper length"});
-        const std::size_t sizes[] = {512, 2048, 8192, 32768};
-        const unsigned paper_lengths[] = {11, 21, 21, 21};
-        for (unsigned i = 0; i < 4; ++i) {
-            const auto average = context.averageIndirectSweep(sizes[i]);
-            const unsigned best = context.globalIndirectLength(sizes[i]);
-            table.addRow({
-                util::formatDouble(sizes[i] / 1024.0, 1),
-                std::to_string(best),
-                bench::rate(average[best - 1]),
-                std::to_string(paper_lengths[i]),
-            });
-        }
-        std::cout << "\nIndirect Branches\n";
-        table.print(std::cout);
-    }
-    summary.print(context);
-    bench::reportCache(cache);
-    return 0;
+    bench::Driver driver("bench_table2", bench::table2Title,
+                         bench::table2Configuration);
+    return driver.run(argc, argv, bench::buildTable2);
 }

@@ -23,6 +23,7 @@
 #include "predictors/target_cache.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
+#include "store/artifact_store.h"
 #include "util/bits.h"
 #include "util/rng.h"
 #include "util/saturating_counter.h"
@@ -329,37 +330,28 @@ BENCHMARK(BM_ParallelSimulate)
 /**
  * Like BENCHMARK_MAIN(), but the vlpsim cache flags are consumed
  * before google-benchmark sees the command line (it rejects unknown
- * flags).
+ * flags). Unrecognized `--benchmark_*=value` flags pass through via
+ * the parser's extra() list.
  */
 int
 main(int argc, char **argv)
 {
-    const bench::CacheConfig config =
-        bench::parseCacheConfig(argc, argv);
-    if (config.enabled()) {
-        store::StoreOptions options;
-        options.directory = config.directory;
-        options.maxBytes = config.maxBytes;
-        throughputStore() =
-            std::make_shared<store::ArtifactStore>(options);
-    }
+    util::ArgParser parser(
+        "bench_throughput",
+        "google-benchmark microbenchmarks of the simulator's hot "
+        "paths (unknown --flag=value arguments are forwarded to "
+        "google-benchmark)");
+    sim::RunOptions options;
+    options.registerCacheFlags(parser);
+    parser.allowExtra();
+    parser.parse(argc, argv);
+    throughputStore() = options.openStore();
 
+    std::vector<std::string> forwarded = parser.extra();
     std::vector<char *> filtered;
-    for (int i = 0; i < argc; ++i) {
-        const std::string argument = argv[i];
-        if (argument == "--no-cache")
-            continue;
-        if (argument == "--cache-dir"
-            || argument == "--cache-max-bytes") {
-            ++i; // skip the flag's value too
-            continue;
-        }
-        if (argument.rfind("--cache-dir=", 0) == 0
-            || argument.rfind("--cache-max-bytes=", 0) == 0) {
-            continue;
-        }
-        filtered.push_back(argv[i]);
-    }
+    filtered.push_back(argv[0]);
+    for (std::string &argument : forwarded)
+        filtered.push_back(argument.data());
     int filtered_argc = static_cast<int>(filtered.size());
     filtered.push_back(nullptr);
 

@@ -12,89 +12,96 @@
 #include "core/hfnt.h"
 #include "core/path_predictor.h"
 #include "core/profiler.h"
+#include "predictors/budget.h"
 #include "predictors/gshare.h"
+#include "sim/simulator.h"
 #include "sim/timing.h"
+#include "workload/benchmarks.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace vlp;
 
-    constexpr std::size_t bytes = 16384;
-    bench::banner("Front-end timing projection",
-                  "16K byte conditional predictors; 10-cycle flush, "
-                  "1-cycle HFNT re-predict bubble, 4-wide fetch");
+    bench::Driver driver(
+        "bench_timing", "Front-end timing projection",
+        "16K byte conditional predictors; 10-cycle flush, "
+        "1-cycle HFNT re-predict bubble, 4-wide fetch");
+    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
+                                     sim::Report &report) {
+        constexpr std::size_t bytes = 16384;
+        sim::TimingParameters parameters;
 
-    sim::TimingParameters parameters;
-    bench::RunSummary summary;
-    sim::ParallelRunner runner(bench::parseJobs(argc, argv));
-    const auto cache = bench::attachCache(runner, argc, argv);
+        sim::Section &section = report.addSection("timing");
+        section.columns = {{"benchmark"},
+                           {"gshare IPC"},
+                           {"VLP IPC"},
+                           {"VLP IPC (with HFNT bubbles)"},
+                           {"speedup vs gshare"}};
 
-    util::TablePrinter table({"benchmark", "gshare IPC", "VLP IPC",
-                              "VLP IPC (with HFNT bubbles)",
-                              "speedup vs gshare"});
+        const std::vector<std::string> names = {"gcc", "go", "perl",
+                                                "m88ksim"};
+        const auto rows = runner.map<std::vector<sim::Cell>>(
+            names.size(),
+            [&](sim::ExperimentContext &context, std::size_t i) {
+                const std::string &name = names[i];
+                const auto &spec = workload::findBenchmark(name);
+                const unsigned k = pred::conditionalIndexBits(bytes);
+                const core::HashAssignment &assignment =
+                    context.conditionalAssignment(spec, k);
 
-    const std::vector<std::string> names = {"gcc", "go", "perl",
-                                            "m88ksim"};
-    const auto rows = runner.map<std::vector<std::string>>(
-        names.size(),
-        [&](sim::ExperimentContext &context, std::size_t i) {
-            const std::string &name = names[i];
-            const auto &spec = workload::findBenchmark(name);
-            const unsigned k = pred::conditionalIndexBits(bytes);
-            const core::HashAssignment &assignment =
-                context.conditionalAssignment(spec, k);
+                pred::GsharePredictor gshare(k);
+                core::PathConditionalPredictor vlp(k, assignment);
+                sim::Simulator simulator;
+                simulator.addConditional(&gshare);
+                simulator.addConditional(&vlp);
 
-            pred::GsharePredictor gshare(k);
-            core::PathConditionalPredictor vlp(k, assignment);
-            sim::Simulator simulator;
-            simulator.addConditional(&gshare);
-            simulator.addConditional(&vlp);
-
-            // Drive the HFNT alongside to count re-predict events.
-            core::HashFunctionNumberTable hfnt(10);
-            const auto test_trace =
-                context.trace(spec, workload::InputKind::Test);
-            test_trace->reset();
-            trace::BranchRecord record;
-            while (test_trace->next(record)) {
-                if (record.isConditional()) {
-                    hfnt.predictNumber(record.pc);
-                    hfnt.update(record.pc,
-                                assignment.lookup(record.pc));
+                // Drive the HFNT alongside to count re-predict
+                // events.
+                core::HashFunctionNumberTable hfnt(10);
+                const auto test_trace =
+                    context.trace(spec, workload::InputKind::Test);
+                test_trace->reset();
+                trace::BranchRecord record;
+                while (test_trace->next(record)) {
+                    if (record.isConditional()) {
+                        hfnt.predictNumber(record.pc);
+                        hfnt.update(record.pc,
+                                    assignment.lookup(record.pc));
+                    }
                 }
-            }
-            test_trace->reset();
-            simulator.run(*test_trace);
+                test_trace->reset();
+                simulator.run(*test_trace);
 
-            const auto results = simulator.conditionalResults();
-            for (const auto &result : results)
-                runner.addPredictions(result.branches);
-            const double instructions =
-                static_cast<double>(results[0].branches)
-                * parameters.instructionsPerBranch;
+                const auto results = simulator.conditionalResults();
+                for (const auto &result : results)
+                    runner.addPredictions(result.branches);
+                const double instructions =
+                    static_cast<double>(results[0].branches)
+                    * parameters.instructionsPerBranch;
 
-            const auto gshare_time =
-                sim::estimateTiming(parameters, results[0]);
-            const auto vlp_time =
-                sim::estimateTiming(parameters, results[1]);
-            const auto vlp_time_hfnt = sim::estimateTiming(
-                parameters, results[1], hfnt.mismatches());
+                const auto gshare_time =
+                    sim::estimateTiming(parameters, results[0]);
+                const auto vlp_time =
+                    sim::estimateTiming(parameters, results[1]);
+                const auto vlp_time_hfnt = sim::estimateTiming(
+                    parameters, results[1], hfnt.mismatches());
 
-            return std::vector<std::string>{
-                name,
-                bench::rate(gshare_time.ipc(instructions)),
-                bench::rate(vlp_time.ipc(instructions)),
-                bench::rate(vlp_time_hfnt.ipc(instructions)),
-                bench::rate(sim::speedup(gshare_time, vlp_time_hfnt)),
-            };
-        });
-    for (const auto &row : rows)
-        table.addRow(std::vector<std::string>(row));
-    table.print(std::cout);
-    std::cout << "\nEven charging every HFNT mismatch a re-predict "
-                 "bubble, the accuracy win dominates.\n";
-    summary.print(runner);
-    bench::reportCache(cache);
-    return 0;
+                return std::vector<sim::Cell>{
+                    sim::Cell::text(name),
+                    sim::Cell::real(gshare_time.ipc(instructions),
+                                    2),
+                    sim::Cell::real(vlp_time.ipc(instructions), 2),
+                    sim::Cell::real(vlp_time_hfnt.ipc(instructions),
+                                    2),
+                    sim::Cell::real(
+                        sim::speedup(gshare_time, vlp_time_hfnt), 2),
+                };
+            });
+        for (std::size_t i = 0; i < names.size(); ++i)
+            section.addRow(names[i], std::vector<sim::Cell>(rows[i]));
+        section.footer =
+            "\nEven charging every HFNT mismatch a re-predict "
+            "bubble, the accuracy win dominates.\n";
+    });
 }

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Report builders shared between bench binaries and the golden-file
+ * tests.
+ *
+ * bench_table2 and bench_fig5_6 are the byte-identity reference
+ * binaries: tests/test_report.cpp builds the same reports through
+ * these functions and asserts the ASCII sink reproduces the committed
+ * pre-refactor stdout (tests/golden/) at --jobs 1 and --jobs 4.
+ */
+
+#ifndef VLPSIM_BENCH_PAPER_REPORTS_H
+#define VLPSIM_BENCH_PAPER_REPORTS_H
+
+#include "sim/parallel.h"
+#include "sim/report.h"
+
+namespace bench {
+
+/** Banner text of bench_table2. */
+inline constexpr char table2Title[] =
+    "Table 2: Path Length Used for Fixed Length Predictor";
+inline constexpr char table2Configuration[] =
+    "profile inputs, average over all 16 benchmarks";
+
+/** Banner text of bench_fig5_6. */
+inline constexpr char fig5_6Title[] =
+    "Figures 5 & 6: Conditional Misprediction Rates";
+inline constexpr char fig5_6Configuration[] =
+    "16K byte predictor, test inputs";
+
+/** Fill @p report with Table 2's sections (conditional and indirect
+ *  best path lengths per table size). */
+void buildTable2(vlp::sim::ParallelRunner &runner,
+                 vlp::sim::Report &report);
+
+/** Fill @p report with Figures 5 & 6's sections (per-benchmark
+ *  conditional rates at 16K bytes plus the reduction summary). */
+void buildFig5_6(vlp::sim::ParallelRunner &runner,
+                 vlp::sim::Report &report);
+
+} // namespace bench
+
+#endif // VLPSIM_BENCH_PAPER_REPORTS_H

@@ -11,6 +11,7 @@
 #include "core/path_predictor.h"
 #include "predictors/budget.h"
 #include "predictors/gshare.h"
+#include "sim/report.h"
 #include "predictors/target_cache.h"
 #include "store/artifact_store.h"
 #include "store/cache_key.h"
@@ -96,7 +97,11 @@ addComparisonFields(store::KeyBuilder &builder, bool indirect,
     builder.field("class", std::string(indirect ? "ind" : "cond"))
         .field("bytes", std::uint64_t{bytes})
         .field("globalLength", std::uint64_t{global_length})
-        .field("tuned", include_tuned);
+        .field("tuned", include_tuned)
+        // Comparison rows feed the structured report pipeline; the
+        // schema stamp guarantees a sink/layout change can never be
+        // served from a stale cached row.
+        .field("reportSchema", std::uint64_t{reportSchemaVersion});
 }
 
 /** Key for a full predictor-comparison row (synthetic workload). */

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared execution/output flag implementation.
+ */
+
+#include "sim/run_options.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "sim/parallel.h"
+#include "store/artifact_store.h"
+#include "util/args.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace sim {
+
+RunOptions::RunOptions()
+{
+    if (const char *env = std::getenv("VLPSIM_CACHE_DIR"))
+        cacheDirectory = env;
+}
+
+void
+RunOptions::registerFlags(util::ArgParser &parser)
+{
+    parser.addUint("--jobs", "N",
+                   "worker threads (0 = one per hardware thread, "
+                   "1 = serial)",
+                   &jobs, 4096);
+    registerCacheFlags(parser);
+}
+
+void
+RunOptions::registerCacheFlags(util::ArgParser &parser)
+{
+    parser.addString("--cache-dir", "DIR",
+                     "artifact cache directory (default: "
+                     "VLPSIM_CACHE_DIR)",
+                     &cacheDirectory);
+    parser.addUint("--cache-max-bytes", "N",
+                   "cache size bound, LRU-evicted (0 = unbounded)",
+                   &cacheMaxBytes);
+    parser.addSwitch("--no-cache",
+                     "disable the artifact cache even when "
+                     "VLPSIM_CACHE_DIR is set",
+                     &cacheDisabled);
+}
+
+std::shared_ptr<store::ArtifactStore>
+RunOptions::openStore() const
+{
+    if (!cacheEnabled())
+        return nullptr;
+    store::StoreOptions options;
+    options.directory = cacheDirectory;
+    options.maxBytes = cacheMaxBytes;
+    return std::make_shared<store::ArtifactStore>(options);
+}
+
+std::shared_ptr<store::ArtifactStore>
+RunOptions::attachStore(ParallelRunner &runner) const
+{
+    std::shared_ptr<store::ArtifactStore> store = openStore();
+    if (store)
+        runner.setStore(store);
+    return store;
+}
+
+void
+reportCacheCounters(const store::ArtifactStore *store)
+{
+    if (store == nullptr)
+        return;
+    const store::StoreCounters counters = store->counters();
+    std::cerr << "cache: " << counters.hits << " hits, "
+              << counters.misses << " misses, " << counters.inserts
+              << " inserts";
+    if (counters.corrupt > 0)
+        std::cerr << ", " << counters.corrupt << " corrupt";
+    if (counters.evicted > 0)
+        std::cerr << ", " << counters.evicted << " evicted";
+    std::cerr << "\n";
+}
+
+void
+OutputOptions::registerFlags(util::ArgParser &parser)
+{
+    parser.addOption("--format", "FMT",
+                     "output format: ascii (default), csv, or json",
+                     [this](const std::string &value) {
+                         format = parseReportFormat(value);
+                     });
+    parser.addString("--out", "FILE",
+                     "write the report to FILE instead of stdout",
+                     &path);
+}
+
+void
+OutputOptions::write(const Report &report) const
+{
+    std::unique_ptr<ReportSink> sink = makeReportSink(format);
+    if (path.empty()) {
+        sink->write(report, std::cout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        util::fatal("cannot open output file: " + path);
+    sink->write(report, out);
+    if (!out)
+        util::fatal("failed writing output file: " + path);
+}
+
+} // namespace sim
+} // namespace vlp

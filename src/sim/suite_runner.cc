@@ -17,6 +17,7 @@
 
 #include "core/profiler.h"
 #include "predictors/budget.h"
+#include "sim/report.h"
 #include "store/artifact_store.h"
 #include "store/checkpoint.h"
 #include "store/serialize.h"
@@ -88,13 +89,19 @@ sweepCellKey(const std::string &content_hash, bool indirect,
         + ";bits=" + std::to_string(index_bits);
 }
 
-/** Journal cell key for one comparison row. */
+/**
+ * Journal cell key for one comparison row. Comparison rows feed the
+ * structured report pipeline, so the key carries reportSchemaVersion:
+ * a schema change can never replay rows journaled under an older
+ * layout.
+ */
 std::string
 rowCellKey(const std::string &content_hash, bool indirect,
            std::size_t bytes, unsigned global_length)
 {
     return std::string("row;v")
         + std::to_string(store::artifactFormatVersion)
+        + ";schema=" + std::to_string(reportSchemaVersion)
         + ";class=" + (indirect ? "ind" : "cond")
         + ";trace=" + content_hash
         + ";bytes=" + std::to_string(bytes)
@@ -275,14 +282,28 @@ argminLength(const std::vector<double> &rates)
     return best;
 }
 
+/**
+ * One comparison row as an Entries-layout report section: a
+ * "    <predictor>: <rate>% (<misses>/<branches>)" line per entry,
+ * rate at the suite's historical 4 decimals.
+ */
 void
-printRow(std::ostream &out, const ComparisonRow &row)
+addRowSection(Report &report, const std::string &name,
+              const std::string &caption, const ComparisonRow &row)
 {
+    Section &section = report.addSection(name);
+    section.layout = Section::Layout::Entries;
+    section.caption = caption;
+    section.columns = {{"mispredict (%)"},
+                       {"mispredictions"},
+                       {"branches"}};
     for (const RateEntry &entry : row.entries) {
-        char rate[32];
-        std::snprintf(rate, sizeof(rate), "%.4f", entry.rate);
-        out << "    " << entry.predictor << ": " << rate << "% ("
-            << entry.mispredictions << "/" << entry.branches << ")\n";
+        section.addRow(entry.predictor,
+                       {
+                           Cell::percent(entry.rate, 4),
+                           Cell::count(entry.mispredictions),
+                           Cell::count(entry.branches),
+                       });
     }
 }
 
@@ -317,51 +338,85 @@ SuiteReport::skippedCount() const
                       }));
 }
 
-void
-SuiteReport::print(std::ostream &out) const
+Report
+SuiteReport::toReport() const
 {
-    out << "external trace suite\n";
-    out << "table budget: " << bytes << " bytes\n";
-    out << "global conditional path length: ";
-    if (globalConditionalLength > 0)
-        out << globalConditionalLength << "\n";
-    else
-        out << "n/a\n";
-    out << "global indirect path length: ";
-    if (globalIndirectLength > 0)
-        out << globalIndirectLength << "\n";
-    else
-        out << "n/a\n";
-    out << "traces: " << okCount() << " ok, " << quarantinedCount()
-        << " quarantined, " << skippedCount() << " skipped\n";
+    Report report;
+    report.title = "external trace suite";
+    report.setMeta("bytes", std::uint64_t{bytes});
+    report.setMeta("globalConditionalLength",
+                   std::uint64_t{globalConditionalLength});
+    report.setMeta("globalIndirectLength",
+                   std::uint64_t{globalIndirectLength});
+    report.setMeta("tracesOk", std::uint64_t{okCount()});
+    report.setMeta("tracesQuarantined",
+                   std::uint64_t{quarantinedCount()});
+    report.setMeta("tracesSkipped", std::uint64_t{skippedCount()});
+    report.setMeta("resumedCells", std::uint64_t{resumedCells});
+
+    std::string header = "external trace suite\n";
+    header += "table budget: " + std::to_string(bytes) + " bytes\n";
+    header += "global conditional path length: ";
+    header += globalConditionalLength > 0
+        ? std::to_string(globalConditionalLength) + "\n"
+        : std::string("n/a\n");
+    header += "global indirect path length: ";
+    header += globalIndirectLength > 0
+        ? std::to_string(globalIndirectLength) + "\n"
+        : std::string("n/a\n");
+    header += "traces: " + std::to_string(okCount()) + " ok, "
+        + std::to_string(quarantinedCount()) + " quarantined, "
+        + std::to_string(skippedCount()) + " skipped\n";
+    report.addText("header", header);
 
     for (const TraceOutcome &outcome : traces) {
-        out << "\n" << outcome.name << ": ";
+        std::string text = "\n" + outcome.name + ": ";
         switch (outcome.status) {
         case TraceStatus::Ok:
-            out << "ok (VBT" << outcome.formatVersion << ", "
-                << outcome.records << " records)\n";
+            text += "ok (VBT" + std::to_string(outcome.formatVersion)
+                + ", " + std::to_string(outcome.records)
+                + " records)\n";
             if (outcome.formatVersion < 2)
-                out << "  warning: unchecksummed VBT1 container\n";
+                text += "  warning: unchecksummed VBT1 container\n";
+            report.addText("trace:" + outcome.name, text);
             if (outcome.conditional) {
-                out << "  conditional ("
-                    << outcome.conditionalBranches << " branches)\n";
-                printRow(out, *outcome.conditional);
+                addRowSection(
+                    report, "trace:" + outcome.name + ":conditional",
+                    "  conditional ("
+                        + std::to_string(outcome.conditionalBranches)
+                        + " branches)\n",
+                    *outcome.conditional);
             }
             if (outcome.indirect) {
-                out << "  indirect (" << outcome.indirectBranches
-                    << " branches)\n";
-                printRow(out, *outcome.indirect);
+                addRowSection(
+                    report, "trace:" + outcome.name + ":indirect",
+                    "  indirect ("
+                        + std::to_string(outcome.indirectBranches)
+                        + " branches)\n",
+                    *outcome.indirect);
             }
             break;
         case TraceStatus::Quarantined:
-            out << "quarantined (" << outcome.cause << ")\n";
+            text += "quarantined (" + outcome.cause + ")\n";
+            report.addText("trace:" + outcome.name, text);
+            report.setMeta("quarantine:" + outcome.name,
+                           outcome.cause);
             break;
         case TraceStatus::Skipped:
-            out << "skipped (" << outcome.cause << ")\n";
+            text += "skipped (" + outcome.cause + ")\n";
+            report.addText("trace:" + outcome.name, text);
+            report.setMeta("skipped:" + outcome.name, outcome.cause);
             break;
         }
     }
+    return report;
+}
+
+void
+SuiteReport::print(std::ostream &out) const
+{
+    AsciiReportSink sink;
+    sink.write(toReport(), out);
 }
 
 TraceSuiteRunner::TraceSuiteRunner(TraceSuiteOptions options)

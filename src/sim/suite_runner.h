@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/report.h"
 #include "trace/byte_file.h"
 
 namespace vlp {
@@ -133,8 +134,19 @@ struct SuiteReport
     bool allFailed() const { return okCount() == 0; }
 
     /**
+     * Structured view of the suite: every trace becomes a section
+     * (status text, then one Entries table per branch class), and the
+     * suite-level facts — byte budget, global lengths, ok/quarantined/
+     * skipped counts, resumed cells, plus per-trace quarantine and
+     * skip causes — land in the report metadata so CSV/JSON exports
+     * carry them.
+     */
+    Report toReport() const;
+
+    /**
      * Deterministic text rendering: identical doubles produce
      * identical bytes, independent of jobs, interruption, or resume.
+     * Equivalent to streaming toReport() through AsciiReportSink.
      */
     void print(std::ostream &out) const;
 };

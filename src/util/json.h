@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal JSON value: parse, inspect, serialize.
+ *
+ * Just enough JSON for the report pipeline — the JSON report sink
+ * emits through JsonWriter, and tests plus `vlpsim validate` read
+ * reports back through Json::parse(). Objects preserve insertion
+ * order so serialization is deterministic; numbers are stored as
+ * doubles alongside the exact source text so integer counters
+ * round-trip without loss.
+ */
+
+#ifndef VLPSIM_UTIL_JSON_H
+#define VLPSIM_UTIL_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vlp {
+namespace util {
+
+/** A parsed JSON value (object keys keep document order). */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+
+    /**
+     * Parse @p text as one JSON document.
+     * @throws std::runtime_error with an offset-bearing message on
+     *         malformed input or trailing garbage
+     */
+    static Json parse(const std::string &text);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @throws std::runtime_error when the type does not match */
+    bool asBool() const;
+    double asNumber() const;
+    /** The number's exact source text ("12345", "4.30"). */
+    const std::string &numberText() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<Json> &items() const;
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Object member by key; null pointer when absent or not an
+     *  object. */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * Object member by key.
+     * @throws std::runtime_error when absent or not an object
+     */
+    const Json &at(const std::string &key) const;
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string text_; // String value or Number source text
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+
+    friend class JsonParser;
+};
+
+/**
+ * Streaming JSON writer with deterministic formatting (2-space
+ * indent, members in emission order). The caller is responsible for
+ * balanced begin/end calls; assertions catch misuse in debug builds.
+ */
+class JsonWriter
+{
+  public:
+    /** Serialized document so far (complete once all scopes close). */
+    const std::string &str() const { return out_; }
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start a named member inside an object (followed by a value or
+     *  begin call). */
+    void key(const std::string &name);
+
+    void value(const std::string &text);
+    void value(const char *text);
+    void value(std::uint64_t number);
+    void value(double number);
+    void value(bool flag);
+
+    /** Convenience: key() + value(). */
+    template <typename T>
+    void member(const std::string &name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** Escape @p text as a JSON string literal (with quotes). */
+    static std::string quote(const std::string &text);
+
+  private:
+    void comma();
+    void indent();
+
+    std::string out_;
+    /** One entry per open scope; true once the scope has a member. */
+    std::vector<bool> scopes_;
+    bool pendingKey_ = false;
+};
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_JSON_H

@@ -4,10 +4,15 @@
  * and logging helpers.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <initializer_list>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "util/args.h"
 #include "util/history_register.h"
 #include "util/logging.h"
 #include "util/packed_counter_table.h"
@@ -410,6 +415,103 @@ TEST(Logging, WorkloadScaleParsing)
     EXPECT_DOUBLE_EQ(workloadScale(), 1000.0); // clamped
     unsetenv("VLPSIM_SCALE");
     EXPECT_DOUBLE_EQ(workloadScale(), 1.0);
+}
+
+/** Build an argv array from literals for ArgParser tests. */
+std::vector<char *>
+makeArgv(std::initializer_list<const char *> args)
+{
+    static std::vector<std::string> storage;
+    storage.assign(args.begin(), args.end());
+    std::vector<char *> argv;
+    for (std::string &arg : storage)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    return argv;
+}
+
+TEST(ArgParser, ParsesFlagsInBothFormsAndPositionals)
+{
+    ArgParser parser("prog", "test program");
+    std::uint64_t jobs = 0;
+    std::string directory;
+    bool off = false;
+    parser.addUint("--jobs", "N", "workers", &jobs, 4096);
+    parser.addString("--cache-dir", "DIR", "cache", &directory);
+    parser.addSwitch("--no-cache", "disable", &off);
+    parser.addPositional("class", "branch class");
+    parser.addPositional("bytes", "budget");
+
+    auto argv = makeArgv({"prog", "--jobs", "4", "cond",
+                          "--cache-dir=/tmp/c", "8192", "--no-cache"});
+    const auto positionals =
+        parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    EXPECT_EQ(jobs, 4u);
+    EXPECT_EQ(directory, "/tmp/c");
+    EXPECT_TRUE(off);
+    ASSERT_EQ(positionals.size(), 2u);
+    EXPECT_EQ(positionals[0], "cond");
+    EXPECT_EQ(positionals[1], "8192");
+}
+
+TEST(ArgParser, AllowExtraCollectsUnknownFlags)
+{
+    ArgParser parser("prog", "test program");
+    std::uint64_t jobs = 0;
+    parser.addUint("--jobs", "N", "workers", &jobs);
+    parser.allowExtra();
+    auto argv = makeArgv(
+        {"prog", "--benchmark_filter=foo", "--jobs", "2"});
+    parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    EXPECT_EQ(jobs, 2u);
+    ASSERT_EQ(parser.extra().size(), 1u);
+    EXPECT_EQ(parser.extra()[0], "--benchmark_filter=foo");
+}
+
+TEST(ArgParserDeathTest, HelpExitsZeroAndListsFlags)
+{
+    auto run = [] {
+        ArgParser parser("prog", "test program");
+        std::uint64_t jobs = 0;
+        parser.addUint("--jobs", "N", "workers", &jobs);
+        auto argv = makeArgv({"prog", "--help"});
+        parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    };
+    EXPECT_EXIT(run(), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(ArgParserDeathTest, UnknownFlagExitsTwoWithUsageHint)
+{
+    auto run = [] {
+        ArgParser parser("prog", "test program");
+        auto argv = makeArgv({"prog", "--bogus"});
+        parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    };
+    EXPECT_EXIT(run(), ::testing::ExitedWithCode(2),
+                "run 'prog --help' for usage");
+}
+
+TEST(ArgParserDeathTest, MalformedValueExitsTwo)
+{
+    auto run = [] {
+        ArgParser parser("prog", "test program");
+        std::uint64_t jobs = 0;
+        parser.addUint("--jobs", "N", "workers", &jobs, 4096);
+        auto argv = makeArgv({"prog", "--jobs", "banana"});
+        parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    };
+    EXPECT_EXIT(run(), ::testing::ExitedWithCode(2), "--jobs");
+}
+
+TEST(ArgParserDeathTest, MissingRequiredPositionalExitsTwo)
+{
+    auto run = [] {
+        ArgParser parser("prog", "test program");
+        parser.addPositional("input", "input file");
+        auto argv = makeArgv({"prog"});
+        parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
+    };
+    EXPECT_EXIT(run(), ::testing::ExitedWithCode(2), "input");
 }
 
 } // anonymous namespace

@@ -2,7 +2,7 @@
  * @file
  * vlpsim — command-line driver for the library.
  *
- * Subcommands:
+ * Subcommands (every one accepts --help):
  *   list
  *       Print the benchmark suite with its Table-1 parameters.
  *   gen <benchmark> <profile|test> <out.vbt> [scale]
@@ -14,6 +14,8 @@
  *       save the per-branch hash-number assignment. --jobs N shards
  *       the step-1 length sweep across N worker threads (0 = one per
  *       hardware thread; default serial) with bit-identical output.
+ *       The summary goes through the report model, so --format
+ *       csv|json exports it machine-readably.
  *   eval <trace.vbt> <bytes> <cond|ind> [assignment]
  *       Evaluate predictors on a trace: the paper's baselines plus
  *       fixed length path, and — when an assignment file is given —
@@ -22,7 +24,7 @@
  *       Rank the conditional branches by their contribution to
  *       gshare's mispredictions and show what a path predictor does
  *       with each — the per-branch view behind the paper's averages.
- *   suite <cond|ind> <bytes> [--jobs N] [cache flags]
+ *   suite <cond|ind> <bytes> [--jobs N] [cache flags] [output flags]
  *       Profile and compare the paper's predictors over the whole
  *       benchmark suite, sharded benchmark-per-worker across the
  *       parallel experiment engine (--jobs 1 forces the serial path;
@@ -31,7 +33,8 @@
  *       (or VLPSIM_CACHE_DIR), profiling artifacts are kept in an
  *       on-disk store, so a warm rerun skips the fixed-length sweeps
  *       and prints byte-identical results; --cache-max-bytes N bounds
- *       the store, --no-cache disables it.
+ *       the store, --no-cache disables it. --format csv|json exports
+ *       the comparison through the shared report schema.
  *   suite --traces <dir> [bytes] [--checkpoint FILE] [--jobs N]
  *       External-trace mode: run the paper's methodology over every
  *       .vbt file under <dir> through the hardened ingestion pipeline.
@@ -40,7 +43,12 @@
  *       (listed with their cause) while the run continues, and with
  *       --checkpoint every completed per-trace cell is journaled so a
  *       killed run resumes where it left off with a byte-identical
- *       report. Exits nonzero only when no trace completed.
+ *       report. Exits nonzero only when no trace completed. Exports
+ *       carry quarantine causes and cache counters as metadata.
+ *   validate <report.json>
+ *       Check a --format json export against the vlpsim-report schema
+ *       (docs/FORMATS.md); prints each problem and exits nonzero on
+ *       the first invalid document — the CI gate for export drift.
  *   cache <stats|verify|clear> <dir>
  *       Inspect the artifact cache: stats prints entry counts, bytes,
  *       and lifetime hit/miss counters; verify re-validates every
@@ -61,7 +69,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/path_predictor.h"
@@ -72,12 +82,16 @@
 #include "predictors/target_cache.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
+#include "sim/report.h"
+#include "sim/run_options.h"
 #include "sim/simulator.h"
 #include "sim/suite_runner.h"
 #include "store/artifact_store.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
+#include "util/args.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -87,10 +101,10 @@ namespace {
 
 using namespace vlp;
 
-int
-usage()
+void
+printCommands(std::ostream &out)
 {
-    std::cerr <<
+    out <<
         "usage:\n"
         "  vlpsim list\n"
         "  vlpsim gen <benchmark> <profile|test> <out.vbt> [scale]\n"
@@ -104,89 +118,20 @@ usage()
         "[--no-cache]\n"
         "  vlpsim suite --traces <dir> [bytes] [--checkpoint FILE]\n"
         "         [--jobs N] [cache flags]\n"
+        "  vlpsim validate <report.json>\n"
         "  vlpsim cache <stats|verify|clear> <dir>\n"
         "  vlpsim import <in.txt> <out.vbt>\n"
         "  vlpsim export <in.vbt> <out.txt>\n"
-        "  vlpsim convert <in.txt> <out.vbt>\n";
+        "  vlpsim convert <in.txt> <out.vbt>\n"
+        "run 'vlpsim <command> --help' for per-command flags "
+        "(--format ascii|csv|json, --out FILE, cache flags, ...)\n";
+}
+
+int
+usage()
+{
+    printCommands(std::cerr);
     return 2;
-}
-
-/**
- * Parse a `--jobs N` / `--jobs=N` flag anywhere on the command line.
- * Returns @p absent (default 0, one worker per hardware thread) when
- * the flag is not given.
- */
-unsigned
-parseJobs(int argc, char **argv, unsigned absent = 0)
-{
-    for (int i = 1; i < argc; ++i) {
-        const std::string argument = argv[i];
-        std::string value;
-        if (argument == "--jobs") {
-            if (i + 1 >= argc)
-                util::fatal("--jobs requires a worker count");
-            value = argv[i + 1];
-        } else if (argument.rfind("--jobs=", 0) == 0) {
-            value = argument.substr(7);
-        } else {
-            continue;
-        }
-        char *end = nullptr;
-        const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || jobs > 4096)
-            util::fatal("malformed --jobs value: " + value);
-        return static_cast<unsigned>(jobs);
-    }
-    return absent;
-}
-
-/** A flag's value at argv[i], advancing @p i for `--flag value`. */
-std::string
-flagValue(int argc, char **argv, int &i, const std::string &flag)
-{
-    const std::string argument = argv[i];
-    if (argument.size() > flag.size())
-        return argument.substr(flag.size() + 1); // "--flag=value"
-    if (i + 1 >= argc)
-        util::fatal(flag + " requires a value");
-    return argv[++i];
-}
-
-/**
- * Open the artifact store configured by --cache-dir/--cache-max-bytes/
- * --no-cache (VLPSIM_CACHE_DIR supplies the directory when the flag is
- * absent). Returns null when caching is off.
- */
-std::shared_ptr<store::ArtifactStore>
-openCache(int argc, char **argv)
-{
-    store::StoreOptions options;
-    if (const char *env = std::getenv("VLPSIM_CACHE_DIR"))
-        options.directory = env;
-    bool disabled = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string argument = argv[i];
-        if (argument == "--no-cache") {
-            disabled = true;
-        } else if (argument == "--cache-dir"
-                   || argument.rfind("--cache-dir=", 0) == 0) {
-            options.directory =
-                flagValue(argc, argv, i, "--cache-dir");
-        } else if (argument == "--cache-max-bytes"
-                   || argument.rfind("--cache-max-bytes=", 0) == 0) {
-            const std::string value =
-                flagValue(argc, argv, i, "--cache-max-bytes");
-            char *end = nullptr;
-            options.maxBytes =
-                std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0')
-                util::fatal("malformed --cache-max-bytes value: "
-                            + value);
-        }
-    }
-    if (disabled || options.directory.empty())
-        return nullptr;
-    return std::make_shared<store::ArtifactStore>(options);
 }
 
 workload::InputKind
@@ -210,49 +155,72 @@ parseIndirect(const std::string &text)
 }
 
 int
-cmdList()
+cmdList(int argc, char **argv)
 {
-    util::TablePrinter table({"benchmark", "group", "paper cond dyn",
-                              "paper cond static", "paper ind dyn",
-                              "paper ind static"});
+    util::ArgParser parser(
+        "vlpsim list",
+        "print the benchmark suite with its Table-1 parameters");
+    sim::OutputOptions output;
+    output.registerFlags(parser);
+    parser.parse(argc, argv, 2);
+
+    sim::Report report;
+    report.title = "benchmark suite";
+    sim::Section &section = report.addSection("benchmarks");
+    section.columns = {{"benchmark"}, {"group"}, {"paper cond dyn"},
+                       {"paper cond static"}, {"paper ind dyn"},
+                       {"paper ind static"}};
     for (const auto &spec : workload::benchmarkSuite()) {
-        table.addRow({
+        section.addRow(
             spec.name,
-            spec.isSpec ? "SPECint95" : "non-SPEC",
-            util::formatScaled(spec.paperDynamicCond),
-            std::to_string(spec.paperStaticCond),
-            util::formatScaled(spec.paperDynamicIndirect),
-            std::to_string(spec.paperStaticInd),
-        });
+            {sim::Cell::text(spec.name),
+             sim::Cell::text(spec.isSpec ? "SPECint95" : "non-SPEC"),
+             sim::Cell::scaled(spec.paperDynamicCond),
+             sim::Cell::count(spec.paperStaticCond),
+             sim::Cell::scaled(spec.paperDynamicIndirect),
+             sim::Cell::count(spec.paperStaticInd)});
     }
-    table.print(std::cout);
+    output.write(report);
     return 0;
 }
 
 int
 cmdGen(int argc, char **argv)
 {
-    if (argc < 5)
-        return usage();
-    const auto &spec = workload::findBenchmark(argv[2]);
-    const auto kind = parseInput(argv[3]);
+    util::ArgParser parser(
+        "vlpsim gen",
+        "generate a synthetic branch trace as a .vbt file");
+    parser.addPositional("benchmark",
+                         "benchmark name (see 'vlpsim list')");
+    parser.addPositional("profile|test", "input set to generate");
+    parser.addPositional("out.vbt", "output trace path");
+    parser.addPositional("scale", "extra scale factor (default 1)",
+                         false);
+    const auto args = parser.parse(argc, argv, 2);
+
+    const auto &spec = workload::findBenchmark(args[0]);
+    const auto kind = parseInput(args[1]);
     const double extra =
-        argc > 5 ? std::strtod(argv[5], nullptr) : 1.0;
+        args.size() > 3 ? std::strtod(args[3].c_str(), nullptr) : 1.0;
     auto trace = workload::generateTrace(spec, kind, extra);
-    trace::saveTrace(trace, argv[4]);
+    trace::saveTrace(trace, args[2]);
     std::cout << "wrote " << util::formatScaled(trace.size())
-              << " records to " << argv[4] << "\n";
+              << " records to " << args[2] << "\n";
     return 0;
 }
 
 int
 cmdStats(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
-    trace::TraceReader reader(argv[2]);
+    util::ArgParser parser(
+        "vlpsim stats",
+        "print Table-1-style statistics for a trace file");
+    parser.addPositional("trace.vbt", "input trace");
+    const auto args = parser.parse(argc, argv, 2);
+
+    trace::TraceReader reader(args[0]);
     if (reader.formatVersion() < 2) {
-        std::cerr << "warning: " << argv[2]
+        std::cerr << "warning: " << args[0]
                   << " is an unchecksummed VBT1 container; corruption "
                      "would go undetected (re-export to upgrade)\n";
     }
@@ -265,16 +233,32 @@ cmdStats(int argc, char **argv)
 int
 cmdProfile(int argc, char **argv)
 {
-    if (argc < 6)
-        return usage();
-    auto trace = trace::loadTrace(argv[2]);
-    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
-    const bool indirect = parseIndirect(argv[4]);
+    util::ArgParser parser(
+        "vlpsim profile",
+        "run the paper's two-step profiling heuristic over a trace");
+    parser.addPositional("trace.vbt", "input trace");
+    parser.addPositional("bytes", "predictor table budget in bytes");
+    parser.addPositional("cond|ind", "branch class");
+    parser.addPositional("out.assignment",
+                         "output per-branch hash assignment");
+    std::uint64_t jobs = 1;
+    parser.addUint("--jobs", "N",
+                   "worker threads for the step-1 length sweep "
+                   "(0 = one per hardware thread; default 1)",
+                   &jobs, 4096);
+    sim::OutputOptions output;
+    output.registerFlags(parser);
+    const auto args = parser.parse(argc, argv, 2);
+
+    auto trace = trace::loadTrace(args[0]);
+    const std::size_t bytes =
+        std::strtoul(args[1].c_str(), nullptr, 0);
+    const bool indirect = parseIndirect(args[2]);
 
     core::ProfileOptions options;
     // The length-sharded step-1 sweep is bit-identical at any worker
     // count, so --jobs only changes wall-clock (default: serial).
-    options.jobs = parseJobs(argc, argv, 1);
+    options.jobs = static_cast<unsigned>(jobs);
     core::HashAssignment assignment(1);
     if (indirect) {
         options.indexBits = pred::indirectIndexBits(bytes);
@@ -285,25 +269,50 @@ cmdProfile(int argc, char **argv)
         core::ConditionalProfiler profiler(options);
         assignment = profiler.profile(trace);
     }
-    assignment.save(argv[5]);
-    std::cout << "profiled " << assignment.size()
-              << " static branches (default length "
-              << assignment.defaultLength() << ") -> " << argv[5]
-              << "\n"
-              << "length histogram: "
-              << assignment.lengthHistogram().toString() << "\n";
+    assignment.save(args[3]);
+
+    const std::string histogram =
+        assignment.lengthHistogram().toString();
+    sim::Report report;
+    report.title = "profile";
+    report.setMeta("trace", args[0]);
+    report.setMeta("bytes", std::uint64_t{bytes});
+    report.setMeta("class", indirect ? "ind" : "cond");
+    report.setMeta("staticBranches",
+                   std::uint64_t{assignment.size()});
+    report.setMeta("defaultLength",
+                   std::uint64_t{assignment.defaultLength()});
+    report.setMeta("lengthHistogram", histogram);
+    report.addText(
+        "summary",
+        "profiled " + std::to_string(assignment.size())
+            + " static branches (default length "
+            + std::to_string(assignment.defaultLength()) + ") -> "
+            + args[3] + "\nlength histogram: " + histogram + "\n");
+    output.write(report);
     return 0;
 }
 
 int
 cmdEval(int argc, char **argv)
 {
-    if (argc < 5)
-        return usage();
-    auto trace = trace::loadTrace(argv[2]);
-    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
-    const bool indirect = parseIndirect(argv[4]);
-    const bool have_assignment = argc > 5;
+    util::ArgParser parser(
+        "vlpsim eval",
+        "evaluate the paper's predictors on a trace");
+    parser.addPositional("trace.vbt", "input trace");
+    parser.addPositional("bytes", "predictor table budget in bytes");
+    parser.addPositional("cond|ind", "branch class");
+    parser.addPositional("assignment",
+                         "profiled hash assignment (adds the "
+                         "variable length path predictor)",
+                         false);
+    const auto args = parser.parse(argc, argv, 2);
+
+    auto trace = trace::loadTrace(args[0]);
+    const std::size_t bytes =
+        std::strtoul(args[1].c_str(), nullptr, 0);
+    const bool indirect = parseIndirect(args[2]);
+    const bool have_assignment = args.size() > 3;
 
     sim::Simulator simulator;
 
@@ -318,8 +327,9 @@ cmdEval(int argc, char **argv)
         simulator.addIndirect(&chp_pattern);
         simulator.addIndirect(&flp);
         core::PathIndirectPredictor vlp(
-            k, have_assignment ? core::HashAssignment::load(argv[5])
-                               : core::HashAssignment(5));
+            k, have_assignment
+                   ? core::HashAssignment::load(args[3])
+                   : core::HashAssignment(5));
         if (have_assignment)
             simulator.addIndirect(&vlp);
         simulator.run(trace);
@@ -338,8 +348,9 @@ cmdEval(int argc, char **argv)
         simulator.addConditional(&gshare);
         simulator.addConditional(&flp);
         core::PathConditionalPredictor vlp(
-            k, have_assignment ? core::HashAssignment::load(argv[5])
-                               : core::HashAssignment(5));
+            k, have_assignment
+                   ? core::HashAssignment::load(args[3])
+                   : core::HashAssignment(5));
         if (have_assignment)
             simulator.addConditional(&vlp);
         simulator.run(trace);
@@ -362,12 +373,21 @@ cmdEval(int argc, char **argv)
 int
 cmdTop(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    auto trace = trace::loadTrace(argv[2]);
-    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+    util::ArgParser parser(
+        "vlpsim top",
+        "rank conditional branches by gshare misprediction share");
+    parser.addPositional("trace.vbt", "input trace");
+    parser.addPositional("bytes", "predictor table budget in bytes");
+    parser.addPositional("count", "branches to show (default 15)",
+                         false);
+    const auto args = parser.parse(argc, argv, 2);
+
+    auto trace = trace::loadTrace(args[0]);
+    const std::size_t bytes =
+        std::strtoul(args[1].c_str(), nullptr, 0);
     const std::size_t count =
-        argc > 4 ? std::strtoul(argv[4], nullptr, 0) : 15;
+        args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 0)
+                        : 15;
     const unsigned k = pred::conditionalIndexBits(bytes);
 
     pred::GsharePredictor gshare(k);
@@ -422,50 +442,62 @@ cmdTop(int argc, char **argv)
 int
 cmdSuiteTraces(int argc, char **argv)
 {
+    util::ArgParser parser(
+        "vlpsim suite --traces",
+        "run the paper's methodology over an external .vbt corpus "
+        "through the hardened ingestion pipeline");
+    std::string directory;
+    std::string checkpoint;
+    parser.addString("--traces", "DIR",
+                     "directory scanned recursively for .vbt traces",
+                     &directory);
+    parser.addString("--checkpoint", "FILE",
+                     "journal completed cells so a killed run "
+                     "resumes where it left off",
+                     &checkpoint);
+    sim::RunOptions run;
+    run.registerFlags(parser);
+    sim::OutputOptions output;
+    output.registerFlags(parser);
+    parser.addPositional(
+        "bytes", "predictor table budget in bytes (default 8192)",
+        false);
+    const auto args = parser.parse(argc, argv, 2);
+    if (directory.empty())
+        parser.fail("--traces is required");
+
+    const auto store = run.openStore();
     sim::TraceSuiteOptions options;
-    options.jobs = parseJobs(argc, argv);
-    options.store = openCache(argc, argv);
-    bool have_bytes = false;
-    for (int i = 2; i < argc; ++i) {
-        const std::string argument = argv[i];
-        if (argument == "--traces"
-            || argument.rfind("--traces=", 0) == 0) {
-            options.directory = flagValue(argc, argv, i, "--traces");
-        } else if (argument == "--checkpoint"
-                   || argument.rfind("--checkpoint=", 0) == 0) {
-            options.checkpoint =
-                flagValue(argc, argv, i, "--checkpoint");
-        } else if (argument == "--jobs") {
-            ++i; // value consumed by parseJobs
-        } else if (argument == "--cache-dir"
-                   || argument == "--cache-max-bytes") {
-            ++i; // value consumed by openCache
-        } else if (argument.rfind("--", 0) == 0) {
-            continue; // --jobs=N / cache flags / --no-cache
-        } else if (!have_bytes) {
-            options.bytes = std::strtoul(argv[i], nullptr, 0);
-            have_bytes = true;
-            if (options.bytes == 0) {
-                util::fatal("table budget must be a positive byte "
-                            "count");
-            }
-        } else {
-            return usage();
+    options.directory = directory;
+    options.checkpoint = checkpoint;
+    options.jobs = static_cast<unsigned>(run.jobs);
+    options.store = store;
+    if (!args.empty()) {
+        options.bytes = std::strtoul(args[0].c_str(), nullptr, 0);
+        if (options.bytes == 0) {
+            util::fatal("table budget must be a positive byte "
+                        "count");
         }
     }
-    if (options.directory.empty())
-        return usage();
 
     sim::TraceSuiteRunner runner(std::move(options));
-    const sim::SuiteReport report = runner.run();
-    if (report.resumedCells > 0) {
-        std::cerr << "checkpoint: resumed " << report.resumedCells
+    const sim::SuiteReport suite = runner.run();
+    if (suite.resumedCells > 0) {
+        std::cerr << "checkpoint: resumed " << suite.resumedCells
                   << " completed cells\n";
     }
-    report.print(std::cout);
+
+    sim::Report report = suite.toReport();
+    if (store) {
+        const store::StoreCounters counters = store->counters();
+        report.setMeta("cacheHits", counters.hits);
+        report.setMeta("cacheMisses", counters.misses);
+        report.setMeta("cacheInserts", counters.inserts);
+    }
+    output.write(report);
     // A partially failed corpus still produced results; only a run
     // that completed nothing exits nonzero.
-    return report.allFailed() ? 1 : 0;
+    return suite.allFailed() ? 1 : 0;
 }
 
 int
@@ -478,18 +510,29 @@ cmdSuite(int argc, char **argv)
             return cmdSuiteTraces(argc, argv);
         }
     }
-    if (argc < 4)
-        return usage();
-    const bool indirect = parseIndirect(argv[2]);
-    const std::size_t bytes = std::strtoul(argv[3], nullptr, 0);
+
+    util::ArgParser parser(
+        "vlpsim suite",
+        "profile and compare the paper's predictors over the "
+        "synthetic benchmark suite (use --traces DIR for the "
+        "external-trace mode)");
+    parser.addPositional("cond|ind", "branch class");
+    parser.addPositional("bytes", "predictor table budget in bytes");
+    sim::RunOptions run;
+    run.registerFlags(parser);
+    sim::OutputOptions output;
+    output.registerFlags(parser);
+    const auto args = parser.parse(argc, argv, 2);
+
+    const bool indirect = parseIndirect(args[0]);
+    const std::size_t bytes =
+        std::strtoul(args[1].c_str(), nullptr, 0);
     if (bytes == 0)
         util::fatal("table budget must be a positive byte count");
 
     const auto start = std::chrono::steady_clock::now();
-    sim::ParallelRunner runner(parseJobs(argc, argv));
-    const auto cache = openCache(argc, argv);
-    if (cache)
-        runner.setStore(cache);
+    sim::ParallelRunner runner(static_cast<unsigned>(run.jobs));
+    const auto cache = run.attachStore(runner);
     const auto &suite = workload::benchmarkSuite();
 
     const unsigned global_length = indirect
@@ -499,21 +542,38 @@ cmdSuite(int argc, char **argv)
         ? runner.compareIndirectSuite(suite, bytes, global_length)
         : runner.compareConditionalSuite(suite, bytes, global_length);
 
-    std::cout << (indirect ? "indirect" : "conditional")
-              << " predictors, " << bytes
-              << " byte tables, test inputs (global fixed path length "
-              << global_length << "):\n";
-    std::vector<std::string> header = {"benchmark"};
-    for (const auto &entry : rows.front().entries)
-        header.push_back(entry.predictor + " (%)");
-    util::TablePrinter table(header);
-    for (const auto &row : rows) {
-        std::vector<std::string> cells = {row.benchmark};
-        for (const auto &entry : row.entries)
-            cells.push_back(util::formatDouble(entry.rate, 2));
-        table.addRow(std::move(cells));
+    sim::Report report;
+    report.title = "predictor suite";
+    report.setMeta("class", indirect ? "ind" : "cond");
+    report.setMeta("bytes", std::uint64_t{bytes});
+    report.setMeta("globalLength", std::uint64_t{global_length});
+    report.setMeta("jobs", std::uint64_t{runner.jobs()});
+    report.setMeta("predictions", runner.predictions());
+    if (cache) {
+        const store::StoreCounters counters = cache->counters();
+        report.setMeta("cacheHits", counters.hits);
+        report.setMeta("cacheMisses", counters.misses);
+        report.setMeta("cacheInserts", counters.inserts);
     }
-    table.print(std::cout);
+
+    sim::Section &section =
+        report.addSection(indirect ? "indirect" : "conditional");
+    std::ostringstream caption;
+    caption << (indirect ? "indirect" : "conditional")
+            << " predictors, " << bytes
+            << " byte tables, test inputs (global fixed path length "
+            << global_length << "):\n";
+    section.caption = caption.str();
+    section.columns = {{"benchmark"}};
+    for (const auto &entry : rows.front().entries)
+        section.columns.push_back({entry.predictor + " (%)"});
+    for (const auto &row : rows) {
+        std::vector<sim::Cell> cells = {sim::Cell::text(row.benchmark)};
+        for (const auto &entry : row.entries)
+            cells.push_back(sim::Cell::percent(entry.rate));
+        section.addRow(row.benchmark, std::move(cells));
+    }
+    output.write(report);
 
     // Throughput goes to stderr so stdout stays bit-identical across
     // --jobs values.
@@ -529,27 +589,50 @@ cmdSuite(int argc, char **argv)
               << util::formatScaled(
                      static_cast<std::uint64_t>(per_second))
               << " branches/s; jobs=" << runner.jobs() << ")\n";
-    if (cache) {
-        const store::StoreCounters counters = cache->counters();
-        std::cerr << "cache: " << counters.hits << " hits, "
-                  << counters.misses << " misses, "
-                  << counters.inserts << " inserts";
-        if (counters.corrupt > 0)
-            std::cerr << ", " << counters.corrupt << " corrupt";
-        if (counters.evicted > 0)
-            std::cerr << ", " << counters.evicted << " evicted";
-        std::cerr << "\n";
+    sim::reportCacheCounters(cache.get());
+    return 0;
+}
+
+int
+cmdValidate(int argc, char **argv)
+{
+    util::ArgParser parser(
+        "vlpsim validate",
+        "check a --format json export against the vlpsim-report "
+        "schema (docs/FORMATS.md)");
+    parser.addPositional("report.json",
+                         "report produced by --format json");
+    const auto args = parser.parse(argc, argv, 2);
+
+    std::ifstream in(args[0], std::ios::binary);
+    if (!in)
+        util::fatal("cannot open report: " + args[0]);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    const util::Json document = util::Json::parse(buffer.str());
+    const std::vector<std::string> problems =
+        sim::validateReportJson(document);
+    if (!problems.empty()) {
+        for (const std::string &problem : problems)
+            std::cerr << args[0] << ": " << problem << "\n";
+        return 1;
     }
+    std::cout << args[0] << ": valid vlpsim-report v"
+              << sim::reportSchemaVersion << "\n";
     return 0;
 }
 
 int
 cmdCache(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    const std::string action = argv[2];
-    const std::string directory = argv[3];
+    util::ArgParser parser("vlpsim cache",
+                           "inspect or maintain an artifact cache");
+    parser.addPositional("stats|verify|clear", "action");
+    parser.addPositional("dir", "cache directory");
+    const auto args = parser.parse(argc, argv, 2);
+    const std::string &action = args[0];
+    const std::string &directory = args[1];
     if (action == "stats") {
         const auto summary = store::ArtifactStore::summarize(directory);
         std::cout << "cache " << directory << ": " << summary.entries
@@ -573,56 +656,69 @@ cmdCache(int argc, char **argv)
         std::cout << "removed " << removed << " entries\n";
         return 0;
     }
-    return usage();
+    parser.fail("action must be 'stats', 'verify', or 'clear'");
 }
 
 int
 cmdImport(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    auto trace = trace::loadTextTrace(argv[2]);
-    trace::saveTrace(trace, argv[3]);
+    util::ArgParser parser(
+        "vlpsim import",
+        "convert a text trace to the binary .vbt format");
+    parser.addPositional("in.txt", "text trace (one branch per line)");
+    parser.addPositional("out.vbt", "output binary trace");
+    const auto args = parser.parse(argc, argv, 2);
+    auto trace = trace::loadTextTrace(args[0]);
+    trace::saveTrace(trace, args[1]);
     std::cout << "imported " << util::formatScaled(trace.size())
-              << " records -> " << argv[3] << "\n";
+              << " records -> " << args[1] << "\n";
     return 0;
 }
 
 int
 cmdExport(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    auto trace = trace::loadTrace(argv[2]);
-    trace::saveTextTrace(trace, argv[3]);
+    util::ArgParser parser(
+        "vlpsim export",
+        "convert a binary .vbt trace to the text format");
+    parser.addPositional("in.vbt", "binary trace");
+    parser.addPositional("out.txt", "output text trace");
+    const auto args = parser.parse(argc, argv, 2);
+    auto trace = trace::loadTrace(args[0]);
+    trace::saveTextTrace(trace, args[1]);
     std::cout << "exported " << util::formatScaled(trace.size())
-              << " records -> " << argv[3] << "\n";
+              << " records -> " << args[1] << "\n";
     return 0;
 }
 
 int
 cmdConvert(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    std::ifstream in(argv[2], std::ios::binary);
+    util::ArgParser parser(
+        "vlpsim convert",
+        "leniently import an external text branch log (malformed "
+        "lines are skipped and reported)");
+    parser.addPositional("in.txt", "text branch log");
+    parser.addPositional("out.vbt", "output binary trace");
+    const auto args = parser.parse(argc, argv, 2);
+    std::ifstream in(args[0], std::ios::binary);
     if (!in)
-        util::fatal(std::string("cannot open text trace: ") + argv[2]);
+        util::fatal("cannot open text trace: " + args[0]);
     trace::ConvertReport report;
     auto trace = trace::readTextTraceLenient(in, report);
     for (const std::string &diagnostic : report.diagnostics)
-        std::cerr << argv[2] << ": " << diagnostic << "\n";
+        std::cerr << args[0] << ": " << diagnostic << "\n";
     if (report.skipped > report.diagnostics.size()) {
-        std::cerr << argv[2] << ": ... and "
+        std::cerr << args[0] << ": ... and "
                   << report.skipped - report.diagnostics.size()
                   << " more malformed lines\n";
     }
     if (report.imported == 0)
-        util::fatal(std::string("no usable records in ") + argv[2]);
-    trace::saveTrace(trace, argv[3]);
+        util::fatal("no usable records in " + args[0]);
+    trace::saveTrace(trace, args[1]);
     std::cout << "converted " << util::formatScaled(report.imported)
               << " records (" << report.skipped
-              << " malformed lines skipped) -> " << argv[3] << "\n";
+              << " malformed lines skipped) -> " << args[1] << "\n";
     return 0;
 }
 
@@ -634,9 +730,13 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
+    if (command == "--help" || command == "-h") {
+        printCommands(std::cout);
+        return 0;
+    }
     try {
         if (command == "list")
-            return cmdList();
+            return cmdList(argc, argv);
         if (command == "gen")
             return cmdGen(argc, argv);
         if (command == "stats")
@@ -649,6 +749,8 @@ main(int argc, char **argv)
             return cmdTop(argc, argv);
         if (command == "suite")
             return cmdSuite(argc, argv);
+        if (command == "validate")
+            return cmdValidate(argc, argv);
         if (command == "cache")
             return cmdCache(argc, argv);
         if (command == "import")
