@@ -116,13 +116,21 @@ comparisonKey(const workload::BenchmarkSpec &spec, bool indirect,
     return builder.build();
 }
 
-/** Key for a full predictor-comparison row (external trace). */
+/**
+ * Key for a full predictor-comparison row (external trace pair). Both
+ * content hashes participate: the row depends on the profile trace
+ * (assignment, tuned length) *and* the evaluation trace, so a cached
+ * row can never leak across pairings. Self-evaluation is simply the
+ * profile == test degenerate case and keys consistently.
+ */
 store::CacheKey
-externalComparisonKey(const ExternalTrace &trace, bool indirect,
+externalComparisonKey(const ExternalTrace &profile,
+                      const ExternalTrace &test, bool indirect,
                       std::size_t bytes, unsigned global_length,
                       bool include_tuned)
 {
-    store::KeyBuilder builder = externalKey("comparison", trace);
+    store::KeyBuilder builder = externalKey("comparison", profile);
+    builder.field("test", test.contentHash);
     addComparisonFields(builder, indirect, bytes, global_length,
                         include_tuned);
     return builder.build();
@@ -674,23 +682,27 @@ compareIndirect(ExperimentContext &context,
 
 ComparisonRow
 compareExternalConditional(ExperimentContext &context,
-                           const ExternalTrace &trace,
-                           std::size_t bytes, unsigned global_length)
+                           const ExternalTrace &profile,
+                           const ExternalTrace &test, std::size_t bytes,
+                           unsigned global_length)
 {
     const store::CacheKey key = externalComparisonKey(
-        trace, false, bytes, global_length, true);
+        profile, test, false, bytes, global_length, true);
     if (auto cached = fetchComparisonRow(context.store(), key))
         return *cached;
 
+    // Everything learned comes from the profile trace (and is cached
+    // under its content hash); only the replay below touches the test
+    // trace.
     const unsigned index_bits = pred::conditionalIndexBits(bytes);
     const unsigned tuned_length =
-        context.externalSweep(trace, index_bits, false).bestLength();
+        context.externalSweep(profile, index_bits, false).bestLength();
     const core::HashAssignment &assignment =
-        context.externalAssignment(trace, index_bits, false);
+        context.externalAssignment(profile, index_bits, false);
 
-    const auto eval_trace = context.openExternal(trace);
+    const auto eval_trace = context.openExternal(test);
     ComparisonRow row = runConditionalComparison(
-        trace.name, *eval_trace, index_bits, global_length,
+        test.name, *eval_trace, index_bits, global_length,
         tuned_length, assignment, true);
     if (auto *store = context.store())
         store->insert(key, store::encodeComparisonRow(row));
@@ -699,27 +711,46 @@ compareExternalConditional(ExperimentContext &context,
 
 ComparisonRow
 compareExternalIndirect(ExperimentContext &context,
-                        const ExternalTrace &trace, std::size_t bytes,
+                        const ExternalTrace &profile,
+                        const ExternalTrace &test, std::size_t bytes,
                         unsigned global_length)
 {
     const store::CacheKey key = externalComparisonKey(
-        trace, true, bytes, global_length, true);
+        profile, test, true, bytes, global_length, true);
     if (auto cached = fetchComparisonRow(context.store(), key))
         return *cached;
 
     const unsigned index_bits = pred::indirectIndexBits(bytes);
     const unsigned tuned_length =
-        context.externalSweep(trace, index_bits, true).bestLength();
+        context.externalSweep(profile, index_bits, true).bestLength();
     const core::HashAssignment &assignment =
-        context.externalAssignment(trace, index_bits, true);
+        context.externalAssignment(profile, index_bits, true);
 
-    const auto eval_trace = context.openExternal(trace);
+    const auto eval_trace = context.openExternal(test);
     ComparisonRow row = runIndirectComparison(
-        trace.name, *eval_trace, index_bits, global_length,
+        test.name, *eval_trace, index_bits, global_length,
         tuned_length, assignment, true);
     if (auto *store = context.store())
         store->insert(key, store::encodeComparisonRow(row));
     return row;
+}
+
+ComparisonRow
+compareExternalConditional(ExperimentContext &context,
+                           const ExternalTrace &trace,
+                           std::size_t bytes, unsigned global_length)
+{
+    return compareExternalConditional(context, trace, trace, bytes,
+                                      global_length);
+}
+
+ComparisonRow
+compareExternalIndirect(ExperimentContext &context,
+                        const ExternalTrace &trace, std::size_t bytes,
+                        unsigned global_length)
+{
+    return compareExternalIndirect(context, trace, trace, bytes,
+                                   global_length);
 }
 
 } // namespace sim

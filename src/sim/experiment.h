@@ -282,19 +282,43 @@ ComparisonRow compareIndirect(ExperimentContext &context,
                               bool include_tuned = false);
 
 /**
- * compareConditional() for an external trace: gshare, fixed length
- * path at @p global_length, the per-trace tuned fixed length, and the
- * variable length path predictor. External traces are single inputs,
- * so profiling and evaluation run over the same file (the paper's
- * profile/test split needs two inputs per workload; callers that have
- * them can register two ExternalTraces and cross-evaluate).
+ * compareConditional() for an external trace pair — the paper's §3
+ * methodology: profile on one input, evaluate on another. All
+ * profiling artifacts (step-1 sweep, tuned length, step-2 assignment)
+ * come from @p profile and are cached under *its* content hash, so
+ * swapping the evaluation trace reuses them; the predictors are then
+ * replayed over @p test. The row's cache key carries both content
+ * hashes — a row evaluated on one test trace can never be served for
+ * another. Compared predictors: gshare, fixed length path at
+ * @p global_length, the profile-tuned fixed length, and the variable
+ * length path predictor.
+ */
+ComparisonRow compareExternalConditional(ExperimentContext &context,
+                                         const ExternalTrace &profile,
+                                         const ExternalTrace &test,
+                                         std::size_t bytes,
+                                         unsigned global_length);
+
+/** Indirect counterpart of the paired compareExternalConditional(). */
+ComparisonRow compareExternalIndirect(ExperimentContext &context,
+                                      const ExternalTrace &profile,
+                                      const ExternalTrace &test,
+                                      std::size_t bytes,
+                                      unsigned global_length);
+
+/**
+ * Self-evaluation shorthand: profile and evaluate on the same trace.
+ * This overstates accuracy (the predictor is tested on the input it
+ * was trained on) — callers with a second input per workload should
+ * use the paired overload; the suite runner labels results from this
+ * path "self-eval".
  */
 ComparisonRow compareExternalConditional(ExperimentContext &context,
                                          const ExternalTrace &trace,
                                          std::size_t bytes,
                                          unsigned global_length);
 
-/** Indirect counterpart of compareExternalConditional(). */
+/** Self-evaluation counterpart of compareExternalIndirect(). */
 ComparisonRow compareExternalIndirect(ExperimentContext &context,
                                       const ExternalTrace &trace,
                                       std::size_t bytes,

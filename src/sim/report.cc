@@ -202,6 +202,19 @@ AsciiReportSink::write(const Report &report, std::ostream &out)
                         << row.cells[1].ascii() << "/"
                         << row.cells[2].ascii() << ")\n";
                 }
+            } else if (section.layout
+                       == Section::Layout::PairedEntries) {
+                // Train-vs-test entry lines of the paired suite.
+                for (const Row &row : section.rows) {
+                    assert(row.cells.size() == 6);
+                    out << "    " << row.id << ": train "
+                        << row.cells[0].ascii() << "% ("
+                        << row.cells[1].ascii() << "/"
+                        << row.cells[2].ascii() << ") | test "
+                        << row.cells[3].ascii() << "% ("
+                        << row.cells[4].ascii() << "/"
+                        << row.cells[5].ascii() << ")\n";
+                }
             } else {
                 std::vector<std::string> headers;
                 headers.reserve(section.columns.size());

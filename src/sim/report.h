@@ -50,7 +50,7 @@ namespace sim {
  * any change to the emitted structure; the bump invalidates cached
  * comparison rows via the key stamp.
  */
-inline constexpr std::uint32_t reportSchemaVersion = 1;
+inline constexpr std::uint32_t reportSchemaVersion = 2;
 
 /** One typed table cell. Construct through the factories so the
  *  ASCII rendering matches the legacy formatting exactly. */
@@ -134,6 +134,13 @@ struct Section
          * be {Percent, Count, Count}.
          */
         Entries,
+        /**
+         * Train-vs-test entry lines, the paired external-suite style:
+         * "    <id>: train <c0>% (<c1>/<c2>) | test <c3>% (<c4>/<c5>)"
+         * per row. Rows must be {Percent, Count, Count, Percent,
+         * Count, Count} — the train triple, then the test triple.
+         */
+        PairedEntries,
     };
 
     /** Machine name ("conditional", "figure5", trace path...). */

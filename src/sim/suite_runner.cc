@@ -8,10 +8,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <mutex>
 #include <ostream>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -23,6 +28,7 @@
 #include "store/serialize.h"
 #include "trace/streaming.h"
 #include "util/logging.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace fs = std::filesystem;
@@ -36,9 +42,19 @@ namespace {
  *  (mirrors ExperimentContext::averageIndirectSweep). */
 constexpr std::uint64_t minIndirectBranches = 1000;
 
+/** Manifest file picked up from the corpus root when present. */
+constexpr const char *defaultManifestName = "pairs.txt";
+
+/** Name-convention suffixes for the profile/test split. */
+constexpr const char *profileSuffix = ".profile.vbt";
+constexpr const char *testSuffix = ".test.vbt";
+
 /**
- * Run @p fn, retrying util::TransientError with bounded exponential
- * backoff. Permanent errors and the final transient error propagate.
+ * Run @p fn, retrying util::TransientError with clamped exponential
+ * backoff: retry r sleeps min(backoffBaseMs << r, backoffMaxMs). The
+ * shift count itself is bounded, so a huge maxAttempts can never
+ * reach undefined-behavior territory (shifting a 32-bit base by 32+).
+ * Permanent errors and the final transient error propagate.
  */
 template <typename Fn>
 auto
@@ -52,8 +68,12 @@ retryTransient(const TraceSuiteOptions &options, Fn &&fn)
             ++attempt;
             if (attempt >= std::max(options.maxAttempts, 1u))
                 throw;
-            const unsigned delay_ms = options.backoffBaseMs
-                << (attempt - 1);
+            const unsigned shift = std::min(attempt - 1, 31u);
+            const std::uint64_t exponential =
+                std::uint64_t{options.backoffBaseMs} << shift;
+            const unsigned delay_ms = static_cast<unsigned>(
+                std::min<std::uint64_t>(exponential,
+                                        options.backoffMaxMs));
             if (options.sleeper) {
                 options.sleeper(delay_ms);
             } else {
@@ -64,20 +84,24 @@ retryTransient(const TraceSuiteOptions &options, Fn &&fn)
     }
 }
 
-/** Per-trace working state threaded through the phases. */
+/** Per-pair working state threaded through the phases. */
 struct TraceWork
 {
     TraceOutcome outcome;
-    ExternalTrace ext;
+    /** Profiling source (sweeps, assignment, tuned length). */
+    ExternalTrace profile;
+    /** Evaluation source; equals profile for self-eval pairs. */
+    ExternalTrace test;
     /** Passed validation and sweeps; eligible for comparisons. */
     bool valid = false;
-    /** Step-1 rate curves (percent, index L-1), for the suite
-     *  average. */
+    /** Step-1 rate curves (percent, index L-1) from the profile
+     *  trace, for the suite average. */
     std::vector<double> condRates;
     std::vector<double> indRates;
 };
 
-/** Journal cell key for one per-trace sweep. */
+/** Journal cell key for one per-trace sweep (profile trace only —
+ *  sweeps depend on exactly one trace's bytes). */
 std::string
 sweepCellKey(const std::string &content_hash, bool indirect,
              unsigned index_bits)
@@ -90,20 +114,24 @@ sweepCellKey(const std::string &content_hash, bool indirect,
 }
 
 /**
- * Journal cell key for one comparison row. Comparison rows feed the
- * structured report pipeline, so the key carries reportSchemaVersion:
- * a schema change can never replay rows journaled under an older
- * layout.
+ * Journal cell key for one comparison row. The key names the *pair
+ * identity* — both content hashes — so a manifest edit between a kill
+ * and a resume can never replay a row that was recorded for a
+ * different profile/test combination. It also carries
+ * reportSchemaVersion: a schema change can never replay rows
+ * journaled under an older layout.
  */
 std::string
-rowCellKey(const std::string &content_hash, bool indirect,
+rowCellKey(const std::string &profile_hash,
+           const std::string &test_hash, bool indirect,
            std::size_t bytes, unsigned global_length)
 {
     return std::string("row;v")
         + std::to_string(store::artifactFormatVersion)
         + ";schema=" + std::to_string(reportSchemaVersion)
         + ";class=" + (indirect ? "ind" : "cond")
-        + ";trace=" + content_hash
+        + ";profile=" + profile_hash
+        + ";test=" + test_hash
         + ";bytes=" + std::to_string(bytes)
         + ";global=" + std::to_string(global_length);
 }
@@ -198,17 +226,19 @@ obtainSweep(const TraceSuiteOptions &options,
 }
 
 /**
- * Obtain one comparison row: journal first, else compute (with
- * transient retries) and journal the result.
+ * Obtain one comparison row — profiled on @p profile, evaluated on
+ * @p eval — journal first, else compute (with transient retries) and
+ * journal the result.
  */
 ComparisonRow
 obtainRow(const TraceSuiteOptions &options,
           store::CheckpointJournal *journal, ExperimentContext &context,
-          const ExternalTrace &ext, bool indirect, std::size_t bytes,
-          unsigned global_length)
+          const ExternalTrace &profile, const ExternalTrace &eval,
+          bool indirect, std::size_t bytes, unsigned global_length)
 {
     const std::string key =
-        rowCellKey(ext.contentHash, indirect, bytes, global_length);
+        rowCellKey(profile.contentHash, eval.contentHash, indirect,
+                   bytes, global_length);
     if (auto cached = journalFetch(journal, key,
                                    store::decodeComparisonRow)) {
         return *cached;
@@ -216,9 +246,9 @@ obtainRow(const TraceSuiteOptions &options,
 
     const ComparisonRow row = retryTransient(options, [&] {
         return indirect
-            ? compareExternalIndirect(context, ext, bytes,
+            ? compareExternalIndirect(context, profile, eval, bytes,
                                       global_length)
-            : compareExternalConditional(context, ext, bytes,
+            : compareExternalConditional(context, profile, eval, bytes,
                                          global_length);
     });
     if (journal != nullptr)
@@ -233,14 +263,14 @@ quarantine(TraceWork &work, const std::string &cause)
     work.outcome.status = TraceStatus::Quarantined;
     work.outcome.cause = cause;
     work.valid = false;
-    util::warn("quarantined trace " + work.outcome.name + ": " + cause);
+    util::warn("quarantined pair " + work.outcome.name + ": " + cause);
 }
 
 /**
  * Static-sharded parallel loop: item i runs on worker i % jobs, each
  * worker walks its items in increasing order (mirrors
  * ParallelRunner::runSharded). jobs == 1 runs inline. fn(worker, i)
- * must not throw — per-trace errors are absorbed into outcomes — but
+ * must not throw — per-pair errors are absorbed into outcomes — but
  * a stray exception is still captured and rethrown, first one wins.
  */
 void
@@ -282,6 +312,47 @@ argminLength(const std::vector<double> &rates)
     return best;
 }
 
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() > suffix.size()
+        && text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix)
+            == 0;
+}
+
+/** The variable-length-path entry of @p row, or nullptr. */
+const RateEntry *
+findVlp(const ComparisonRow &row)
+{
+    for (const RateEntry &entry : row.entries) {
+        if (entry.predictor == names::vlp)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::optional<double>
+vlpDelta(const std::optional<ComparisonRow> &train,
+         const std::optional<ComparisonRow> &test)
+{
+    if (!train || !test)
+        return std::nullopt;
+    const RateEntry *trained = findVlp(*train);
+    const RateEntry *tested = findVlp(*test);
+    if (trained == nullptr || tested == nullptr)
+        return std::nullopt;
+    return tested->rate - trained->rate;
+}
+
+/** "+1.2345%" / "-0.4100%" at the suite's historical 4 decimals. */
+std::string
+signedPercent(double value)
+{
+    return (value < 0.0 ? std::string() : std::string("+"))
+        + util::formatDouble(value, 4) + "%";
+}
+
 /**
  * One comparison row as an Entries-layout report section: a
  * "    <predictor>: <rate>% (<misses>/<branches>)" line per entry,
@@ -307,7 +378,64 @@ addRowSection(Report &report, const std::string &name,
     }
 }
 
+/**
+ * Train and test rows side by side as a PairedEntries section:
+ * "    <predictor>: train <rate>% (<m>/<b>) | test <rate>% (<m>/<b>)"
+ * per predictor, with the per-pair generalization delta as footer.
+ */
+void
+addPairedRowSection(Report &report, const std::string &name,
+                    const std::string &caption,
+                    const ComparisonRow &train,
+                    const ComparisonRow &test,
+                    const std::optional<double> &delta)
+{
+    Section &section = report.addSection(name);
+    section.layout = Section::Layout::PairedEntries;
+    section.caption = caption;
+    section.columns = {{"train mispredict (%)"}, {"train mispredictions"},
+                       {"train branches"},       {"test mispredict (%)"},
+                       {"test mispredictions"},  {"test branches"}};
+    for (const RateEntry &trained : train.entries) {
+        const RateEntry &tested = test.entry(trained.predictor);
+        section.addRow(trained.predictor,
+                       {
+                           Cell::percent(trained.rate, 4),
+                           Cell::count(trained.mispredictions),
+                           Cell::count(trained.branches),
+                           Cell::percent(tested.rate, 4),
+                           Cell::count(tested.mispredictions),
+                           Cell::count(tested.branches),
+                       });
+    }
+    if (delta) {
+        section.footer =
+            "    generalization delta (variable length path): "
+            + signedPercent(*delta) + "\n";
+    }
+}
+
+/** "VBT<v>, <n> records" for one side of a pair's status line. */
+std::string
+containerText(unsigned format_version, std::uint64_t records)
+{
+    return "VBT" + std::to_string(format_version) + ", "
+        + std::to_string(records) + " records";
+}
+
 } // anonymous namespace
+
+std::optional<double>
+TraceOutcome::conditionalDelta() const
+{
+    return vlpDelta(conditionalTrain, conditional);
+}
+
+std::optional<double>
+TraceOutcome::indirectDelta() const
+{
+    return vlpDelta(indirectTrain, indirect);
+}
 
 std::size_t
 SuiteReport::okCount() const
@@ -338,6 +466,27 @@ SuiteReport::skippedCount() const
                       }));
 }
 
+std::size_t
+SuiteReport::orphanedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(traces.begin(), traces.end(),
+                      [](const TraceOutcome &outcome) {
+                          return outcome.status == TraceStatus::Orphaned;
+                      }));
+}
+
+std::size_t
+SuiteReport::crossEvaluatedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(traces.begin(), traces.end(),
+                      [](const TraceOutcome &outcome) {
+                          return outcome.status == TraceStatus::Ok
+                              && !outcome.selfEval;
+                      }));
+}
+
 Report
 SuiteReport::toReport() const
 {
@@ -348,10 +497,15 @@ SuiteReport::toReport() const
                    std::uint64_t{globalConditionalLength});
     report.setMeta("globalIndirectLength",
                    std::uint64_t{globalIndirectLength});
-    report.setMeta("tracesOk", std::uint64_t{okCount()});
-    report.setMeta("tracesQuarantined",
+    report.setMeta("pairsOk", std::uint64_t{okCount()});
+    report.setMeta("pairsCrossEval",
+                   std::uint64_t{crossEvaluatedCount()});
+    report.setMeta("pairsSelfEval",
+                   std::uint64_t{okCount() - crossEvaluatedCount()});
+    report.setMeta("pairsQuarantined",
                    std::uint64_t{quarantinedCount()});
-    report.setMeta("tracesSkipped", std::uint64_t{skippedCount()});
+    report.setMeta("pairsSkipped", std::uint64_t{skippedCount()});
+    report.setMeta("tracesOrphaned", std::uint64_t{orphanedCount()});
     report.setMeta("resumedCells", std::uint64_t{resumedCells});
 
     std::string header = "external trace suite\n";
@@ -364,48 +518,116 @@ SuiteReport::toReport() const
     header += globalIndirectLength > 0
         ? std::to_string(globalIndirectLength) + "\n"
         : std::string("n/a\n");
-    header += "traces: " + std::to_string(okCount()) + " ok, "
-        + std::to_string(quarantinedCount()) + " quarantined, "
-        + std::to_string(skippedCount()) + " skipped\n";
+    header += "pairs: " + std::to_string(okCount()) + " ok ("
+        + std::to_string(crossEvaluatedCount()) + " cross-eval, "
+        + std::to_string(okCount() - crossEvaluatedCount())
+        + " self-eval), " + std::to_string(quarantinedCount())
+        + " quarantined, " + std::to_string(skippedCount())
+        + " skipped, " + std::to_string(orphanedCount())
+        + " orphaned\n";
     report.addText("header", header);
 
     for (const TraceOutcome &outcome : traces) {
         std::string text = "\n" + outcome.name + ": ";
         switch (outcome.status) {
         case TraceStatus::Ok:
-            text += "ok (VBT" + std::to_string(outcome.formatVersion)
-                + ", " + std::to_string(outcome.records)
-                + " records)\n";
-            if (outcome.formatVersion < 2)
-                text += "  warning: unchecksummed VBT1 container\n";
-            report.addText("trace:" + outcome.name, text);
+            if (outcome.selfEval) {
+                text += "ok self-eval ("
+                    + containerText(outcome.formatVersion,
+                                    outcome.records)
+                    + ")\n";
+                if (outcome.formatVersion < 2) {
+                    text +=
+                        "  warning: unchecksummed VBT1 container\n";
+                }
+            } else {
+                text += "ok cross-eval (profile " + outcome.profileName
+                    + ": "
+                    + containerText(outcome.profileFormatVersion,
+                                    outcome.profileRecords)
+                    + "; test " + outcome.testName + ": "
+                    + containerText(outcome.formatVersion,
+                                    outcome.records)
+                    + ")\n";
+                if (outcome.profileFormatVersion < 2) {
+                    text += "  warning: unchecksummed VBT1 container ("
+                        + outcome.profileName + ")\n";
+                }
+                if (outcome.formatVersion < 2) {
+                    text += "  warning: unchecksummed VBT1 container ("
+                        + outcome.testName + ")\n";
+                }
+                report.setMeta("pair:" + outcome.name,
+                               outcome.profileName + " -> "
+                                   + outcome.testName);
+            }
+            report.addText("pair:" + outcome.name, text);
             if (outcome.conditional) {
-                addRowSection(
-                    report, "trace:" + outcome.name + ":conditional",
-                    "  conditional ("
-                        + std::to_string(outcome.conditionalBranches)
-                        + " branches)\n",
-                    *outcome.conditional);
+                if (outcome.conditionalTrain) {
+                    const auto delta = outcome.conditionalDelta();
+                    addPairedRowSection(
+                        report, "pair:" + outcome.name + ":conditional",
+                        "  conditional ("
+                            + std::to_string(
+                                  outcome.conditionalBranches)
+                            + " profiled branches; train vs test)\n",
+                        *outcome.conditionalTrain, *outcome.conditional,
+                        delta);
+                    if (delta) {
+                        report.setMeta("delta:" + outcome.name
+                                           + ":conditional",
+                                       signedPercent(*delta));
+                    }
+                } else {
+                    addRowSection(
+                        report, "pair:" + outcome.name + ":conditional",
+                        "  conditional ("
+                            + std::to_string(
+                                  outcome.conditionalBranches)
+                            + " branches)\n",
+                        *outcome.conditional);
+                }
             }
             if (outcome.indirect) {
-                addRowSection(
-                    report, "trace:" + outcome.name + ":indirect",
-                    "  indirect ("
-                        + std::to_string(outcome.indirectBranches)
-                        + " branches)\n",
-                    *outcome.indirect);
+                if (outcome.indirectTrain) {
+                    const auto delta = outcome.indirectDelta();
+                    addPairedRowSection(
+                        report, "pair:" + outcome.name + ":indirect",
+                        "  indirect ("
+                            + std::to_string(outcome.indirectBranches)
+                            + " profiled branches; train vs test)\n",
+                        *outcome.indirectTrain, *outcome.indirect,
+                        delta);
+                    if (delta) {
+                        report.setMeta("delta:" + outcome.name
+                                           + ":indirect",
+                                       signedPercent(*delta));
+                    }
+                } else {
+                    addRowSection(
+                        report, "pair:" + outcome.name + ":indirect",
+                        "  indirect ("
+                            + std::to_string(outcome.indirectBranches)
+                            + " branches)\n",
+                        *outcome.indirect);
+                }
             }
             break;
         case TraceStatus::Quarantined:
             text += "quarantined (" + outcome.cause + ")\n";
-            report.addText("trace:" + outcome.name, text);
+            report.addText("pair:" + outcome.name, text);
             report.setMeta("quarantine:" + outcome.name,
                            outcome.cause);
             break;
         case TraceStatus::Skipped:
             text += "skipped (" + outcome.cause + ")\n";
-            report.addText("trace:" + outcome.name, text);
+            report.addText("pair:" + outcome.name, text);
             report.setMeta("skipped:" + outcome.name, outcome.cause);
+            break;
+        case TraceStatus::Orphaned:
+            text += "orphaned (" + outcome.cause + ")\n";
+            report.addText("pair:" + outcome.name, text);
+            report.setMeta("orphaned:" + outcome.name, outcome.cause);
             break;
         }
     }
@@ -447,10 +669,135 @@ TraceSuiteRunner::discoverTraces(const std::string &directory)
     return traces;
 }
 
+TracePairing
+TraceSuiteRunner::pairTraces(
+    const std::vector<std::pair<std::string, std::string>> &discovered,
+    const std::string &manifest_path)
+{
+    TracePairing pairing;
+    std::map<std::string, std::string> by_name(discovered.begin(),
+                                               discovered.end());
+
+    if (!manifest_path.empty()) {
+        std::ifstream in(manifest_path);
+        if (!in)
+            util::fatal("cannot open pair manifest: " + manifest_path);
+        std::set<std::string> referenced;
+        std::set<std::string> pair_names;
+        std::string line;
+        std::size_t line_number = 0;
+        while (std::getline(in, line)) {
+            ++line_number;
+            const auto at = [&] {
+                return manifest_path + ": line "
+                    + std::to_string(line_number);
+            };
+            std::istringstream fields(line);
+            std::string name;
+            if (!(fields >> name) || name[0] == '#')
+                continue; // blank line or comment
+            TracePair pair;
+            pair.name = name;
+            std::string extra;
+            if (!(fields >> pair.profileName >> pair.testName)
+                || (fields >> extra)) {
+                util::fatal(at()
+                            + ": expected '<pair> <profile.vbt> "
+                              "<test.vbt>'");
+            }
+            if (!pair_names.insert(pair.name).second)
+                util::fatal(at() + ": duplicate pair name '"
+                            + pair.name + "'");
+            pair.selfEval = pair.profileName == pair.testName;
+            // Paths resolve through the discovery listing; a name the
+            // scan never saw keeps an empty path and is quarantined
+            // downstream with a structured cause.
+            const auto profile_it = by_name.find(pair.profileName);
+            if (profile_it != by_name.end())
+                pair.profilePath = profile_it->second;
+            const auto test_it = by_name.find(pair.testName);
+            if (test_it != by_name.end())
+                pair.testPath = test_it->second;
+            referenced.insert(pair.profileName);
+            referenced.insert(pair.testName);
+            pairing.pairs.push_back(std::move(pair));
+        }
+        for (const auto &[name, path] : discovered) {
+            if (referenced.count(name) == 0) {
+                pairing.orphans.push_back(
+                    {name, path,
+                     "not referenced by pair manifest "
+                         + manifest_path});
+            }
+        }
+    } else {
+        for (const auto &[name, path] : discovered) {
+            if (endsWith(name, profileSuffix)) {
+                const std::string stem = name.substr(
+                    0, name.size() - std::strlen(profileSuffix));
+                const std::string mate = stem + testSuffix;
+                const auto mate_it = by_name.find(mate);
+                if (mate_it == by_name.end()) {
+                    pairing.orphans.push_back(
+                        {name, path,
+                         "profile trace without a matching " + mate});
+                    continue;
+                }
+                TracePair pair;
+                pair.name = stem;
+                pair.profileName = name;
+                pair.profilePath = path;
+                pair.testName = mate;
+                pair.testPath = mate_it->second;
+                pairing.pairs.push_back(std::move(pair));
+            } else if (endsWith(name, testSuffix)) {
+                const std::string stem = name.substr(
+                    0, name.size() - std::strlen(testSuffix));
+                const std::string mate = stem + profileSuffix;
+                if (by_name.count(mate) == 0) {
+                    pairing.orphans.push_back(
+                        {name, path,
+                         "test trace without a matching " + mate});
+                }
+                // The pair itself was created from the profile side.
+            } else {
+                TracePair pair;
+                pair.name = name;
+                pair.profileName = name;
+                pair.profilePath = path;
+                pair.testName = name;
+                pair.testPath = path;
+                pair.selfEval = true;
+                pairing.pairs.push_back(std::move(pair));
+            }
+        }
+    }
+
+    std::sort(pairing.pairs.begin(), pairing.pairs.end(),
+              [](const TracePair &a, const TracePair &b) {
+                  return a.name < b.name;
+              });
+    std::sort(pairing.orphans.begin(), pairing.orphans.end(),
+              [](const OrphanTrace &a, const OrphanTrace &b) {
+                  return a.name < b.name;
+              });
+    return pairing;
+}
+
 SuiteReport
 TraceSuiteRunner::run()
 {
     const auto discovered = discoverTraces(options_.directory);
+
+    std::string manifest = options_.manifest;
+    if (manifest.empty()) {
+        const fs::path candidate =
+            fs::path(options_.directory) / defaultManifestName;
+        std::error_code error;
+        if (fs::is_regular_file(candidate, error) && !error)
+            manifest = candidate.string();
+    }
+    const TracePairing pairing = pairTraces(discovered, manifest);
 
     std::unique_ptr<store::CheckpointJournal> journal;
     if (!options_.checkpoint.empty()) {
@@ -462,7 +809,7 @@ TraceSuiteRunner::run()
         ? util::ThreadPool::defaultThreadCount()
         : options_.jobs;
     std::unique_ptr<util::ThreadPool> pool;
-    if (jobs > 1 && discovered.size() > 1)
+    if (jobs > 1 && pairing.pairs.size() > 1)
         pool = std::make_unique<util::ThreadPool>(jobs);
 
     std::vector<std::unique_ptr<ExperimentContext>> contexts;
@@ -471,53 +818,102 @@ TraceSuiteRunner::run()
         contexts.back()->setStore(options_.store);
     }
 
-    std::vector<TraceWork> work(discovered.size());
-    for (std::size_t i = 0; i < discovered.size(); ++i) {
-        work[i].outcome.name = discovered[i].first;
-        work[i].outcome.path = discovered[i].second;
+    std::vector<TraceWork> work(pairing.pairs.size());
+    for (std::size_t i = 0; i < pairing.pairs.size(); ++i) {
+        const TracePair &pair = pairing.pairs[i];
+        TraceOutcome &outcome = work[i].outcome;
+        outcome.name = pair.name;
+        outcome.path = pair.testPath;
+        outcome.selfEval = pair.selfEval;
+        outcome.profileName = pair.profileName;
+        outcome.profilePath = pair.profilePath;
+        outcome.testName = pair.testName;
     }
 
     const unsigned cond_bits = pred::conditionalIndexBits(options_.bytes);
     const unsigned ind_bits = pred::indirectIndexBits(options_.bytes);
 
-    // Phase A+B: validate each trace and collect its step-1 sweeps.
+    // Phase A+B: validate both traces of each pair and collect the
+    // profile trace's step-1 sweeps.
     forEachSharded(pool.get(), jobs, work.size(),
                    [&](unsigned worker, std::size_t i) {
         TraceWork &item = work[i];
+        const TracePair &pair = pairing.pairs[i];
         ExperimentContext &context = *contexts[worker];
         const auto open = [&](const std::string &path) {
             return options_.opener ? options_.opener(path)
                                    : trace::openByteFile(path);
         };
         try {
-            // Identity and header validation, under retry: a trace
+            if (pair.profilePath.empty()) {
+                quarantine(item, "pair manifest references '"
+                                     + pair.profileName
+                                     + "', which is not in the corpus");
+                return;
+            }
+            if (pair.testPath.empty()) {
+                quarantine(item, "pair manifest references '"
+                                     + pair.testName
+                                     + "', which is not in the corpus");
+                return;
+            }
+
+            // Identity and header validation, under retry: a pair
             // whose content cannot even be hashed is quarantined.
-            item.ext.name = item.outcome.name;
-            item.ext.path = item.outcome.path;
-            item.ext.chunkRecords = options_.chunkRecords;
-            item.ext.opener = options_.opener;
-            item.ext.contentHash = retryTransient(options_, [&] {
-                const auto file = open(item.outcome.path);
+            item.profile.name = pair.profileName;
+            item.profile.path = pair.profilePath;
+            item.profile.chunkRecords = options_.chunkRecords;
+            item.profile.opener = options_.opener;
+            item.profile.contentHash = retryTransient(options_, [&] {
+                const auto file = open(pair.profilePath);
                 return trace::hashTraceFile(*file);
             });
             retryTransient(options_, [&] {
                 trace::StreamingTraceReader reader(
-                    open(item.outcome.path), options_.chunkRecords);
-                item.outcome.formatVersion = reader.formatVersion();
-                item.outcome.records = reader.count();
+                    open(pair.profilePath), options_.chunkRecords);
+                item.outcome.profileFormatVersion =
+                    reader.formatVersion();
+                item.outcome.profileRecords = reader.count();
             });
-            if (item.outcome.formatVersion < 2) {
-                util::warn("trace " + item.outcome.name
+
+            if (pair.selfEval) {
+                item.test = item.profile;
+                item.outcome.formatVersion =
+                    item.outcome.profileFormatVersion;
+                item.outcome.records = item.outcome.profileRecords;
+            } else {
+                item.test.name = pair.testName;
+                item.test.path = pair.testPath;
+                item.test.chunkRecords = options_.chunkRecords;
+                item.test.opener = options_.opener;
+                item.test.contentHash = retryTransient(options_, [&] {
+                    const auto file = open(pair.testPath);
+                    return trace::hashTraceFile(*file);
+                });
+                retryTransient(options_, [&] {
+                    trace::StreamingTraceReader reader(
+                        open(pair.testPath), options_.chunkRecords);
+                    item.outcome.formatVersion = reader.formatVersion();
+                    item.outcome.records = reader.count();
+                });
+            }
+            if (item.outcome.profileFormatVersion < 2) {
+                util::warn("trace " + pair.profileName
+                           + " is an unchecksummed VBT1 container; "
+                             "corruption would go undetected");
+            }
+            if (!pair.selfEval && item.outcome.formatVersion < 2) {
+                util::warn("trace " + pair.testName
                            + " is an unchecksummed VBT1 container; "
                              "corruption would go undetected");
             }
 
             const core::FixedLengthSweep cond_sweep =
-                obtainSweep(options_, journal.get(), context, item.ext,
-                            false, cond_bits);
+                obtainSweep(options_, journal.get(), context,
+                            item.profile, false, cond_bits);
             const core::FixedLengthSweep ind_sweep =
-                obtainSweep(options_, journal.get(), context, item.ext,
-                            true, ind_bits);
+                obtainSweep(options_, journal.get(), context,
+                            item.profile, true, ind_bits);
             item.outcome.conditionalBranches = cond_sweep.branches;
             item.outcome.indirectBranches = ind_sweep.branches;
             item.condRates = rateCurve(cond_sweep);
@@ -534,9 +930,10 @@ TraceSuiteRunner::run()
         }
     });
 
-    // Suite-wide global lengths, accumulated in sorted-trace order on
+    // Suite-wide global lengths, accumulated in sorted-pair order on
     // this thread so the averages are bit-identical for any jobs
-    // value (mirrors the paper's Table 2 methodology).
+    // value (mirrors the paper's Table 2 methodology: profile inputs
+    // only).
     std::vector<double> cond_average(core::maxPathLength, 0.0);
     std::vector<double> ind_average(core::maxPathLength, 0.0);
     unsigned cond_counted = 0;
@@ -578,8 +975,11 @@ TraceSuiteRunner::run()
         global_ind = argminLength(ind_average);
     }
 
-    // Phase C: comparison rows per surviving trace, same sharding so
-    // each worker reuses its own phase-B profiler caches.
+    // Phase C: comparison rows per surviving pair — the train row
+    // replays the profile trace, the test row replays the test trace,
+    // both against the assignment learned from the profile trace.
+    // Same sharding as phase A so each worker reuses its own phase-B
+    // profiler caches.
     forEachSharded(pool.get(), jobs, work.size(),
                    [&](unsigned worker, std::size_t i) {
         TraceWork &item = work[i];
@@ -589,17 +989,29 @@ TraceSuiteRunner::run()
         try {
             if (item.outcome.conditionalBranches > 0
                 && global_cond > 0) {
+                if (!item.outcome.selfEval) {
+                    item.outcome.conditionalTrain =
+                        obtainRow(options_, journal.get(), context,
+                                  item.profile, item.profile, false,
+                                  options_.bytes, global_cond);
+                }
                 item.outcome.conditional =
                     obtainRow(options_, journal.get(), context,
-                              item.ext, false, options_.bytes,
-                              global_cond);
+                              item.profile, item.test, false,
+                              options_.bytes, global_cond);
             }
             if (item.outcome.indirectBranches >= minIndirectBranches
                 && global_ind > 0) {
+                if (!item.outcome.selfEval) {
+                    item.outcome.indirectTrain =
+                        obtainRow(options_, journal.get(), context,
+                                  item.profile, item.profile, true,
+                                  options_.bytes, global_ind);
+                }
                 item.outcome.indirect =
                     obtainRow(options_, journal.get(), context,
-                              item.ext, true, options_.bytes,
-                              global_ind);
+                              item.profile, item.test, true,
+                              options_.bytes, global_ind);
             }
         } catch (const util::TransientError &error) {
             quarantine(item,
@@ -618,9 +1030,21 @@ TraceSuiteRunner::run()
     report.globalIndirectLength = global_ind;
     if (journal)
         report.resumedCells = journal->resumedEntries();
-    report.traces.reserve(work.size());
+    report.traces.reserve(work.size() + pairing.orphans.size());
     for (TraceWork &item : work)
         report.traces.push_back(std::move(item.outcome));
+    for (const OrphanTrace &orphan : pairing.orphans) {
+        TraceOutcome outcome;
+        outcome.name = orphan.name;
+        outcome.path = orphan.path;
+        outcome.status = TraceStatus::Orphaned;
+        outcome.cause = orphan.cause;
+        report.traces.push_back(std::move(outcome));
+    }
+    std::sort(report.traces.begin(), report.traces.end(),
+              [](const TraceOutcome &a, const TraceOutcome &b) {
+                  return a.name < b.name;
+              });
     return report;
 }
 

@@ -3,23 +3,43 @@
  * Robust suite runner for external trace corpora.
  *
  * TraceSuiteRunner replays the paper's methodology over a directory of
- * .vbt traces: per-trace fixed-length sweeps, a suite-wide global
- * fixed length, then predictor-comparison rows per trace. Unlike the
- * synthetic pipeline it must survive hostile inputs:
+ * .vbt traces: traces are first grouped into profile/test *pairs*
+ * (the paper's §3 split — profile on one input, evaluate on another),
+ * then per pair: step-1 sweeps over the profile trace, a suite-wide
+ * global fixed length, and predictor-comparison rows evaluated on
+ * both the profile trace (train accuracy) and the test trace (test
+ * accuracy), reported side by side with the generalization delta.
  *
- *  - transient IO failures are retried with bounded exponential
- *    backoff (util::TransientError is the retry signal);
+ * Pairing, in precedence order:
+ *  - an explicit manifest (TraceSuiteOptions::manifest, or
+ *    `pairs.txt` in the corpus root when present): one
+ *    `<pair> <profile.vbt> <test.vbt>` line per pair; traces on disk
+ *    that the manifest never references are reported as orphaned;
+ *  - the `<stem>.profile.vbt` / `<stem>.test.vbt` name convention;
+ *    a convention-marked trace whose mate is missing is orphaned;
+ *  - any other lone trace falls back to *self-evaluation* (profile ==
+ *    test), clearly labeled `self-eval` in every output — the honest
+ *    cross-evaluated numbers need two inputs per workload.
+ *
+ * Unlike the synthetic pipeline it must survive hostile inputs:
+ *
+ *  - transient IO failures are retried with exponential backoff
+ *    (util::TransientError is the retry signal), clamped to
+ *    TraceSuiteOptions::backoffMaxMs;
  *  - traces that stay unreadable — truncated files, checksum
  *    mismatches, malformed records — are quarantined with a structured
  *    cause and the run continues; the exit status is only nonzero when
- *    *every* trace failed;
- *  - with a checkpoint journal attached, every completed (trace,
- *    predictor class, configuration) cell is durably recorded, so a
- *    killed run resumes where it left off and produces a report
- *    byte-identical to an uninterrupted run.
+ *    *every* pair failed (an empty corpus is a distinct condition —
+ *    see SuiteReport::empty());
+ *  - with a checkpoint journal attached, every completed (pair,
+ *    predictor class, configuration) cell is durably recorded under a
+ *    key naming both content hashes, so a killed run resumes where it
+ *    left off and produces a report byte-identical to an
+ *    uninterrupted run — and an edited manifest can never replay a
+ *    cell recorded for a different pairing.
  *
- * Determinism contract: traces are processed in sorted-path order with
- * static sharding (trace i on worker i % jobs), per-trace work is a
+ * Determinism contract: pairs are processed in sorted-name order with
+ * static sharding (pair i on worker i % jobs), per-pair work is a
  * pure function of the trace bytes and options, and the report is
  * assembled in sorted order on the controlling thread — so the printed
  * report is bit-identical across jobs values, interruptions, and
@@ -62,10 +82,20 @@ struct TraceSuiteOptions
     unsigned jobs = 1;
     /** Checkpoint journal path; empty disables checkpointing. */
     std::string checkpoint;
+    /**
+     * Pair-manifest path. Empty = use `<directory>/pairs.txt` when it
+     * exists, otherwise pair by the `.profile.vbt`/`.test.vbt` name
+     * convention with self-eval fallback.
+     */
+    std::string manifest;
     /** Total attempts per trace operation (1 = no retries). */
     unsigned maxAttempts = 4;
-    /** Backoff before retry r (0-based) is backoffBaseMs << r. */
+    /** Backoff before retry r (0-based) is backoffBaseMs << r,
+     *  clamped to backoffMaxMs. */
     unsigned backoffBaseMs = 10;
+    /** Ceiling on any single backoff delay; also keeps the shift
+     *  above well-defined for arbitrary maxAttempts. */
+    unsigned backoffMaxMs = 10'000;
     /** Records buffered per streaming chunk (bounds peak memory). */
     std::size_t chunkRecords =
         trace::StreamingTraceReader::defaultChunkRecords;
@@ -80,7 +110,7 @@ struct TraceSuiteOptions
     std::function<void(unsigned)> sleeper;
 };
 
-/** Per-trace disposition in a suite run. */
+/** Per-pair disposition in a suite run. */
 enum class TraceStatus {
     /** Fully processed; comparison rows present. */
     Ok,
@@ -88,35 +118,95 @@ enum class TraceStatus {
     Quarantined,
     /** Readable but carries no usable branches; excluded. */
     Skipped,
+    /** A trace no pairing claimed: a manifest never references it, or
+     *  its `.profile.vbt`/`.test.vbt` mate is missing. Never silently
+     *  self-evaluated. */
+    Orphaned,
 };
 
-/** Everything the suite learned about one trace. */
+/** One profile/test trace pairing, before any IO. */
+struct TracePair
+{
+    /** Pair display name (manifest name, convention stem, or the
+     *  trace's own name for self-eval); stable sort key. */
+    std::string name;
+    /** Profile-trace name relative to the corpus directory. */
+    std::string profileName;
+    /** Profile-trace path on disk. */
+    std::string profilePath;
+    /** Test-trace name; equals profileName for self-eval. */
+    std::string testName;
+    std::string testPath;
+    /** True when profile and test are the same file (fallback). */
+    bool selfEval = false;
+};
+
+/** A trace the pairing stage could not place, with why. */
+struct OrphanTrace
+{
+    std::string name;
+    std::string path;
+    std::string cause;
+};
+
+/** How a corpus was grouped into pairs. */
+struct TracePairing
+{
+    /** Pairs in sorted-name order. */
+    std::vector<TracePair> pairs;
+    /** Unplaceable traces in sorted-name order. */
+    std::vector<OrphanTrace> orphans;
+};
+
+/** Everything the suite learned about one pair. */
 struct TraceOutcome
 {
-    /** Path relative to the suite directory (stable sort key). */
+    /** Pair name (stable sort key). */
     std::string name;
-    /** Absolute/original path on disk. */
+    /** Test-trace path on disk (equals profilePath for self-eval). */
     std::string path;
     TraceStatus status = TraceStatus::Ok;
-    /** Failure/skip cause; empty for Ok traces. */
+    /** Failure/skip/orphan cause; empty for Ok pairs. */
     std::string cause;
-    /** Trace container version (1 = unchecksummed VBT1, 2 = VBT2);
-     *  0 when the header was never successfully read. */
+    /** True when the pair is the labeled self-eval fallback. */
+    bool selfEval = false;
+    /** Profile-trace name relative to the corpus directory. */
+    std::string profileName;
+    std::string profilePath;
+    /** Test-trace name; equals profileName for self-eval. */
+    std::string testName;
+    /** Container version of the profile / test trace (1 = VBT1,
+     *  2 = VBT2); 0 when that header was never successfully read. */
+    unsigned profileFormatVersion = 0;
     unsigned formatVersion = 0;
-    /** Records promised by the trace header. */
+    /** Records promised by the profile / test trace header. */
+    std::uint64_t profileRecords = 0;
     std::uint64_t records = 0;
-    /** Conditional branches seen while profiling. */
+    /** Conditional branches seen while profiling (profile trace). */
     std::uint64_t conditionalBranches = 0;
-    /** Indirect branches seen while profiling. */
+    /** Indirect branches seen while profiling (profile trace). */
     std::uint64_t indirectBranches = 0;
+    /** Train-side rows: evaluated on the profile trace itself.
+     *  Absent for self-eval pairs (train == test there). */
+    std::optional<ComparisonRow> conditionalTrain;
+    std::optional<ComparisonRow> indirectTrain;
+    /** Test-side rows: evaluated on the test trace. */
     std::optional<ComparisonRow> conditional;
     std::optional<ComparisonRow> indirect;
+
+    /**
+     * Generalization delta for the variable length path predictor:
+     * test rate minus train rate, in percent points (positive =
+     * accuracy lost between inputs). Absent unless both sides exist.
+     */
+    std::optional<double> conditionalDelta() const;
+    std::optional<double> indirectDelta() const;
 };
 
 /** Structured result of a suite run. */
 struct SuiteReport
 {
-    /** Outcomes in sorted-name order. */
+    /** Pair (and orphan) outcomes in sorted-name order. */
     std::vector<TraceOutcome> traces;
     std::size_t bytes = 0;
     unsigned globalConditionalLength = 0;
@@ -129,9 +219,18 @@ struct SuiteReport
     std::size_t okCount() const;
     std::size_t quarantinedCount() const;
     std::size_t skippedCount() const;
+    std::size_t orphanedCount() const;
+    /** Ok pairs with a real profile/test split (not self-eval). */
+    std::size_t crossEvaluatedCount() const;
 
-    /** True when no trace completed — the run produced nothing. */
-    bool allFailed() const { return okCount() == 0; }
+    /** True when the corpus had no .vbt traces at all — distinct from
+     *  allFailed() so callers can diagnose an empty or mistyped
+     *  directory instead of "every trace quarantined". */
+    bool empty() const { return traces.empty(); }
+
+    /** True when traces were found but no pair completed — the run
+     *  produced nothing. False for an empty corpus (see empty()). */
+    bool allFailed() const { return !traces.empty() && okCount() == 0; }
 
     /**
      * Structured view of the suite: every trace becomes a section
@@ -176,6 +275,31 @@ class TraceSuiteRunner
      */
     static std::vector<std::pair<std::string, std::string>>
     discoverTraces(const std::string &directory);
+
+    /**
+     * Group discovered traces into profile/test pairs.
+     *
+     * With a non-empty @p manifest_path the manifest drives pairing:
+     * one `<pair-name> <profile> <test>` line per pair (`#` comments
+     * and blank lines ignored; trace names relative to the corpus
+     * root, exactly as discoverTraces() reports them). A manifest
+     * line naming a trace that was not discovered still yields the
+     * pair — opening it fails downstream and the pair is quarantined
+     * with the real IO cause. Discovered traces the manifest never
+     * references come back as orphans.
+     *
+     * Without a manifest, `<stem>.profile.vbt` pairs with
+     * `<stem>.test.vbt` under pair name `<stem>`; a marked trace
+     * missing its mate is an orphan; unmarked traces become labeled
+     * self-eval pairs.
+     *
+     * @throws std::runtime_error on an unreadable or malformed
+     *         manifest (duplicate pair names, wrong field count)
+     */
+    static TracePairing
+    pairTraces(const std::vector<std::pair<std::string, std::string>>
+                   &discovered,
+               const std::string &manifest_path);
 
   private:
     TraceSuiteOptions options_;

@@ -18,8 +18,13 @@ namespace store {
 
 namespace {
 
+/** Journal format 2: cell keys carry the full pair identity
+ *  (profile + test content hashes). Format-1 journals predate pairing
+ *  and are rejected rather than silently replayed. */
 constexpr char journalMagic[8] = {'V', 'L', 'P', 'C',
-                                  'K', 'P', 'T', '1'};
+                                  'K', 'P', 'T', '2'};
+constexpr char journalMagicV1[8] = {'V', 'L', 'P', 'C',
+                                    'K', 'P', 'T', '1'};
 /** Bound on key/payload lengths: rejects garbage length fields fast. */
 constexpr std::uint32_t maxFieldBytes = 1u << 30;
 
@@ -78,8 +83,18 @@ CheckpointJournal::load()
     if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
         existed = true;
         char magic[sizeof(journalMagic)];
-        if (std::fread(magic, 1, sizeof(magic), in) != sizeof(magic)
-            || std::memcmp(magic, journalMagic, sizeof(magic)) != 0) {
+        if (std::fread(magic, 1, sizeof(magic), in) != sizeof(magic)) {
+            std::fclose(in);
+            util::fatal("not a checkpoint journal: " + path_);
+        }
+        if (std::memcmp(magic, journalMagicV1, sizeof(magic)) == 0) {
+            std::fclose(in);
+            util::fatal("checkpoint journal from an older run "
+                        "(format 1, before profile/test pairing): "
+                        + path_
+                        + "; delete it to start a fresh run");
+        }
+        if (std::memcmp(magic, journalMagic, sizeof(magic)) != 0) {
             std::fclose(in);
             util::fatal("not a checkpoint journal: " + path_);
         }

@@ -5,7 +5,9 @@
  * An append-only file of (cell key, payload) entries, each protected
  * by an FNV-1a checksum over the key and payload bytes:
  *
- *   bytes 0..7   magic "VLPCKPT1"
+ *   bytes 0..7   magic "VLPCKPT2" (format 2: cell keys carry the
+ *                profile/test pair identity; "VLPCKPT1" journals are
+ *                rejected with a "journal from an older run" error)
  *   then, per entry:
  *     uint32 key length     uint32 payload length
  *     key bytes             payload bytes

@@ -5,7 +5,9 @@
  * fault-injection harnesses (and that every fault class actually
  * fires), the lenient text converter, the checkpoint journal, and the
  * suite runner's retry/quarantine/resume behavior — including that a
- * resumed run's report is byte-identical to an uninterrupted one.
+ * resumed run's report is byte-identical to an uninterrupted one, and
+ * that profile/test pairing (manifest and name convention) yields
+ * honest train-vs-test numbers instead of self-evaluation.
  */
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "sim/suite_runner.h"
+#include "store/artifact_store.h"
 #include "store/checkpoint.h"
 #include "store/fault_injection.h"
 #include "trace/byte_file.h"
@@ -657,8 +660,459 @@ TEST_F(IngestHarness, SuiteWithNoUsableTracesFails)
     sim::TraceSuiteRunner runner(std::move(options));
     const sim::SuiteReport report = runner.run();
     EXPECT_TRUE(report.allFailed());
+    EXPECT_FALSE(report.empty());
     ASSERT_EQ(report.traces.size(), 1u);
     EXPECT_EQ(report.traces[0].status, sim::TraceStatus::Quarantined);
+}
+
+TEST_F(IngestHarness, EmptyCorpusIsDistinctFromAllFailed)
+{
+    fs::create_directories(path("no_traces"));
+    sim::TraceSuiteOptions options;
+    options.directory = path("no_traces");
+    options.bytes = 1024;
+    options.sleeper = [](unsigned) {};
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+    // "no .vbt traces found" must not read as "every trace failed":
+    // the CLI maps empty() to its own diagnostic and exit status.
+    EXPECT_TRUE(report.empty());
+    EXPECT_FALSE(report.allFailed());
+    EXPECT_TRUE(report.traces.empty());
+}
+
+// --- profile/test pairing --------------------------------------------
+
+/**
+ * A conditional-only trace whose outcomes are either strongly
+ * path-correlated (learnable bias) or adversarially random (the
+ * opposite). Built on one seed, two traces share the exact branch
+ * sequence and differ only in outcome structure — the profile input
+ * teaches a bias the test input then contradicts.
+ */
+trace::VectorTraceSource
+makeBiasedTrace(std::uint64_t seed, std::size_t records, bool contrary)
+{
+    util::Rng rng(seed);
+    trace::VectorTraceSource source;
+    for (std::size_t i = 0; i < records; ++i) {
+        trace::BranchRecord record;
+        record.kind = trace::BranchKind::Conditional;
+        record.pc = 0x1000 + 16 * rng.nextBelow(16);
+        const bool biased = (((record.pc >> 4) ^ (i >> 2)) & 1) != 0;
+        record.taken = contrary ? rng.nextBool(0.5) : biased;
+        record.nextPc = record.taken ? record.pc + 64 : record.pc + 4;
+        source.append(record);
+    }
+    return source;
+}
+
+TEST_F(IngestHarness, PairTracesFollowsNameConvention)
+{
+    const std::vector<std::pair<std::string, std::string>> discovered =
+        {{"gcc.profile.vbt", "/c/gcc.profile.vbt"},
+         {"gcc.test.vbt", "/c/gcc.test.vbt"},
+         {"lone.test.vbt", "/c/lone.test.vbt"},
+         {"plain.vbt", "/c/plain.vbt"}};
+    const sim::TracePairing pairing =
+        sim::TraceSuiteRunner::pairTraces(discovered, "");
+
+    ASSERT_EQ(pairing.pairs.size(), 2u);
+    EXPECT_EQ(pairing.pairs[0].name, "gcc");
+    EXPECT_EQ(pairing.pairs[0].profileName, "gcc.profile.vbt");
+    EXPECT_EQ(pairing.pairs[0].testName, "gcc.test.vbt");
+    EXPECT_FALSE(pairing.pairs[0].selfEval);
+    // Unmarked traces fall back to labeled self-evaluation...
+    EXPECT_EQ(pairing.pairs[1].name, "plain.vbt");
+    EXPECT_TRUE(pairing.pairs[1].selfEval);
+    // ...but a convention-marked trace with no mate is never silently
+    // self-evaluated.
+    ASSERT_EQ(pairing.orphans.size(), 1u);
+    EXPECT_EQ(pairing.orphans[0].name, "lone.test.vbt");
+    EXPECT_NE(pairing.orphans[0].cause.find("lone.profile.vbt"),
+              std::string::npos);
+}
+
+TEST_F(IngestHarness, PairTracesFollowsManifestAndReportsOrphans)
+{
+    const std::string manifest = path("pairs.txt");
+    {
+        std::ofstream out(manifest);
+        out << "# comment line\n"
+            << "\n"
+            << "zeta b.vbt c.vbt\n"
+            << "alpha a.vbt b.vbt\n"
+            << "selfy c.vbt c.vbt\n";
+    }
+    const std::vector<std::pair<std::string, std::string>> discovered =
+        {{"a.vbt", "/c/a.vbt"},
+         {"b.vbt", "/c/b.vbt"},
+         {"c.vbt", "/c/c.vbt"},
+         {"unused.vbt", "/c/unused.vbt"}};
+    const sim::TracePairing pairing =
+        sim::TraceSuiteRunner::pairTraces(discovered, manifest);
+
+    ASSERT_EQ(pairing.pairs.size(), 3u);
+    // Sorted by pair name, not manifest order.
+    EXPECT_EQ(pairing.pairs[0].name, "alpha");
+    EXPECT_EQ(pairing.pairs[0].profileName, "a.vbt");
+    EXPECT_EQ(pairing.pairs[0].testName, "b.vbt");
+    EXPECT_FALSE(pairing.pairs[0].selfEval);
+    EXPECT_EQ(pairing.pairs[1].name, "selfy");
+    EXPECT_TRUE(pairing.pairs[1].selfEval);
+    EXPECT_EQ(pairing.pairs[2].name, "zeta");
+    ASSERT_EQ(pairing.orphans.size(), 1u);
+    EXPECT_EQ(pairing.orphans[0].name, "unused.vbt");
+    EXPECT_NE(pairing.orphans[0].cause.find("not referenced"),
+              std::string::npos);
+}
+
+TEST_F(IngestHarness, PairTracesRejectsMalformedManifests)
+{
+    const std::vector<std::pair<std::string, std::string>> discovered =
+        {{"a.vbt", "/c/a.vbt"}};
+
+    {
+        std::ofstream out(path("short.txt"));
+        out << "pair a.vbt\n"; // missing the test trace field
+    }
+    EXPECT_THROW(
+        sim::TraceSuiteRunner::pairTraces(discovered, path("short.txt")),
+        std::runtime_error);
+
+    {
+        std::ofstream out(path("dup.txt"));
+        out << "pair a.vbt a.vbt\n"
+            << "pair a.vbt a.vbt\n";
+    }
+    EXPECT_THROW(
+        sim::TraceSuiteRunner::pairTraces(discovered, path("dup.txt")),
+        std::runtime_error);
+
+    EXPECT_THROW(sim::TraceSuiteRunner::pairTraces(
+                     discovered, path("does_not_exist.txt")),
+                 std::runtime_error);
+}
+
+TEST_F(IngestHarness, ManifestNamingMissingTraceQuarantinesThatPair)
+{
+    fs::create_directories(path("corpus"));
+    trace::saveTrace(makeTrace(1, 3000), path("corpus/a.vbt"));
+    trace::saveTrace(makeTrace(2, 3000), path("corpus/b.vbt"));
+    {
+        std::ofstream out(path("corpus/pairs.txt"));
+        out << "good a.vbt b.vbt\n"
+            << "bad a.vbt ghost.vbt\n";
+    }
+
+    sim::TraceSuiteOptions options;
+    options.directory = path("corpus");
+    options.bytes = 1024;
+    options.sleeper = [](unsigned) {};
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+
+    ASSERT_EQ(report.traces.size(), 2u);
+    EXPECT_EQ(report.traces[0].name, "bad");
+    EXPECT_EQ(report.traces[0].status, sim::TraceStatus::Quarantined);
+    EXPECT_NE(report.traces[0].cause.find("ghost.vbt"),
+              std::string::npos);
+    EXPECT_EQ(report.traces[1].name, "good");
+    EXPECT_EQ(report.traces[1].status, sim::TraceStatus::Ok);
+    EXPECT_FALSE(report.allFailed());
+}
+
+TEST_F(IngestHarness, PairedRunReportsTrainAndTestFromDistinctTraces)
+{
+    fs::create_directories(path("corpus"));
+    // Same branch sequence; the profile input carries a learnable
+    // path-correlated bias, the test input contradicts it.
+    trace::saveTrace(makeBiasedTrace(21, 6000, false),
+                     path("corpus/gcc.profile.vbt"));
+    trace::saveTrace(makeBiasedTrace(21, 6000, true),
+                     path("corpus/gcc.test.vbt"));
+
+    sim::TraceSuiteOptions options;
+    options.directory = path("corpus");
+    options.bytes = 1024;
+    options.sleeper = [](unsigned) {};
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+
+    ASSERT_EQ(report.traces.size(), 1u);
+    const sim::TraceOutcome &pair = report.traces[0];
+    EXPECT_EQ(pair.name, "gcc");
+    EXPECT_EQ(pair.status, sim::TraceStatus::Ok);
+    EXPECT_FALSE(pair.selfEval);
+    ASSERT_TRUE(pair.conditionalTrain.has_value());
+    ASSERT_TRUE(pair.conditional.has_value());
+
+    // The two sides really came from different traces: branch counts
+    // match (same sequence) but the test-side accuracy visibly drops.
+    const sim::RateEntry &train =
+        pair.conditionalTrain->entry(sim::names::vlp);
+    const sim::RateEntry &test = pair.conditional->entry(sim::names::vlp);
+    EXPECT_GT(train.branches, 0u);
+    EXPECT_GT(test.rate, train.rate);
+    ASSERT_TRUE(pair.conditionalDelta().has_value());
+    EXPECT_GT(*pair.conditionalDelta(), 1.0);
+
+    // Rendered output labels the pair cross-eval with a delta line.
+    std::ostringstream rendered;
+    report.print(rendered);
+    const std::string text = rendered.str();
+    EXPECT_NE(text.find("ok cross-eval"), std::string::npos);
+    EXPECT_NE(text.find("| test "), std::string::npos);
+    EXPECT_NE(text.find("generalization delta"), std::string::npos);
+}
+
+TEST_F(IngestHarness, PairedArtifactsAreCachedUnderProfileHash)
+{
+    fs::create_directories(path("corpus"));
+    trace::saveTrace(makeBiasedTrace(23, 4000, false),
+                     path("corpus/app.profile.vbt"));
+    trace::saveTrace(makeBiasedTrace(23, 4000, true),
+                     path("corpus/app.test.vbt"));
+
+    store::StoreOptions store_options;
+    store_options.directory = path("cache");
+    const auto store =
+        std::make_shared<store::ArtifactStore>(store_options);
+
+    const auto runOnce = [&] {
+        sim::TraceSuiteOptions options;
+        options.directory = path("corpus");
+        options.bytes = 1024;
+        options.store = store;
+        options.sleeper = [](unsigned) {};
+        sim::TraceSuiteRunner runner(std::move(options));
+        std::ostringstream out;
+        runner.run().print(out);
+        return out.str();
+    };
+
+    const std::string cold = runOnce();
+    const store::StoreCounters after_cold = store->counters();
+    EXPECT_GT(after_cold.inserts, 0u);
+
+    // Warm rerun: byte-identical report, everything served from the
+    // store (no new inserts), step-1/assignment artifacts keyed by the
+    // profile trace's content hash.
+    const std::string warm = runOnce();
+    EXPECT_EQ(warm, cold);
+    const store::StoreCounters after_warm = store->counters();
+    EXPECT_EQ(after_warm.inserts, after_cold.inserts);
+    EXPECT_GT(after_warm.hits, after_cold.hits);
+}
+
+TEST_F(SuiteHarness, PairedReportIsIdenticalAcrossJobCounts)
+{
+    // A corpus mixing cross-eval pairs, a self-eval fallback, and an
+    // orphan, processed at jobs 1 and jobs 4.
+    fs::create_directories(path("paired"));
+    trace::saveTrace(makeTrace(31, 3000),
+                     path("paired/one.profile.vbt"));
+    trace::saveTrace(makeTrace(32, 3000), path("paired/one.test.vbt"));
+    trace::saveTrace(makeTrace(33, 3000),
+                     path("paired/two.profile.vbt"));
+    trace::saveTrace(makeTrace(34, 3000), path("paired/two.test.vbt"));
+    trace::saveTrace(makeTrace(35, 3000), path("paired/solo.vbt"));
+    trace::saveTrace(makeTrace(36, 3000),
+                     path("paired/widow.profile.vbt"));
+
+    auto serial_options = baseOptions();
+    serial_options.directory = path("paired");
+    sim::TraceSuiteRunner serial(std::move(serial_options));
+    auto parallel_options = baseOptions();
+    parallel_options.directory = path("paired");
+    parallel_options.jobs = 4;
+    sim::TraceSuiteRunner parallel(std::move(parallel_options));
+
+    const sim::SuiteReport serial_report = serial.run();
+    EXPECT_EQ(serial_report.okCount(), 3u);
+    EXPECT_EQ(serial_report.crossEvaluatedCount(), 2u);
+    EXPECT_EQ(serial_report.orphanedCount(), 1u);
+    EXPECT_EQ(render(serial_report), render(parallel.run()));
+}
+
+TEST_F(SuiteHarness, PairedCheckpointResumeReproducesReport)
+{
+    fs::create_directories(path("paired"));
+    trace::saveTrace(makeTrace(41, 3000),
+                     path("paired/app.profile.vbt"));
+    trace::saveTrace(makeTrace(42, 3000), path("paired/app.test.vbt"));
+    trace::saveTrace(makeTrace(43, 3000), path("paired/solo.vbt"));
+
+    auto plain = baseOptions();
+    plain.directory = path("paired");
+    const std::string reference =
+        render(sim::TraceSuiteRunner(std::move(plain)).run());
+
+    auto first = baseOptions();
+    first.directory = path("paired");
+    first.checkpoint = path("ck");
+    EXPECT_EQ(render(sim::TraceSuiteRunner(std::move(first)).run()),
+              reference);
+
+    // Resume from a half-written journal (a mid-run kill): the report
+    // still converges byte for byte.
+    fs::copy_file(path("ck"), path("ck_torn"));
+    fs::resize_file(path("ck_torn"), fs::file_size(path("ck")) / 2);
+    auto torn = baseOptions();
+    torn.directory = path("paired");
+    torn.checkpoint = path("ck_torn");
+    EXPECT_EQ(render(sim::TraceSuiteRunner(std::move(torn)).run()),
+              reference);
+}
+
+TEST_F(SuiteHarness, ManifestEditBetweenKillAndResumeRecomputes)
+{
+    fs::create_directories(path("paired"));
+    trace::saveTrace(makeTrace(51, 3000), path("paired/a.vbt"));
+    trace::saveTrace(makeTrace(52, 3000), path("paired/b.vbt"));
+    trace::saveTrace(makeTrace(53, 3000), path("paired/c.vbt"));
+    const auto writeManifest = [&](const std::string &test_trace) {
+        std::ofstream out(path("manifest.txt"));
+        out << "app a.vbt " << test_trace << "\n";
+    };
+
+    // Run to completion against b.vbt, journaling every cell.
+    writeManifest("b.vbt");
+    auto first = baseOptions();
+    first.directory = path("paired");
+    first.manifest = path("manifest.txt");
+    first.checkpoint = path("ck");
+    const std::string against_b =
+        render(sim::TraceSuiteRunner(std::move(first)).run());
+
+    // Edit the manifest to evaluate against c.vbt and "resume" with
+    // the stale journal: cell keys carry the pair identity, so the
+    // b.vbt rows cannot be replayed as c.vbt results.
+    writeManifest("c.vbt");
+    auto resumed = baseOptions();
+    resumed.directory = path("paired");
+    resumed.manifest = path("manifest.txt");
+    resumed.checkpoint = path("ck");
+    const std::string resumed_text =
+        render(sim::TraceSuiteRunner(std::move(resumed)).run());
+
+    auto fresh = baseOptions();
+    fresh.directory = path("paired");
+    fresh.manifest = path("manifest.txt");
+    const std::string against_c =
+        render(sim::TraceSuiteRunner(std::move(fresh)).run());
+    EXPECT_EQ(resumed_text, against_c);
+    EXPECT_NE(resumed_text, against_b);
+}
+
+TEST_F(IngestHarness, CheckpointJournalFromOlderFormatIsRejected)
+{
+    {
+        std::ofstream out(path("ck_v1"), std::ios::binary);
+        out.write("VLPCKPT1", 8);
+    }
+    try {
+        store::CheckpointJournal journal(path("ck_v1"));
+        FAIL() << "format-1 journal was accepted";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("older run"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(IngestHarness, BackoffDelayIsClampedForHugeAttemptBudgets)
+{
+    fs::create_directories(path("corpus"));
+    trace::saveTrace(makeTrace(61, 200), path("corpus/t.vbt"));
+
+    // Every open fails transiently, exhausting a 40-attempt budget:
+    // before the clamp, attempt 33 shifted a 32-bit base by 32 —
+    // undefined behavior that UBSan flags in sanitizer builds.
+    trace::FaultPlan plan;
+    plan.transientOpens = 1000;
+    trace::FaultInjector injector(plan);
+
+    sim::TraceSuiteOptions options;
+    options.directory = path("corpus");
+    options.bytes = 1024;
+    options.opener = injector.opener();
+    options.maxAttempts = 40;
+    options.backoffBaseMs = 3;
+    options.backoffMaxMs = 24;
+    std::vector<unsigned> delays;
+    options.sleeper = [&delays](unsigned ms) { delays.push_back(ms); };
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+
+    ASSERT_EQ(report.traces.size(), 1u);
+    EXPECT_EQ(report.traces[0].status, sim::TraceStatus::Quarantined);
+    ASSERT_GE(delays.size(), 39u);
+    EXPECT_EQ(delays[0], 3u);
+    EXPECT_EQ(delays[1], 6u);
+    EXPECT_EQ(delays[2], 12u);
+    for (const unsigned delay : delays)
+        EXPECT_LE(delay, 24u);
+    EXPECT_EQ(delays[38], 24u);
+}
+
+TEST_F(IngestHarness, GoldenPairedAsciiReport)
+{
+    // A hand-built report with fixed counters: locks the exact paired
+    // ASCII rendering without depending on simulation numerics.
+    sim::SuiteReport suite;
+    suite.bytes = 2048;
+    suite.globalConditionalLength = 6;
+    suite.globalIndirectLength = 0;
+
+    sim::TraceOutcome pair;
+    pair.name = "gcc";
+    pair.profileName = "gcc.profile.vbt";
+    pair.testName = "gcc.test.vbt";
+    pair.profileFormatVersion = 2;
+    pair.formatVersion = 2;
+    pair.profileRecords = 100;
+    pair.records = 120;
+    pair.conditionalBranches = 69000;
+    sim::ComparisonRow train;
+    train.benchmark = "gcc.profile.vbt";
+    train.entries = {{sim::names::gshare, 69000, 9436, 13.6754},
+                     {sim::names::vlp, 69000, 2898, 4.2}};
+    sim::ComparisonRow test;
+    test.benchmark = "gcc.test.vbt";
+    test.entries = {{sim::names::gshare, 69000, 10350, 15.0},
+                    {sim::names::vlp, 69000, 4485, 6.5}};
+    pair.conditionalTrain = train;
+    pair.conditional = test;
+    suite.traces.push_back(pair);
+
+    sim::TraceOutcome orphan;
+    orphan.name = "lone.test.vbt";
+    orphan.status = sim::TraceStatus::Orphaned;
+    orphan.cause = "test trace without a matching lone.profile.vbt";
+    suite.traces.push_back(orphan);
+
+    std::ostringstream out;
+    suite.print(out);
+    EXPECT_EQ(
+        out.str(),
+        "external trace suite\n"
+        "table budget: 2048 bytes\n"
+        "global conditional path length: 6\n"
+        "global indirect path length: n/a\n"
+        "pairs: 1 ok (1 cross-eval, 0 self-eval), 0 quarantined, "
+        "0 skipped, 1 orphaned\n"
+        "\n"
+        "gcc: ok cross-eval (profile gcc.profile.vbt: VBT2, 100 "
+        "records; test gcc.test.vbt: VBT2, 120 records)\n"
+        "  conditional (69000 profiled branches; train vs test)\n"
+        "    gshare: train 13.6754% (9436/69000) | test 15.0000% "
+        "(10350/69000)\n"
+        "    variable length path: train 4.2000% (2898/69000) | test "
+        "6.5000% (4485/69000)\n"
+        "    generalization delta (variable length path): +2.3000%\n"
+        "\n"
+        "lone.test.vbt: orphaned (test trace without a matching "
+        "lone.profile.vbt)\n");
 }
 
 } // anonymous namespace

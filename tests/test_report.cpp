@@ -267,6 +267,35 @@ TEST(AsciiSink, EntriesLayoutMatchesSuiteFormat)
               "    gshare: 13.6754% (9436/69000)\n");
 }
 
+TEST(AsciiSink, PairedEntriesLayoutMatchesPairedSuiteFormat)
+{
+    sim::Report report;
+    sim::Section &entries = report.addSection("pair:gcc:conditional");
+    entries.layout = sim::Section::Layout::PairedEntries;
+    entries.caption =
+        "  conditional (69000 profiled branches; train vs test)\n";
+    entries.columns = {{"train mispredict (%)"},
+                       {"train mispredictions"},
+                       {"train branches"},
+                       {"test mispredict (%)"},
+                       {"test mispredictions"},
+                       {"test branches"}};
+    entries.addRow("variable length path",
+                   {sim::Cell::percent(4.2000, 4),
+                    sim::Cell::count(2898), sim::Cell::count(69000),
+                    sim::Cell::percent(6.5000, 4),
+                    sim::Cell::count(4485), sim::Cell::count(69000)});
+    entries.footer = "    generalization delta (variable length "
+                     "path): +2.3000%\n";
+    EXPECT_EQ(renderAscii(report),
+              "  conditional (69000 profiled branches; train vs "
+              "test)\n"
+              "    variable length path: train 4.2000% (2898/69000) "
+              "| test 6.5000% (4485/69000)\n"
+              "    generalization delta (variable length path): "
+              "+2.3000%\n");
+}
+
 TEST(ReportFormat, ParseAcceptsKnownNamesAndRejectsOthers)
 {
     EXPECT_EQ(sim::parseReportFormat("ascii"),
@@ -279,7 +308,7 @@ TEST(ReportFormat, ParseAcceptsKnownNamesAndRejectsOthers)
 TEST(ValidateReportJson, FlagsSchemaViolations)
 {
     const util::Json bad = util::Json::parse(
-        R"({"schema":"vlpsim-report","version":1,"title":"t",)"
+        R"({"schema":"vlpsim-report","version":2,"title":"t",)"
         R"("configuration":"","metadata":{},"sections":[)"
         R"({"name":"s","type":"table","columns":["a"],)"
         R"("rows":[{"id":"r","cells":[]}]}]})");
@@ -287,7 +316,7 @@ TEST(ValidateReportJson, FlagsSchemaViolations)
     EXPECT_FALSE(sim::validateReportJson(bad).empty());
 
     const util::Json wrong_schema = util::Json::parse(
-        R"({"schema":"other","version":1,"title":"t",)"
+        R"({"schema":"other","version":2,"title":"t",)"
         R"("configuration":"","metadata":{},"sections":[]})");
     EXPECT_FALSE(sim::validateReportJson(wrong_schema).empty());
 }

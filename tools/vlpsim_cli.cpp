@@ -35,16 +35,23 @@
  *       and prints byte-identical results; --cache-max-bytes N bounds
  *       the store, --no-cache disables it. --format csv|json exports
  *       the comparison through the shared report schema.
- *   suite --traces <dir> [bytes] [--checkpoint FILE] [--jobs N]
- *       External-trace mode: run the paper's methodology over every
- *       .vbt file under <dir> through the hardened ingestion pipeline.
- *       Traces stream in bounded-memory chunks, transient IO errors
- *       are retried with backoff, unreadable traces are quarantined
- *       (listed with their cause) while the run continues, and with
- *       --checkpoint every completed per-trace cell is journaled so a
- *       killed run resumes where it left off with a byte-identical
- *       report. Exits nonzero only when no trace completed. Exports
- *       carry quarantine causes and cache counters as metadata.
+ *   suite --traces <dir> [bytes] [--pairs FILE] [--checkpoint FILE]
+ *         [--jobs N]
+ *       External-trace mode: run the paper's methodology over the
+ *       .vbt corpus under <dir> through the hardened ingestion
+ *       pipeline. Traces are grouped into profile/test pairs — via
+ *       --pairs (or <dir>/pairs.txt), else the
+ *       .profile.vbt/.test.vbt name convention, else a labeled
+ *       self-eval fallback — and each pair reports train vs test
+ *       accuracy with the generalization delta. Traces stream in
+ *       bounded-memory chunks, transient IO errors are retried with
+ *       backoff, unreadable pairs are quarantined (listed with their
+ *       cause) while the run continues, and with --checkpoint every
+ *       completed per-pair cell is journaled so a killed run resumes
+ *       where it left off with a byte-identical report. Exits 2 when
+ *       the corpus has no .vbt traces, 1 when no pair completed.
+ *       Exports carry quarantine/orphan causes and cache counters as
+ *       metadata.
  *   validate <report.json>
  *       Check a --format json export against the vlpsim-report schema
  *       (docs/FORMATS.md); prints each problem and exits nonzero on
@@ -116,8 +123,8 @@ printCommands(std::ostream &out)
         "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
         "         [--cache-dir DIR] [--cache-max-bytes N] "
         "[--no-cache]\n"
-        "  vlpsim suite --traces <dir> [bytes] [--checkpoint FILE]\n"
-        "         [--jobs N] [cache flags]\n"
+        "  vlpsim suite --traces <dir> [bytes] [--pairs FILE]\n"
+        "         [--checkpoint FILE] [--jobs N] [cache flags]\n"
         "  vlpsim validate <report.json>\n"
         "  vlpsim cache <stats|verify|clear> <dir>\n"
         "  vlpsim import <in.txt> <out.vbt>\n"
@@ -448,6 +455,7 @@ cmdSuiteTraces(int argc, char **argv)
         "through the hardened ingestion pipeline");
     std::string directory;
     std::string checkpoint;
+    std::string pairs;
     parser.addString("--traces", "DIR",
                      "directory scanned recursively for .vbt traces",
                      &directory);
@@ -455,6 +463,11 @@ cmdSuiteTraces(int argc, char **argv)
                      "journal completed cells so a killed run "
                      "resumes where it left off",
                      &checkpoint);
+    parser.addString("--pairs", "FILE",
+                     "profile/test pair manifest (default: DIR/pairs.txt "
+                     "when present, else the .profile.vbt/.test.vbt "
+                     "name convention)",
+                     &pairs);
     sim::RunOptions run;
     run.registerFlags(parser);
     sim::OutputOptions output;
@@ -470,6 +483,7 @@ cmdSuiteTraces(int argc, char **argv)
     sim::TraceSuiteOptions options;
     options.directory = directory;
     options.checkpoint = checkpoint;
+    options.manifest = pairs;
     options.jobs = static_cast<unsigned>(run.jobs);
     options.store = store;
     if (!args.empty()) {
@@ -495,8 +509,15 @@ cmdSuiteTraces(int argc, char **argv)
         report.setMeta("cacheInserts", counters.inserts);
     }
     output.write(report);
-    // A partially failed corpus still produced results; only a run
-    // that completed nothing exits nonzero.
+    // Exit codes distinguish the three failure shapes: 2 = the corpus
+    // had no .vbt traces at all (empty or mistyped directory), 1 =
+    // traces were found but every pair failed, 0 = at least one pair
+    // produced results (a partially failed corpus still counts).
+    if (suite.empty()) {
+        std::cerr << "error: no .vbt traces found under " << directory
+                  << "\n";
+        return 2;
+    }
     return suite.allFailed() ? 1 : 0;
 }
 
