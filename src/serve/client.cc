@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Serve client implementation.
+ */
+
+#include "serve/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vlp {
+namespace serve {
+
+ServeClient::ServeClient(const util::net::Endpoint &endpoint)
+    : socket_(util::net::Socket::connect(endpoint)), reader_(socket_)
+{
+    hello_ = readFrame();
+    const util::Json *type = hello_.find("type");
+    if (type == nullptr || !type->isString()
+        || type->asString() != "hello") {
+        throw std::runtime_error(
+            "serve handshake failed: expected a hello frame");
+    }
+    const util::Json *version = hello_.find("protocolVersion");
+    if (version == nullptr || !version->isNumber()
+        || version->asUint() != protocolVersion) {
+        throw std::runtime_error(
+            "serve protocol mismatch: server speaks v"
+            + (version != nullptr && version->isNumber()
+                   ? version->numberText()
+                   : std::string("?"))
+            + ", client speaks v" + std::to_string(protocolVersion));
+    }
+}
+
+void
+ServeClient::sendFrame(const std::string &frame)
+{
+    socket_.sendAll(frame + "\n");
+}
+
+util::Json
+ServeClient::readFrame()
+{
+    std::string line;
+    if (!reader_.readLine(line))
+        throw std::runtime_error("serve connection closed");
+    return util::Json::parse(line);
+}
+
+util::Json
+ServeClient::awaitFrame(
+    const std::vector<std::string> &want, std::uint64_t id,
+    const std::function<void(const util::Json &)> &event)
+{
+    for (;;) {
+        util::Json frame = readFrame();
+        const util::Json *type = frame.find("type");
+        const std::string name =
+            type != nullptr && type->isString() ? type->asString()
+                                                : std::string();
+        const util::Json *frame_id = frame.find("id");
+        const std::uint64_t got_id =
+            frame_id != nullptr && frame_id->isNumber()
+            ? frame_id->asUint()
+            : 0;
+        const bool id_matches = id == 0 || got_id == id;
+        if (id_matches
+            && std::find(want.begin(), want.end(), name)
+                != want.end()) {
+            return frame;
+        }
+        // An error frame for our request (or a connection-scoped
+        // one) terminates the wait even when not asked for.
+        if (name == "error" && (got_id == id || got_id == 0))
+            return frame;
+        if (event)
+            event(frame);
+    }
+}
+
+ServeClient::Submission
+ServeClient::submit(const SubmitSpec &spec)
+{
+    sendFrame(submitFrame(spec));
+    const util::Json frame =
+        awaitFrame({"accepted", "rejected"}, 0, {});
+    Submission submission;
+    const std::string &type = frame.at("type").asString();
+    if (type == "accepted") {
+        submission.accepted = true;
+        submission.id = frame.at("id").asUint();
+        submission.position = static_cast<std::size_t>(
+            frame.at("position").asUint());
+        return submission;
+    }
+    if (type == "rejected") {
+        submission.code = static_cast<int>(frame.at("code").asUint());
+        submission.reason = frame.at("reason").asString();
+        return submission;
+    }
+    throw std::runtime_error("submit failed: "
+                             + frame.at("message").asString());
+}
+
+util::Json
+ServeClient::await(std::uint64_t id,
+                   const std::function<void(const util::Json &)> &event)
+{
+    return awaitFrame({"result", "cancelled"}, id, event);
+}
+
+util::Json
+ServeClient::status(std::uint64_t id)
+{
+    sendFrame(clientStatusFrame(id));
+    return awaitFrame({"status-report"}, id, {});
+}
+
+util::Json
+ServeClient::cancel(std::uint64_t id)
+{
+    sendFrame(clientCancelFrame(id));
+    return awaitFrame({"cancelled", "status-report"}, id, {});
+}
+
+void
+ServeClient::shutdownServer()
+{
+    sendFrame(clientShutdownFrame());
+    awaitFrame({"shutting-down"}, 0, {});
+}
+
+} // namespace serve
+} // namespace vlp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synchronous client for the vlpsim serve daemon.
+ *
+ * ServeClient owns one connection: it reads the server's hello on
+ * construction (verifying the protocol version), then exposes the
+ * request verbs — submit, await, status, cancel, shutdown. Frame
+ * multiplexing is the caller's concern only insofar as await(id)
+ * forwards every non-terminal frame (progress, heartbeats, frames
+ * for other requests) to an optional event callback while it waits
+ * for the terminal result/cancelled/error frame of the given id.
+ *
+ * Used by the `vlpsim submit|status|cancel` subcommands, the serve
+ * tests, and the CI smoke script.
+ */
+
+#ifndef VLPSIM_SERVE_CLIENT_H
+#define VLPSIM_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace vlp {
+namespace serve {
+
+class ServeClient
+{
+  public:
+    /** Admission verdict for one submit. */
+    struct Submission
+    {
+        bool accepted = false;
+        /** Request id (valid when accepted). */
+        std::uint64_t id = 0;
+        /** Queue position at admission (valid when accepted). */
+        std::size_t position = 0;
+        /** Rejection code (429 capacity, 503 draining). */
+        int code = 0;
+        /** Rejection reason text. */
+        std::string reason;
+    };
+
+    /**
+     * Connect and consume the hello frame.
+     * @throws std::runtime_error when the endpoint is unreachable,
+     *         the greeting is malformed, or the protocol version
+     *         does not match
+     */
+    explicit ServeClient(const util::net::Endpoint &endpoint);
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** The server's hello frame (service, version, schema). */
+    const util::Json &hello() const { return hello_; }
+
+    /** Submit @p spec; never throws on rejection (see Submission). */
+    Submission submit(const SubmitSpec &spec);
+
+    /**
+     * Read frames until the terminal frame (result, cancelled, or
+     * error) for @p id arrives and return it. Every other frame —
+     * progress, heartbeats, frames for other ids — goes to @p event
+     * when provided.
+     * @throws std::runtime_error when the connection closes first
+     */
+    util::Json await(std::uint64_t id,
+                     const std::function<void(const util::Json &)>
+                         &event = {});
+
+    /** Server-wide status (id 0) or one request's status. */
+    util::Json status(std::uint64_t id = 0);
+
+    /** Cancel @p id; returns the ack (cancelled, status-report, or
+     *  error frame). */
+    util::Json cancel(std::uint64_t id);
+
+    /** Ask the daemon to drain and shut down; waits for the ack. */
+    void shutdownServer();
+
+    /** Send one raw frame line (tests exercise malformed input). */
+    void sendFrame(const std::string &frame);
+
+    /**
+     * Read one frame.
+     * @throws std::runtime_error when the connection is closed
+     */
+    util::Json readFrame();
+
+  private:
+    /**
+     * Read until a frame whose type is @p want — and, when @p id is
+     * nonzero, whose id matches — forwarding everything else to
+     * @p event. An error frame for the id (or for the connection,
+     * id 0) is also returned.
+     */
+    util::Json awaitFrame(const std::vector<std::string> &want,
+                          std::uint64_t id,
+                          const std::function<void(const util::Json &)>
+                              &event);
+
+    util::net::Socket socket_;
+    util::net::LineReader reader_;
+    util::Json hello_;
+};
+
+} // namespace serve
+} // namespace vlp
+
+#endif // VLPSIM_SERVE_CLIENT_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bounded priority queue implementation.
+ */
+
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+namespace vlp {
+namespace serve {
+
+const char *
+describeAdmission(Admission admission)
+{
+    switch (admission) {
+    case Admission::Accepted:
+        return "accepted";
+    case Admission::QueueFull:
+        return "queue depth limit reached";
+    case Admission::BytesExhausted:
+        return "in-flight byte budget exhausted";
+    case Admission::Draining:
+        return "server is draining for shutdown";
+    case Admission::Closed:
+        return "server is shut down";
+    }
+    return "unknown";
+}
+
+bool
+RequestQueue::before(const Entry &a, const Entry &b)
+{
+    if (a.item.priority != b.item.priority)
+        return a.item.priority > b.item.priority;
+    return a.sequence < b.sequence;
+}
+
+Admission
+RequestQueue::push(QueueItem item)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return Admission::Closed;
+    if (draining_)
+        return Admission::Draining;
+    if (limits_.maxDepth > 0 && entries_.size() >= limits_.maxDepth)
+        return Admission::QueueFull;
+    if (limits_.maxInflightBytes > 0
+        && inflightBytes_ + item.bytes > limits_.maxInflightBytes) {
+        return Admission::BytesExhausted;
+    }
+    inflightBytes_ += item.bytes;
+    Entry entry{std::move(item), nextSequence_++};
+    // Insert in pop order: the queue stays sorted, so pop() and
+    // position() are trivial reads.
+    const auto at = std::upper_bound(
+        entries_.begin(), entries_.end(), entry,
+        [](const Entry &a, const Entry &b) { return before(a, b); });
+    entries_.insert(at, std::move(entry));
+    available_.notify_one();
+    return Admission::Accepted;
+}
+
+std::optional<QueueItem>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock,
+                    [this] { return closed_ || !entries_.empty(); });
+    if (entries_.empty())
+        return std::nullopt;
+    QueueItem item = std::move(entries_.front().item);
+    entries_.pop_front();
+    ++active_;
+    return item;
+}
+
+bool
+RequestQueue::remove(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->item.id == id) {
+            inflightBytes_ -= it->item.bytes;
+            entries_.erase(it);
+            idle_.notify_all();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+RequestQueue::finish(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflightBytes_ -= std::min(bytes, inflightBytes_);
+    if (active_ > 0)
+        --active_;
+    idle_.notify_all();
+}
+
+void
+RequestQueue::awaitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return entries_.empty() && active_ == 0; });
+}
+
+void
+RequestQueue::drain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        draining_ = true;
+    }
+    available_.notify_all();
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+RequestQueue::inflightBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflightBytes_;
+}
+
+std::optional<std::size_t>
+RequestQueue::position(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].item.id == id)
+            return i;
+    }
+    return std::nullopt;
+}
+
+bool
+RequestQueue::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+} // namespace serve
+} // namespace vlp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Bounded priority queue with admission control for the serve daemon.
+ *
+ * The queue is the daemon's only buffering point, so its limits *are*
+ * the daemon's overload policy: a request is admitted only when the
+ * queue has depth headroom and its declared payload fits under the
+ * in-flight byte budget. Everything else is rejected at push() time
+ * with a structured reason the server maps to a 429-style frame —
+ * overload surfaces as an explicit client-visible decision, never as
+ * unbounded memory or silent latency.
+ *
+ * Byte accounting covers queued *and* running work: bytes are
+ * reserved at admission and released by finish() after the request
+ * completes, so a flood of small submits cannot starve memory while
+ * large requests execute.
+ *
+ * Ordering: higher priority first, FIFO within a priority (a strict
+ * total order — ties broken by admission sequence — so scheduling is
+ * deterministic for any arrival history).
+ *
+ * The queue knows nothing about sockets or experiment specs; items
+ * carry an opaque work closure. That keeps it unit-testable without a
+ * daemon around it.
+ */
+
+#ifndef VLPSIM_SERVE_REQUEST_QUEUE_H
+#define VLPSIM_SERVE_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace vlp {
+namespace serve {
+
+/** Admission-control limits (0 = unlimited for either bound). */
+struct QueueLimits
+{
+    /** Maximum queued (not yet popped) requests. */
+    std::size_t maxDepth = 16;
+    /** Maximum bytes reserved across queued + running requests. */
+    std::size_t maxInflightBytes = 64u << 20;
+};
+
+/** One admitted unit of work. */
+struct QueueItem
+{
+    /** Request id (queue-unique; assigned by the caller). */
+    std::uint64_t id = 0;
+    /** Higher runs first; FIFO within equal priorities. */
+    int priority = 0;
+    /** Declared payload cost, reserved until finish(). */
+    std::size_t bytes = 0;
+    /** Opaque work; the queue never invokes it. */
+    std::function<void()> work;
+};
+
+/** push() verdict; everything but Accepted is a rejection. */
+enum class Admission {
+    Accepted,
+    /** Queue depth limit reached (429: retry later). */
+    QueueFull,
+    /** Byte budget exhausted (429: retry later or shrink). */
+    BytesExhausted,
+    /** Daemon is draining for shutdown (503: no new work). */
+    Draining,
+    /** Queue closed; the daemon is gone. */
+    Closed,
+};
+
+/** Human-readable admission verdict (wire `reason` field). */
+const char *describeAdmission(Admission admission);
+
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueueLimits limits) : limits_(limits) {}
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admit @p item or reject it. On Accepted the item's bytes are
+     * reserved until finish(); on any rejection the queue is
+     * untouched.
+     */
+    Admission push(QueueItem item);
+
+    /**
+     * Block until an item is available and return the highest
+     * priority one; nullopt once the queue is closed and empty (the
+     * worker-thread exit signal). The popped item's bytes stay
+     * reserved — pair every successful pop() with finish().
+     */
+    std::optional<QueueItem> pop();
+
+    /**
+     * Remove a still-queued item (cancel-before-start). Returns true
+     * and releases the item's bytes when @p id was waiting; false
+     * when it already started (or never existed) — the caller must
+     * then cancel cooperatively instead.
+     */
+    bool remove(std::uint64_t id);
+
+    /** Release @p bytes reserved by a popped item that finished. */
+    void finish(std::size_t bytes);
+
+    /**
+     * Stop admitting (pushes return Draining) while pop() keeps
+     * serving queued work. Idempotent; close() supersedes it.
+     */
+    void drain();
+
+    /** Stop admitting and wake every blocked pop() (which drains
+     *  remaining items, then returns nullopt). */
+    void close();
+
+    /**
+     * Block until nothing is queued and every popped item has been
+     * finish()ed — the drain barrier. Popping and the active count
+     * share one mutex, so there is no instant where a request is
+     * neither queued nor counted as active.
+     */
+    void awaitIdle();
+
+    /** Queued (not yet popped) request count. */
+    std::size_t depth() const;
+
+    /** Bytes reserved across queued + running requests. */
+    std::size_t inflightBytes() const;
+
+    /** 0-based position of @p id among queued items in pop order;
+     *  nullopt when not queued. */
+    std::optional<std::size_t> position(std::uint64_t id) const;
+
+    bool draining() const;
+
+  private:
+    struct Entry
+    {
+        QueueItem item;
+        /** Admission order, the FIFO tie-break within a priority. */
+        std::uint64_t sequence = 0;
+    };
+
+    /** True when a runs before b (priority desc, sequence asc). */
+    static bool before(const Entry &a, const Entry &b);
+
+    QueueLimits limits_;
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::condition_variable idle_;
+    std::deque<Entry> entries_; // kept in pop order
+    std::size_t inflightBytes_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    /** Items popped but not yet finish()ed. */
+    std::size_t active_ = 0;
+    bool draining_ = false;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace vlp
+
+#endif // VLPSIM_SERVE_REQUEST_QUEUE_H

@@ -225,6 +225,7 @@ ExperimentContext::ensureStep1(ProfilerEntry &entry,
 {
     if (entry.step1Done)
         return;
+    throwIfCancelled();
 
     const bool indirect = entry.indirect != nullptr;
     if (store_ && key) {
@@ -280,6 +281,7 @@ ExperimentContext::ensureAssignment(
 {
     if (entry.assignment)
         return *entry.assignment;
+    throwIfCancelled();
 
     // A cached assignment short-circuits both profiling steps; only
     // probe step 1 (and possibly recompute it) on a miss.
@@ -633,6 +635,7 @@ compareConditional(ExperimentContext &context,
                    std::size_t bytes, unsigned global_length,
                    bool include_tuned)
 {
+    context.throwIfCancelled();
     const store::CacheKey key =
         comparisonKey(spec, false, bytes, global_length, include_tuned);
     if (auto cached = fetchComparisonRow(context.store(), key))
@@ -659,6 +662,7 @@ compareIndirect(ExperimentContext &context,
                 const workload::BenchmarkSpec &spec, std::size_t bytes,
                 unsigned global_length, bool include_tuned)
 {
+    context.throwIfCancelled();
     const store::CacheKey key =
         comparisonKey(spec, true, bytes, global_length, include_tuned);
     if (auto cached = fetchComparisonRow(context.store(), key))
@@ -686,6 +690,7 @@ compareExternalConditional(ExperimentContext &context,
                            const ExternalTrace &test, std::size_t bytes,
                            unsigned global_length)
 {
+    context.throwIfCancelled();
     const store::CacheKey key = externalComparisonKey(
         profile, test, false, bytes, global_length, true);
     if (auto cached = fetchComparisonRow(context.store(), key))
@@ -715,6 +720,7 @@ compareExternalIndirect(ExperimentContext &context,
                         const ExternalTrace &test, std::size_t bytes,
                         unsigned global_length)
 {
+    context.throwIfCancelled();
     const store::CacheKey key = externalComparisonKey(
         profile, test, true, bytes, global_length, true);
     if (auto cached = fetchComparisonRow(context.store(), key))

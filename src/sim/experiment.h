@@ -25,6 +25,7 @@
 #include "core/profiler.h"
 #include "sim/simulator.h"
 #include "trace/streaming.h"
+#include "util/cancel.h"
 #include "workload/benchmarks.h"
 
 namespace vlp {
@@ -113,6 +114,32 @@ class ExperimentContext
 
     /** The attached artifact store, or nullptr. */
     store::ArtifactStore *store() const { return store_.get(); }
+
+    /**
+     * Attach a cooperative cancellation token (pass nullptr to
+     * detach). Expensive operations — profiling steps, comparison
+     * replays — check it at their entry, so a cancelled request
+     * unwinds with util::CancelledError at the next step boundary
+     * without tearing caches or stored artifacts.
+     */
+    void setCancelToken(std::shared_ptr<const util::CancelToken> token)
+    {
+        cancel_ = std::move(token);
+    }
+
+    /** The attached cancellation token, or nullptr. */
+    const std::shared_ptr<const util::CancelToken> &
+    cancelToken() const
+    {
+        return cancel_;
+    }
+
+    /** @throws util::CancelledError once the attached token fires */
+    void throwIfCancelled() const
+    {
+        if (cancel_)
+            cancel_->throwIfCancelled();
+    }
 
     /**
      * Worker threads for step-1 fixed-length sweeps (see
@@ -251,6 +278,7 @@ class ExperimentContext
     };
 
     std::list<TraceEntry> traces_;
+    std::shared_ptr<const util::CancelToken> cancel_;
     unsigned step1Jobs_ = 1;
     std::map<Key, ProfilerEntry> profilers_;
     std::map<Key, std::vector<double>> averageSweeps_;

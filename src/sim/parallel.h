@@ -82,6 +82,18 @@ class ParallelRunner
     }
 
     /**
+     * Attach a cooperative cancellation token to every worker context
+     * (pass nullptr to detach). Once the token fires, each worker
+     * unwinds with util::CancelledError at its next step boundary and
+     * the map()/compare call rethrows it on the controlling thread.
+     */
+    void setCancelToken(std::shared_ptr<const util::CancelToken> token)
+    {
+        for (auto &context : contexts_)
+            context->setCancelToken(token);
+    }
+
+    /**
      * Run fn(context, i) for i in [0, count) across the pool and
      * return the results in index order. fn must only touch the
      * context it is handed plus its own locals; exceptions thrown by

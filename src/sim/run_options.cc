@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "sim/parallel.h"
+#include "sim/service.h"
 #include "store/artifact_store.h"
 #include "util/args.h"
 #include "util/logging.h"
@@ -101,15 +102,20 @@ OutputOptions::registerFlags(util::ArgParser &parser)
 void
 OutputOptions::write(const Report &report) const
 {
+    // Every export names the binary that produced it. Stamping here
+    // (not in the sinks) keeps direct sink users — golden tests —
+    // byte-stable, and the copy keeps the caller's report pristine.
+    Report stamped = report;
+    stampBuildInfo(stamped);
     std::unique_ptr<ReportSink> sink = makeReportSink(format);
     if (path.empty()) {
-        sink->write(report, std::cout);
+        sink->write(stamped, std::cout);
         return;
     }
     std::ofstream out(path, std::ios::binary);
     if (!out)
         util::fatal("cannot open output file: " + path);
-    sink->write(report, out);
+    sink->write(stamped, out);
     if (!out)
         util::fatal("failed writing output file: " + path);
 }

@@ -68,6 +68,9 @@ retryTransient(const TraceSuiteOptions &options, Fn &&fn)
             ++attempt;
             if (attempt >= std::max(options.maxAttempts, 1u))
                 throw;
+            // A cancelled run must not sit out a backoff delay.
+            if (options.cancel)
+                options.cancel->throwIfCancelled();
             const unsigned shift = std::min(attempt - 1, 31u);
             const std::uint64_t exponential =
                 std::uint64_t{options.backoffBaseMs} << shift;
@@ -816,6 +819,7 @@ TraceSuiteRunner::run()
     for (unsigned worker = 0; worker < jobs; ++worker) {
         contexts.push_back(std::make_unique<ExperimentContext>());
         contexts.back()->setStore(options_.store);
+        contexts.back()->setCancelToken(options_.cancel);
     }
 
     std::vector<TraceWork> work(pairing.pairs.size());
@@ -839,6 +843,8 @@ TraceSuiteRunner::run()
                    [&](unsigned worker, std::size_t i) {
         TraceWork &item = work[i];
         const TracePair &pair = pairing.pairs[i];
+        if (options_.cancel)
+            options_.cancel->throwIfCancelled();
         ExperimentContext &context = *contexts[worker];
         const auto open = [&](const std::string &path) {
             return options_.opener ? options_.opener(path)
@@ -919,6 +925,8 @@ TraceSuiteRunner::run()
             item.condRates = rateCurve(cond_sweep);
             item.indRates = rateCurve(ind_sweep);
             item.valid = true;
+        } catch (const util::CancelledError &) {
+            throw; // aborts the run; never a quarantine cause
         } catch (const util::TransientError &error) {
             quarantine(item,
                        std::string("transient failure persisted after ")
@@ -985,6 +993,8 @@ TraceSuiteRunner::run()
         TraceWork &item = work[i];
         if (!item.valid)
             return;
+        if (options_.cancel)
+            options_.cancel->throwIfCancelled();
         ExperimentContext &context = *contexts[worker];
         try {
             if (item.outcome.conditionalBranches > 0
@@ -1013,6 +1023,8 @@ TraceSuiteRunner::run()
                               item.profile, item.test, true,
                               options_.bytes, global_ind);
             }
+        } catch (const util::CancelledError &) {
+            throw; // aborts the run; never a quarantine cause
         } catch (const util::TransientError &error) {
             quarantine(item,
                        std::string("transient failure persisted after ")

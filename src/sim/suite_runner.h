@@ -108,6 +108,13 @@ struct TraceSuiteOptions
      * replace it to observe retries without wall-clock delays.
      */
     std::function<void(unsigned)> sleeper;
+    /**
+     * Cooperative cancellation token; null = never cancelled. Once it
+     * fires the run unwinds with util::CancelledError at the next
+     * step boundary (between pairs, sweeps, and retry backoffs) —
+     * cancellation aborts the run, it never quarantines pairs.
+     */
+    std::shared_ptr<const util::CancelToken> cancel;
 };
 
 /** Per-pair disposition in a suite run. */

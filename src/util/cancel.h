@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cooperative cancellation primitive for long-running experiments.
+ *
+ * A CancelToken is a shared flag: the owner (the serve daemon's
+ * cancel handler, a signal handler's drain path) calls cancel(), and
+ * the computation checks the token at natural step boundaries —
+ * between benchmarks, between sweep lengths, between corpus pairs —
+ * via throwIfCancelled(), which raises CancelledError. Cancellation
+ * is therefore prompt at the granularity of one step, never preemptive:
+ * no state is torn mid-update, caches and stores stay consistent, and
+ * the unwinding path is ordinary exception propagation.
+ *
+ * Tokens are shared as std::shared_ptr<CancelToken> so a request can
+ * outlive the connection that submitted it (cancel-after-disconnect)
+ * without dangling.
+ */
+
+#ifndef VLPSIM_UTIL_CANCEL_H
+#define VLPSIM_UTIL_CANCEL_H
+
+#include <atomic>
+#include <stdexcept>
+
+namespace vlp {
+namespace util {
+
+/** Thrown by throwIfCancelled() once a token is cancelled. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    CancelledError() : std::runtime_error("cancelled") {}
+    using std::runtime_error::runtime_error;
+};
+
+/** A shared, thread-safe cancellation flag (set-once, never reset). */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (idempotent, callable from any thread). */
+    void cancel() noexcept
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once cancel() has been called. */
+    bool cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** @throws CancelledError once the token is cancelled */
+    void throwIfCancelled() const
+    {
+        if (cancelled())
+            throw CancelledError();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_CANCEL_H

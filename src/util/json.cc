@@ -366,8 +366,10 @@ JsonWriter::comma()
         if (scopes_.back())
             out_ += ",";
         scopes_.back() = true;
-        out_ += "\n";
-        indent();
+        if (style_ == Style::Pretty) {
+            out_ += "\n";
+            indent();
+        }
     }
 }
 
@@ -391,7 +393,7 @@ JsonWriter::endObject()
     assert(!scopes_.empty());
     const bool had_members = scopes_.back();
     scopes_.pop_back();
-    if (had_members) {
+    if (had_members && style_ == Style::Pretty) {
         out_ += "\n";
         indent();
     }
@@ -412,7 +414,7 @@ JsonWriter::endArray()
     assert(!scopes_.empty());
     const bool had_items = scopes_.back();
     scopes_.pop_back();
-    if (had_items) {
+    if (had_items && style_ == Style::Pretty) {
         out_ += "\n";
         indent();
     }
@@ -425,7 +427,7 @@ JsonWriter::key(const std::string &name)
     assert(!pendingKey_);
     comma();
     out_ += quote(name);
-    out_ += ": ";
+    out_ += style_ == Style::Pretty ? ": " : ":";
     pendingKey_ = true;
 }
 
@@ -476,6 +478,69 @@ JsonWriter::value(bool flag)
 {
     comma();
     out_ += flag ? "true" : "false";
+}
+
+void
+JsonWriter::nullValue()
+{
+    comma();
+    out_ += "null";
+}
+
+void
+JsonWriter::rawNumber(const std::string &text)
+{
+    comma();
+    out_ += text;
+}
+
+void
+writeJson(JsonWriter &writer, const Json &value)
+{
+    switch (value.type()) {
+    case Json::Type::Null:
+        writer.nullValue();
+        break;
+    case Json::Type::Bool:
+        writer.value(value.asBool());
+        break;
+    case Json::Type::Number:
+        writer.rawNumber(value.numberText());
+        break;
+    case Json::Type::String:
+        writer.value(value.asString());
+        break;
+    case Json::Type::Array:
+        writer.beginArray();
+        for (const Json &item : value.items())
+            writeJson(writer, item);
+        writer.endArray();
+        break;
+    case Json::Type::Object:
+        writer.beginObject();
+        for (const auto &[key, member] : value.members()) {
+            writer.key(key);
+            writeJson(writer, member);
+        }
+        writer.endObject();
+        break;
+    }
+}
+
+std::string
+toCompactJson(const Json &value)
+{
+    JsonWriter writer(JsonWriter::Style::Compact);
+    writeJson(writer, value);
+    return writer.str();
+}
+
+std::string
+toPrettyJson(const Json &value)
+{
+    JsonWriter writer;
+    writeJson(writer, value);
+    return writer.str();
 }
 
 } // namespace util

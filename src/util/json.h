@@ -80,10 +80,18 @@ class Json
  * Streaming JSON writer with deterministic formatting (2-space
  * indent, members in emission order). The caller is responsible for
  * balanced begin/end calls; assertions catch misuse in debug builds.
+ *
+ * Style::Compact emits the same document without any whitespace — one
+ * line, suitable for the newline-delimited serve wire protocol.
  */
 class JsonWriter
 {
   public:
+    enum class Style { Pretty, Compact };
+
+    JsonWriter() = default;
+    explicit JsonWriter(Style style) : style_(style) {}
+
     /** Serialized document so far (complete once all scopes close). */
     const std::string &str() const { return out_; }
 
@@ -101,6 +109,14 @@ class JsonWriter
     void value(std::uint64_t number);
     void value(double number);
     void value(bool flag);
+    void nullValue();
+
+    /**
+     * Emit @p text verbatim as a number token (no quoting). Used to
+     * round-trip a parsed number through Json::numberText() without
+     * reformatting, so re-emitted documents stay byte-stable.
+     */
+    void rawNumber(const std::string &text);
 
     /** Convenience: key() + value(). */
     template <typename T>
@@ -117,11 +133,26 @@ class JsonWriter
     void comma();
     void indent();
 
+    Style style_ = Style::Pretty;
     std::string out_;
     /** One entry per open scope; true once the scope has a member. */
     std::vector<bool> scopes_;
     bool pendingKey_ = false;
 };
+
+/**
+ * Re-emit a parsed value through @p writer (object order and number
+ * source text preserved). Parsing a document and writing it back with
+ * the same style reproduces the serializer's canonical form; writing
+ * it back Compact yields the one-line wire form of the same document.
+ */
+void writeJson(JsonWriter &writer, const Json &value);
+
+/** Serialize @p value as one compact (single-line) JSON document. */
+std::string toCompactJson(const Json &value);
+
+/** Serialize @p value in the pretty (2-space indent) style. */
+std::string toPrettyJson(const Json &value);
 
 } // namespace util
 } // namespace vlp

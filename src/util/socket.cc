@@ -1,0 +1,321 @@
+/**
+ * @file
+ * POSIX stream-socket wrapper implementation.
+ */
+
+#include "util/socket.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vlp {
+namespace util {
+namespace net {
+
+namespace {
+
+[[noreturn]] void
+failErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/** Parse "host:port", ":port", or "port" into a TCP endpoint. */
+Endpoint
+parseTcp(const std::string &text)
+{
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::Tcp;
+    const std::size_t colon = text.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? text : text.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0)
+        endpoint.host = text.substr(0, colon);
+    if (port_text.empty())
+        throw std::runtime_error("endpoint has no port: " + text);
+    char *end = nullptr;
+    const unsigned long port =
+        std::strtoul(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+        throw std::runtime_error("malformed endpoint port: " + text);
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+}
+
+sockaddr_in
+tcpAddress(const Endpoint &endpoint)
+{
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(endpoint.port);
+    const std::string host =
+        endpoint.host.empty() ? "127.0.0.1" : endpoint.host;
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        throw std::runtime_error("unparsable IPv4 host: " + host);
+    }
+    return address;
+}
+
+sockaddr_un
+unixAddress(const Endpoint &endpoint)
+{
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(address.sun_path)) {
+        throw std::runtime_error("unix socket path too long: "
+                                 + endpoint.path);
+    }
+    std::memcpy(address.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    return address;
+}
+
+} // anonymous namespace
+
+Endpoint
+Endpoint::parse(const std::string &text)
+{
+    if (text.find('/') != std::string::npos) {
+        Endpoint endpoint;
+        endpoint.kind = Kind::Unix;
+        endpoint.path = text;
+        return endpoint;
+    }
+    return parseTcp(text);
+}
+
+std::string
+Endpoint::describe() const
+{
+    if (kind == Kind::Unix)
+        return path;
+    return (host.empty() ? std::string("127.0.0.1") : host) + ":"
+        + std::to_string(port);
+}
+
+// --- Socket ---------------------------------------------------------
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+Socket
+Socket::connect(const Endpoint &endpoint)
+{
+    const int domain =
+        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+    const int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0)
+        failErrno("socket");
+    Socket socket(fd);
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        const sockaddr_un address = unixAddress(endpoint);
+        rc = ::connect(fd,
+                       reinterpret_cast<const sockaddr *>(&address),
+                       sizeof(address));
+    } else {
+        const sockaddr_in address = tcpAddress(endpoint);
+        rc = ::connect(fd,
+                       reinterpret_cast<const sockaddr *>(&address),
+                       sizeof(address));
+    }
+    if (rc != 0)
+        failErrno("connect to " + endpoint.describe());
+    return socket;
+}
+
+void
+Socket::sendAll(const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        // MSG_NOSIGNAL: a vanished peer must surface as an error on
+        // this call, not kill the daemon with SIGPIPE.
+        const ssize_t n =
+            ::send(fd_, data.data() + sent, data.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failErrno("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t
+Socket::receive(char *buffer, std::size_t capacity)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+        if (n >= 0)
+            return static_cast<std::size_t>(n);
+        if (errno == EINTR)
+            continue;
+        failErrno("recv");
+    }
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// --- LineReader -----------------------------------------------------
+
+bool
+LineReader::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n', scanned_);
+        if (newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            scanned_ = 0;
+            return true;
+        }
+        scanned_ = buffer_.size();
+        char chunk[4096];
+        const std::size_t n = socket_.receive(chunk, sizeof(chunk));
+        if (n == 0)
+            return false; // orderly shutdown; partial line dropped
+        buffer_.append(chunk, n);
+    }
+}
+
+// --- ListenSocket ---------------------------------------------------
+
+ListenSocket::~ListenSocket()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        if (local_.kind == Endpoint::Kind::Unix)
+            ::unlink(local_.path.c_str());
+    }
+}
+
+ListenSocket::ListenSocket(ListenSocket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), local_(other.local_)
+{}
+
+ListenSocket
+ListenSocket::listen(const Endpoint &endpoint)
+{
+    const int domain =
+        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+    const int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0)
+        failErrno("socket");
+    Endpoint local = endpoint;
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        // Replace a stale socket file, but never an unrelated file.
+        struct stat info{};
+        if (::stat(endpoint.path.c_str(), &info) == 0) {
+            if (!S_ISSOCK(info.st_mode)) {
+                ::close(fd);
+                throw std::runtime_error(
+                    endpoint.path + " exists and is not a socket");
+            }
+            ::unlink(endpoint.path.c_str());
+        }
+        const sockaddr_un address = unixAddress(endpoint);
+        rc = ::bind(fd, reinterpret_cast<const sockaddr *>(&address),
+                    sizeof(address));
+    } else {
+        const int enable = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                     sizeof(enable));
+        const sockaddr_in address = tcpAddress(endpoint);
+        rc = ::bind(fd, reinterpret_cast<const sockaddr *>(&address),
+                    sizeof(address));
+    }
+    if (rc != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        failErrno("bind " + endpoint.describe());
+    }
+    if (::listen(fd, 64) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        failErrno("listen " + endpoint.describe());
+    }
+    if (endpoint.kind == Endpoint::Kind::Tcp && endpoint.port == 0) {
+        sockaddr_in bound{};
+        socklen_t length = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &length) == 0) {
+            local.port = ntohs(bound.sin_port);
+        }
+    }
+    return ListenSocket(fd, std::move(local));
+}
+
+std::optional<Socket>
+ListenSocket::accept(int wake_fd)
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = fd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_fd;
+        fds[1].events = POLLIN;
+        const int ready =
+            ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            failErrno("poll");
+        }
+        if (wake_fd >= 0 && (fds[1].revents & POLLIN) != 0)
+            return std::nullopt;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            failErrno("accept");
+        }
+        return Socket(client);
+    }
+}
+
+} // namespace net
+} // namespace util
+} // namespace vlp

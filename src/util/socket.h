@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal stream-socket primitives for the serve subsystem.
+ *
+ * Wraps POSIX sockets just enough for a newline-delimited JSON
+ * protocol: an Endpoint that is either a loopback TCP address
+ * ("127.0.0.1:7070", ":0" for an ephemeral port) or a Unix-domain
+ * socket path (anything containing a '/'), a ListenSocket whose
+ * accept() can be woken by an auxiliary file descriptor (the server's
+ * shutdown pipe), and a Socket with sendAll() plus a buffered
+ * LineReader. All failures surface as std::runtime_error with errno
+ * text; reads interrupted by EINTR are retried.
+ */
+
+#ifndef VLPSIM_UTIL_SOCKET_H
+#define VLPSIM_UTIL_SOCKET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vlp {
+namespace util {
+namespace net {
+
+/** A parsed listen/connect address: TCP host:port or Unix path. */
+struct Endpoint
+{
+    enum class Kind { Tcp, Unix };
+
+    Kind kind = Kind::Tcp;
+    /** TCP host; empty means loopback (127.0.0.1). */
+    std::string host;
+    /** TCP port; 0 asks the kernel for an ephemeral port. */
+    std::uint16_t port = 0;
+    /** Unix-domain socket path. */
+    std::string path;
+
+    /**
+     * Parse an endpoint string: any text containing '/' is a Unix
+     * socket path; otherwise "host:port", ":port", or a bare port
+     * number (loopback host).
+     * @throws std::runtime_error on a malformed port
+     */
+    static Endpoint parse(const std::string &text);
+
+    /** Canonical display form ("127.0.0.1:7070", "/tmp/v.sock"). */
+    std::string describe() const;
+};
+
+/** RAII wrapper over one connected stream socket. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Connect to @p endpoint.
+     *  @throws std::runtime_error when the connection fails */
+    static Socket connect(const Endpoint &endpoint);
+
+    /**
+     * Write all of @p data (retrying partial writes and EINTR).
+     * @throws std::runtime_error on a closed or failed peer
+     */
+    void sendAll(const std::string &data);
+
+    /**
+     * Read up to @p capacity bytes. 0 = orderly peer shutdown.
+     * @throws std::runtime_error on socket errors
+     */
+    std::size_t receive(char *buffer, std::size_t capacity);
+
+    /** Close now (idempotent; the destructor also closes). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Buffered newline-framed reader over a Socket. */
+class LineReader
+{
+  public:
+    explicit LineReader(Socket &socket) : socket_(socket) {}
+
+    /**
+     * Read one '\n'-terminated line (terminator stripped). Returns
+     * false on orderly end-of-stream with no buffered partial line.
+     * @throws std::runtime_error on socket errors
+     */
+    bool readLine(std::string &line);
+
+  private:
+    Socket &socket_;
+    std::string buffer_;
+    std::size_t scanned_ = 0;
+};
+
+/** A bound, listening server socket. */
+class ListenSocket
+{
+  public:
+    /**
+     * Bind and listen on @p endpoint. TCP sockets get SO_REUSEADDR;
+     * a Unix path that already exists as a socket is replaced (a
+     * stale file from a crashed daemon would otherwise block every
+     * restart).
+     * @throws std::runtime_error when binding fails
+     */
+    static ListenSocket listen(const Endpoint &endpoint);
+
+    ~ListenSocket();
+    ListenSocket(ListenSocket &&other) noexcept;
+    ListenSocket &operator=(ListenSocket &&) = delete;
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    /**
+     * Accept one connection, blocking until a peer arrives or
+     * @p wake_fd becomes readable (the server's shutdown pipe).
+     * @return the connection, or nullopt when woken via @p wake_fd
+     * @throws std::runtime_error on accept failures
+     */
+    std::optional<Socket> accept(int wake_fd);
+
+    /** The bound endpoint with the kernel-assigned port filled in. */
+    const Endpoint &local() const { return local_; }
+
+  private:
+    ListenSocket(int fd, Endpoint local)
+        : fd_(fd), local_(std::move(local))
+    {}
+
+    int fd_ = -1;
+    Endpoint local_;
+};
+
+} // namespace net
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_SOCKET_H

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Build/version identification implementation.
+ */
+
+#include "util/version.h"
+
+#include "util/build_info.h"
+
+namespace vlp {
+namespace util {
+
+const std::string &
+buildVersion()
+{
+    static const std::string version = VLPSIM_BUILD_VERSION;
+    return version;
+}
+
+} // namespace util
+} // namespace vlp

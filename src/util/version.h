@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Build/version identification.
+ *
+ * The version string is stamped at configure time from
+ * `git describe --always --dirty` (see build_info.h.in); every report
+ * export carries it as metadata, `vlpsim --version` prints it, and the
+ * serve handshake echoes it so clients can reject a mismatched server.
+ */
+
+#ifndef VLPSIM_UTIL_VERSION_H
+#define VLPSIM_UTIL_VERSION_H
+
+#include <string>
+
+namespace vlp {
+namespace util {
+
+/** The git-describe build version ("unknown" outside a checkout). */
+const std::string &buildVersion();
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_VERSION_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * vlpsim subcommand table.
+ *
+ * Every subcommand is one Command entry: name, argument synopsis,
+ * one-line summary, and handler. The top-level `--help` text is
+ * generated from the table, so adding a command means adding exactly
+ * one entry (plus its handler) — the dispatch loop and the usage
+ * text can never drift apart.
+ *
+ * Handlers keep the historical signature `int (*)(int argc, char
+ * **argv)` with the subcommand name at argv[1], matching
+ * util::ArgParser::parse(argc, argv, 2).
+ */
+
+#ifndef VLPSIM_TOOLS_CLI_COMMANDS_H
+#define VLPSIM_TOOLS_CLI_COMMANDS_H
+
+namespace vlp {
+namespace cli {
+
+/** One subcommand: synopsis and summary feed the generated help. */
+struct Command
+{
+    const char *name;
+    /** Argument synopsis, e.g. "<trace.vbt> <bytes> [count]". */
+    const char *usage;
+    /** One-line description for the generated help. */
+    const char *summary;
+    int (*handler)(int argc, char **argv);
+};
+
+// Serve-family handlers (tools/cli_serve.cpp): the daemon itself and
+// its client verbs.
+int cmdServe(int argc, char **argv);
+int cmdSubmit(int argc, char **argv);
+int cmdServeStatus(int argc, char **argv);
+int cmdServeCancel(int argc, char **argv);
+int cmdServeShutdown(int argc, char **argv);
+
+} // namespace cli
+} // namespace vlp
+
+#endif // VLPSIM_TOOLS_CLI_COMMANDS_H

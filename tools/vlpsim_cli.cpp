@@ -67,6 +67,16 @@
  *       Like import, but lenient: malformed lines are skipped and
  *       reported with their line numbers instead of aborting, for
  *       external branch logs (ChampSim-style reduced lines accepted).
+ *   serve / submit / status / cancel / shutdown
+ *       The async experiment service and its client verbs
+ *       (tools/cli_serve.cpp): a daemon on a local socket with a
+ *       bounded request queue, admission control, cooperative
+ *       cancellation, and warm answers from the artifact cache. Wire
+ *       protocol in docs/FORMATS.md.
+ *
+ * Global flags: --help, --version (build stamp + schema/protocol
+ * versions), --log-level LEVEL (also VLPSIM_LOG_LEVEL). The
+ * subcommand table below generates the top-level help.
  */
 
 #include <algorithm>
@@ -81,6 +91,7 @@
 #include <utility>
 #include <vector>
 
+#include "cli_commands.h"
 #include "core/path_predictor.h"
 #include "core/profiler.h"
 #include "predictors/btb.h"
@@ -89,8 +100,10 @@
 #include "predictors/target_cache.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
+#include "serve/protocol.h"
 #include "sim/report.h"
 #include "sim/run_options.h"
+#include "sim/service.h"
 #include "sim/simulator.h"
 #include "sim/suite_runner.h"
 #include "store/artifact_store.h"
@@ -102,44 +115,12 @@
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/version.h"
 #include "workload/benchmarks.h"
 
 namespace {
 
 using namespace vlp;
-
-void
-printCommands(std::ostream &out)
-{
-    out <<
-        "usage:\n"
-        "  vlpsim list\n"
-        "  vlpsim gen <benchmark> <profile|test> <out.vbt> [scale]\n"
-        "  vlpsim stats <trace.vbt>\n"
-        "  vlpsim profile <trace.vbt> <bytes> <cond|ind> <out.asgn>\n"
-        "         [--jobs N]\n"
-        "  vlpsim eval <trace.vbt> <bytes> <cond|ind> [assignment]\n"
-        "  vlpsim top <trace.vbt> <bytes> [count]\n"
-        "  vlpsim suite <cond|ind> <bytes> [--jobs N]\n"
-        "         [--cache-dir DIR] [--cache-max-bytes N] "
-        "[--no-cache]\n"
-        "  vlpsim suite --traces <dir> [bytes] [--pairs FILE]\n"
-        "         [--checkpoint FILE] [--jobs N] [cache flags]\n"
-        "  vlpsim validate <report.json>\n"
-        "  vlpsim cache <stats|verify|clear> <dir>\n"
-        "  vlpsim import <in.txt> <out.vbt>\n"
-        "  vlpsim export <in.vbt> <out.txt>\n"
-        "  vlpsim convert <in.txt> <out.vbt>\n"
-        "run 'vlpsim <command> --help' for per-command flags "
-        "(--format ascii|csv|json, --out FILE, cache flags, ...)\n";
-}
-
-int
-usage()
-{
-    printCommands(std::cerr);
-    return 2;
-}
 
 workload::InputKind
 parseInput(const std::string &text)
@@ -545,54 +526,25 @@ cmdSuite(int argc, char **argv)
     output.registerFlags(parser);
     const auto args = parser.parse(argc, argv, 2);
 
-    const bool indirect = parseIndirect(args[0]);
-    const std::size_t bytes =
-        std::strtoul(args[1].c_str(), nullptr, 0);
-    if (bytes == 0)
+    sim::SuiteCompareSpec spec;
+    spec.indirect = parseIndirect(args[0]);
+    spec.bytes = std::strtoul(args[1].c_str(), nullptr, 0);
+    spec.jobs = static_cast<unsigned>(run.jobs);
+    if (spec.bytes == 0)
         util::fatal("table budget must be a positive byte count");
 
     const auto start = std::chrono::steady_clock::now();
-    sim::ParallelRunner runner(static_cast<unsigned>(run.jobs));
-    const auto cache = run.attachStore(runner);
-    const auto &suite = workload::benchmarkSuite();
-
-    const unsigned global_length = indirect
-        ? runner.globalIndirectLength(bytes)
-        : runner.globalConditionalLength(bytes);
-    const auto rows = indirect
-        ? runner.compareIndirectSuite(suite, bytes, global_length)
-        : runner.compareConditionalSuite(suite, bytes, global_length);
-
-    sim::Report report;
-    report.title = "predictor suite";
-    report.setMeta("class", indirect ? "ind" : "cond");
-    report.setMeta("bytes", std::uint64_t{bytes});
-    report.setMeta("globalLength", std::uint64_t{global_length});
-    report.setMeta("jobs", std::uint64_t{runner.jobs()});
-    report.setMeta("predictions", runner.predictions());
+    // The report comes from the shared service — the same code path
+    // the serve daemon runs, which is what keeps daemon answers
+    // byte-identical to this subcommand's output.
+    const auto cache = run.openStore();
+    sim::ServiceResult result = sim::runSuiteCompare(spec, cache);
+    sim::Report report = std::move(result.report);
     if (cache) {
         const store::StoreCounters counters = cache->counters();
         report.setMeta("cacheHits", counters.hits);
         report.setMeta("cacheMisses", counters.misses);
         report.setMeta("cacheInserts", counters.inserts);
-    }
-
-    sim::Section &section =
-        report.addSection(indirect ? "indirect" : "conditional");
-    std::ostringstream caption;
-    caption << (indirect ? "indirect" : "conditional")
-            << " predictors, " << bytes
-            << " byte tables, test inputs (global fixed path length "
-            << global_length << "):\n";
-    section.caption = caption.str();
-    section.columns = {{"benchmark"}};
-    for (const auto &entry : rows.front().entries)
-        section.columns.push_back({entry.predictor + " (%)"});
-    for (const auto &row : rows) {
-        std::vector<sim::Cell> cells = {sim::Cell::text(row.benchmark)};
-        for (const auto &entry : row.entries)
-            cells.push_back(sim::Cell::percent(entry.rate));
-        section.addRow(row.benchmark, std::move(cells));
     }
     output.write(report);
 
@@ -601,15 +553,15 @@ cmdSuite(int argc, char **argv)
     const double seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
     const double per_second = seconds > 0.0
-        ? static_cast<double>(runner.predictions()) / seconds
+        ? static_cast<double>(result.predictions) / seconds
         : 0.0;
     std::cerr << "run summary: "
-              << util::formatCount(runner.predictions())
+              << util::formatCount(result.predictions)
               << " branch predictions in "
               << util::formatDouble(seconds, 2) << " s ("
               << util::formatScaled(
                      static_cast<std::uint64_t>(per_second))
-              << " branches/s; jobs=" << runner.jobs() << ")\n";
+              << " branches/s; jobs=" << result.jobs << ")\n";
     sim::reportCacheCounters(cache.get());
     return 0;
 }
@@ -743,43 +695,123 @@ cmdConvert(int argc, char **argv)
     return 0;
 }
 
+/**
+ * The subcommand table. The top-level help below is generated from
+ * it, so a new subcommand is one entry here plus its handler.
+ */
+const cli::Command commandTable[] = {
+    {"list", "",
+     "print the benchmark suite with its Table-1 parameters",
+     cmdList},
+    {"gen", "<benchmark> <profile|test> <out.vbt> [scale]",
+     "generate a synthetic branch trace as a .vbt file", cmdGen},
+    {"stats", "<trace.vbt>",
+     "print Table-1-style statistics for a trace file", cmdStats},
+    {"profile", "<trace.vbt> <bytes> <cond|ind> <out.asgn> [--jobs N]",
+     "run the paper's two-step profiling heuristic over a trace",
+     cmdProfile},
+    {"eval", "<trace.vbt> <bytes> <cond|ind> [assignment]",
+     "evaluate the paper's predictors on a trace", cmdEval},
+    {"top", "<trace.vbt> <bytes> [count]",
+     "rank conditional branches by gshare misprediction share",
+     cmdTop},
+    {"suite", "<cond|ind> <bytes> | --traces <dir> [bytes]",
+     "profile and compare the paper's predictors over a suite",
+     cmdSuite},
+    {"validate", "<report.json>",
+     "check an export against the vlpsim-report schema", cmdValidate},
+    {"cache", "<stats|verify|clear> <dir>",
+     "inspect or maintain an artifact cache", cmdCache},
+    {"import", "<in.txt> <out.vbt>",
+     "convert a text trace to the binary .vbt format", cmdImport},
+    {"export", "<in.vbt> <out.txt>",
+     "convert a binary .vbt trace to the text format", cmdExport},
+    {"convert", "<in.txt> <out.vbt>",
+     "leniently import an external text branch log", cmdConvert},
+    {"serve", "[--listen EP] [--workers N] [cache flags]",
+     "run the async experiment daemon (see docs/FORMATS.md)",
+     cli::cmdServe},
+    {"submit", "--server EP [--op OP] [spec flags]",
+     "submit an experiment to a serve daemon", cli::cmdSubmit},
+    {"status", "--server EP [id]",
+     "query a serve daemon (server-wide or one request)",
+     cli::cmdServeStatus},
+    {"cancel", "--server EP <id>",
+     "cancel a queued or running request", cli::cmdServeCancel},
+    {"shutdown", "--server EP",
+     "ask a serve daemon to drain and stop", cli::cmdServeShutdown},
+};
+
+void
+printCommands(std::ostream &out)
+{
+    out << "usage: vlpsim [--log-level LEVEL] <command> [args]\n"
+        << "commands:\n";
+    for (const cli::Command &command : commandTable) {
+        out << "  vlpsim " << command.name;
+        if (command.usage[0] != '\0')
+            out << " " << command.usage;
+        out << "\n      " << command.summary << "\n";
+    }
+    out << "run 'vlpsim <command> --help' for per-command flags "
+           "(--format ascii|csv|json, --out FILE, cache flags, ...); "
+           "'vlpsim --version' prints build info\n";
+}
+
+int
+usage()
+{
+    printCommands(std::cerr);
+    return 2;
+}
+
+int
+printVersion()
+{
+    std::cout << "vlpsim " << util::buildVersion()
+              << " (vlpsim-report schema v" << sim::reportSchemaVersion
+              << ", serve protocol v" << serve::protocolVersion
+              << ")\n";
+    return 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    // Global flags sit before the subcommand; the handlers re-parse
+    // from their own argv[1].
+    while (argc >= 2 && argv[1][0] == '-') {
+        const std::string flag = argv[1];
+        if (flag == "--help" || flag == "-h") {
+            printCommands(std::cout);
+            return 0;
+        }
+        if (flag == "--version") {
+            return printVersion();
+        }
+        if (flag == "--log-level" && argc >= 3) {
+            try {
+                util::setLogLevel(util::parseLogLevel(argv[2]));
+            } catch (const std::exception &error) {
+                std::cerr << "error: " << error.what() << "\n";
+                return 2;
+            }
+            argv += 2;
+            argc -= 2;
+            continue;
+        }
+        return usage();
+    }
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
-    if (command == "--help" || command == "-h") {
-        printCommands(std::cout);
-        return 0;
-    }
     try {
-        if (command == "list")
-            return cmdList(argc, argv);
-        if (command == "gen")
-            return cmdGen(argc, argv);
-        if (command == "stats")
-            return cmdStats(argc, argv);
-        if (command == "profile")
-            return cmdProfile(argc, argv);
-        if (command == "eval")
-            return cmdEval(argc, argv);
-        if (command == "top")
-            return cmdTop(argc, argv);
-        if (command == "suite")
-            return cmdSuite(argc, argv);
-        if (command == "validate")
-            return cmdValidate(argc, argv);
-        if (command == "cache")
-            return cmdCache(argc, argv);
-        if (command == "import")
-            return cmdImport(argc, argv);
-        if (command == "export")
-            return cmdExport(argc, argv);
-        if (command == "convert")
-            return cmdConvert(argc, argv);
+        for (const cli::Command &entry : commandTable) {
+            if (command == entry.name)
+                return entry.handler(argc, argv);
+        }
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
