@@ -5,12 +5,14 @@
 
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -73,13 +75,21 @@ void
 ExperimentServer::Connection::sendLine(const std::string &frame) noexcept
 {
     std::lock_guard<std::mutex> lock(writeMutex);
+    sendLineLocked(frame);
+}
+
+void
+ExperimentServer::Connection::sendLineLocked(
+    const std::string &frame) noexcept
+{
     if (!alive)
         return;
     try {
         socket.sendAll(frame + "\n");
     } catch (const std::exception &error) {
-        // The peer vanished; the request itself keeps running (its
-        // artifacts still land in the store for the next asker).
+        // The peer vanished (or timed out a send without reading);
+        // the request itself keeps running — its artifacts still
+        // land in the store for the next asker.
         alive = false;
         util::debug(std::string("serve: dropped peer: ")
                     + error.what());
@@ -127,6 +137,11 @@ ExperimentServer::start()
     }
     if (::pipe(shutdownPipe_) != 0)
         throw std::runtime_error("serve: cannot create shutdown pipe");
+    // The write end is poked from signal handlers: it must fail with
+    // EAGAIN on a full pipe, never block inside a handler.
+    const int flags = ::fcntl(shutdownPipe_[1], F_GETFL);
+    if (flags >= 0)
+        ::fcntl(shutdownPipe_[1], F_SETFL, flags | O_NONBLOCK);
     listen_.emplace(util::net::ListenSocket::listen(options_.listen));
     local_ = listen_->local();
     util::inform("serve: listening on " + local_.describe() + " ("
@@ -200,20 +215,30 @@ ExperimentServer::stop()
     }
     {
         // Unblock every connection reader; their threads then exit.
+        // writeMutex serializes against a concurrent self-close in
+        // serveConnection (fd reuse would make shutdown() misfire).
         std::lock_guard<std::mutex> lock(connectionsMutex_);
         for (const auto &connection : connections_) {
+            std::lock_guard<std::mutex> write(connection->writeMutex);
+            connection->alive = false;
             if (connection->socket.valid())
                 ::shutdown(connection->socket.fd(), SHUT_RDWR);
         }
     }
-    for (std::thread &thread : connectionThreads_) {
-        if (thread.joinable())
-            thread.join();
+    std::vector<ConnectionThread> threads;
+    {
+        // Join outside connectionsMutex_: exiting connection threads
+        // take it to deregister themselves.
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        threads.swap(connectionThreads_);
+    }
+    for (ConnectionThread &entry : threads) {
+        if (entry.thread.joinable())
+            entry.thread.join();
     }
     {
         std::lock_guard<std::mutex> lock(connectionsMutex_);
         connections_.clear();
-        connectionThreads_.clear();
     }
     listen_.reset();
     for (int &fd : shutdownPipe_) {
@@ -232,6 +257,20 @@ ExperimentServer::stats() const
 }
 
 void
+ExperimentServer::reapConnectionThreadsLocked()
+{
+    auto it = connectionThreads_.begin();
+    while (it != connectionThreads_.end()) {
+        if (it->done->load(std::memory_order_acquire)) {
+            it->thread.join();
+            it = connectionThreads_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
 ExperimentServer::acceptLoop()
 {
     for (;;) {
@@ -241,16 +280,36 @@ ExperimentServer::acceptLoop()
         } catch (const std::exception &error) {
             util::error(std::string("serve: accept failed: ")
                         + error.what());
+            // Back off: persistent failures (e.g. EMFILE) must not
+            // become a busy error loop. The shutdown pipe still
+            // wakes the next accept() immediately.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
             continue;
         }
         if (!client)
             return; // woken by the shutdown pipe
+        if (options_.sendTimeoutMs != 0) {
+            try {
+                client->setSendTimeout(options_.sendTimeoutMs);
+            } catch (const std::exception &error) {
+                util::error(std::string("serve: ") + error.what());
+                continue;
+            }
+        }
         auto connection =
             std::make_shared<Connection>(std::move(*client));
+        auto done = std::make_shared<std::atomic<bool>>(false);
         std::lock_guard<std::mutex> lock(connectionsMutex_);
+        reapConnectionThreadsLocked();
         connections_.push_back(connection);
-        connectionThreads_.emplace_back(
-            [this, connection] { serveConnection(connection); });
+        ConnectionThread entry;
+        entry.done = done;
+        entry.thread = std::thread([this, connection, done] {
+            serveConnection(connection);
+            done->store(true, std::memory_order_release);
+        });
+        connectionThreads_.push_back(std::move(entry));
     }
 }
 
@@ -272,11 +331,22 @@ ExperimentServer::serveConnection(std::shared_ptr<Connection> connection)
         handleFrame(connection, line);
     }
     {
+        // Close under writeMutex (sendAll runs under it), so the fd
+        // is released the moment the client disconnects instead of
+        // accumulating until stop().
         std::lock_guard<std::mutex> lock(connection->writeMutex);
         connection->alive = false;
+        connection->socket.close();
     }
-    // Note: the Connection object stays registered until stop();
-    // running requests submitted on it hold their own shared_ptr.
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections_.erase(std::remove(connections_.begin(),
+                                       connections_.end(), connection),
+                           connections_.end());
+    }
+    // Running requests submitted on this connection hold their own
+    // shared_ptr; their sends become no-ops (!alive) and the object
+    // dies with its last reference.
 }
 
 void
@@ -349,7 +419,23 @@ ExperimentServer::handleSubmit(
     item.priority = request->spec.priority;
     item.bytes = request->cost;
     item.work = [this, request] { execute(request); };
-    const Admission admission = queue_.push(std::move(item));
+    Admission admission;
+    {
+        // Hold the connection's writeMutex across push + accepted:
+        // a worker can pop and finish the request immediately, but
+        // its result frame blocks on this mutex, so the accepted
+        // frame is always first on the wire for this request.
+        std::lock_guard<std::mutex> write(connection->writeMutex);
+        admission = queue_.push(std::move(item));
+        if (admission == Admission::Accepted) {
+            {
+                std::lock_guard<std::mutex> lock(registryMutex_);
+                ++stats_.accepted;
+            }
+            connection->sendLineLocked(acceptedFrame(
+                request->id, queue_.position(request->id).value_or(0)));
+        }
+    }
     if (admission != Admission::Accepted) {
         {
             std::lock_guard<std::mutex> lock(registryMutex_);
@@ -362,15 +448,9 @@ ExperimentServer::handleSubmit(
                                            describeAdmission(admission)));
         return;
     }
-    {
-        std::lock_guard<std::mutex> lock(registryMutex_);
-        ++stats_.accepted;
-    }
     util::inform("serve: accepted request "
                  + std::to_string(request->id) + " ("
                  + request->spec.op + ")");
-    connection->sendLine(acceptedFrame(
-        request->id, queue_.position(request->id).value_or(0)));
 }
 
 void
@@ -454,6 +534,7 @@ ExperimentServer::handleCancel(
         connection->sendLine(line);
         if (request->connection != connection)
             request->connection->sendLine(line);
+        retireRequest(request);
         return;
     }
 
@@ -485,6 +566,19 @@ ExperimentServer::setState(const std::shared_ptr<Request> &request,
     const State previous = request->state;
     request->state = state;
     return previous;
+}
+
+void
+ExperimentServer::retireRequest(const std::shared_ptr<Request> &request)
+{
+    if (options_.finishedWindow == 0)
+        return; // unbounded: keep every request (tests, short runs)
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    finishedOrder_.push_back(request->id);
+    while (finishedOrder_.size() > options_.finishedWindow) {
+        requests_.erase(finishedOrder_.front());
+        finishedOrder_.pop_front();
+    }
 }
 
 void
@@ -585,6 +679,7 @@ ExperimentServer::execute(const std::shared_ptr<Request> &request)
         }
         request->connection->sendLine(
             cancelledFrame(request->id, "queued"));
+        retireRequest(request);
         return;
     }
     setState(request, State::Running);
@@ -658,6 +753,7 @@ ExperimentServer::execute(const std::shared_ptr<Request> &request)
         request->connection->sendLine(
             errorFrame(request->id, error.what()));
     }
+    retireRequest(request);
 }
 
 } // namespace serve

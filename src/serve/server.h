@@ -37,7 +37,9 @@
 #ifndef VLPSIM_SERVE_SERVER_H
 #define VLPSIM_SERVE_SERVER_H
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +68,12 @@ struct ServerOptions
     QueueLimits limits;
     /** Heartbeat period for running requests (0 disables). */
     unsigned heartbeatMs = 1000;
+    /** Per-send timeout on client connections: a peer that stops
+     *  reading is dropped after this long (0 = block forever). */
+    unsigned sendTimeoutMs = 10'000;
+    /** Terminal requests kept for status queries; older ones are
+     *  reaped so a long-running daemon stays bounded. */
+    std::size_t finishedWindow = 256;
     /** Artifact-store directory (empty = no cache). */
     std::string cacheDirectory;
     /** Store size bound, LRU-evicted (0 = unbounded). */
@@ -147,6 +155,20 @@ class ExperimentServer
 
         /** Send one frame + '\n'; never throws. */
         void sendLine(const std::string &frame) noexcept;
+
+        /** sendLine() body for a caller already holding writeMutex
+         *  (the submit path keeps it across admission so the
+         *  accepted frame beats any worker frame to the wire). */
+        void sendLineLocked(const std::string &frame) noexcept;
+    };
+
+    /** One connection-serving thread plus its exit flag, so the
+     *  accept loop can reap finished threads as clients come and
+     *  go instead of accumulating them until stop(). */
+    struct ConnectionThread
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
     };
 
     enum class State { Queued, Running, Done, Cancelled, Failed };
@@ -191,6 +213,15 @@ class ExperimentServer
     State setState(const std::shared_ptr<Request> &request,
                    State state);
 
+    /** Record @p request as terminal and evict the oldest terminal
+     *  requests beyond options_.finishedWindow, so the registry
+     *  stays bounded over the daemon's lifetime. */
+    void retireRequest(const std::shared_ptr<Request> &request);
+
+    /** Join and drop connection threads whose client disconnected
+     *  (caller holds connectionsMutex_). */
+    void reapConnectionThreadsLocked();
+
     ServerOptions options_;
     util::net::Endpoint local_;
     std::optional<util::net::ListenSocket> listen_;
@@ -204,12 +235,14 @@ class ExperimentServer
 
     mutable std::mutex registryMutex_;
     std::map<std::uint64_t, std::shared_ptr<Request>> requests_;
+    /** Terminal request ids, oldest first (the reaping window). */
+    std::deque<std::uint64_t> finishedOrder_;
     std::uint64_t nextId_ = 1;
     ServerStats stats_;
 
     std::mutex connectionsMutex_;
     std::vector<std::shared_ptr<Connection>> connections_;
-    std::vector<std::thread> connectionThreads_;
+    std::vector<ConnectionThread> connectionThreads_;
 
     std::mutex lifecycleMutex_;
     bool started_ = false;

@@ -17,6 +17,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -166,9 +167,27 @@ Socket::sendAll(const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO expired: the peer holds the connection
+                // open but stopped reading. Treat it as vanished.
+                throw std::runtime_error(
+                    "send timed out: peer stopped reading");
+            }
             failErrno("send");
         }
         sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Socket::setSendTimeout(unsigned ms)
+{
+    timeval timeout{};
+    timeout.tv_sec = ms / 1000;
+    timeout.tv_usec = static_cast<long>(ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                     sizeof(timeout)) != 0) {
+        failErrno("setsockopt(SO_SNDTIMEO)");
     }
 }
 
@@ -208,6 +227,11 @@ LineReader::readLine(std::string &line)
             return true;
         }
         scanned_ = buffer_.size();
+        if (buffer_.size() > maxLineBytes_) {
+            throw std::runtime_error(
+                "line exceeds " + std::to_string(maxLineBytes_)
+                + " bytes without a newline");
+        }
         char chunk[4096];
         const std::size_t n = socket_.receive(chunk, sizeof(chunk));
         if (n == 0)

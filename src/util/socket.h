@@ -70,9 +70,19 @@ class Socket
 
     /**
      * Write all of @p data (retrying partial writes and EINTR).
-     * @throws std::runtime_error on a closed or failed peer
+     * @throws std::runtime_error on a closed or failed peer, or when
+     *         a send timeout (setSendTimeout()) expires with the peer
+     *         not draining its receive buffer
      */
     void sendAll(const std::string &data);
+
+    /**
+     * Bound every subsequent send: if the peer stops reading and the
+     * socket buffer stays full for @p ms milliseconds, sendAll()
+     * throws instead of blocking forever (a wedged client must not
+     * wedge a server thread). 0 restores unbounded blocking sends.
+     */
+    void setSendTimeout(unsigned ms);
 
     /**
      * Read up to @p capacity bytes. 0 = orderly peer shutdown.
@@ -91,12 +101,21 @@ class Socket
 class LineReader
 {
   public:
-    explicit LineReader(Socket &socket) : socket_(socket) {}
+    /** Default cap on one line — matches the daemon's default
+     *  in-flight byte budget; far above any legitimate frame. */
+    static constexpr std::size_t defaultMaxLineBytes = 64u << 20;
+
+    explicit LineReader(Socket &socket,
+                        std::size_t max_line_bytes = defaultMaxLineBytes)
+        : socket_(socket), maxLineBytes_(max_line_bytes)
+    {}
 
     /**
      * Read one '\n'-terminated line (terminator stripped). Returns
      * false on orderly end-of-stream with no buffered partial line.
-     * @throws std::runtime_error on socket errors
+     * @throws std::runtime_error on socket errors, or when a peer
+     *         streams more than the line cap without a newline (a
+     *         runaway line must not exhaust memory)
      */
     bool readLine(std::string &line);
 
@@ -104,6 +123,7 @@ class LineReader
     Socket &socket_;
     std::string buffer_;
     std::size_t scanned_ = 0;
+    std::size_t maxLineBytes_;
 };
 
 /** A bound, listening server socket. */

@@ -136,6 +136,29 @@ TEST(Endpoint, RejectsMalformedPort)
                  std::runtime_error);
 }
 
+TEST(LineReader, CapsRunawayUnterminatedLines)
+{
+    auto listener = util::net::ListenSocket::listen(
+        util::net::Endpoint::parse("127.0.0.1:0"));
+    const util::net::Endpoint endpoint = listener.local();
+    std::thread writer([endpoint] {
+        try {
+            auto socket = util::net::Socket::connect(endpoint);
+            const std::string blob(4096, 'x'); // never a newline
+            for (int i = 0; i < 8; ++i)
+                socket.sendAll(blob);
+        } catch (const std::exception &) {
+            // The reader may drop the connection mid-stream.
+        }
+    });
+    auto accepted = listener.accept(-1);
+    ASSERT_TRUE(accepted.has_value());
+    util::net::LineReader reader(*accepted, 16 * 1024);
+    std::string line;
+    EXPECT_THROW(reader.readLine(line), std::runtime_error);
+    writer.join();
+}
+
 // --- compact JSON (the wire encoding) -------------------------------
 
 TEST(CompactJson, RoundTripsFramesByteExactly)
@@ -752,6 +775,55 @@ TEST_F(ServeTest, MalformedFramesGetConnectionScopedErrors)
     // The connection survives both and still serves real work.
     const auto result = submitAndAwait(*client, sleepSpec(20));
     EXPECT_EQ(result.at("type").asString(), "result");
+}
+
+/** Regression: the accepted frame is sent under the connection's
+ *  write mutex before the request becomes runnable, so even a
+ *  request that finishes instantly can never put its terminal frame
+ *  on the wire first (which would wedge a submit/await client). */
+TEST_F(ServeTest, AcceptedFrameAlwaysPrecedesTerminalFrames)
+{
+    startServer({});
+    const auto client = connect();
+
+    for (int i = 0; i < 25; ++i) {
+        client->sendFrame(serve::submitFrame(sleepSpec(0)));
+        auto frame = client->readFrame();
+        ASSERT_EQ(frame.at("type").asString(), "accepted")
+            << "iteration " << i;
+        const std::uint64_t id = frame.at("id").asUint();
+        do {
+            frame = client->readFrame();
+            ASSERT_EQ(frame.at("id").asUint(), id);
+        } while (frame.at("type").asString() != "result");
+    }
+}
+
+/** Regression: terminal requests are reaped beyond the finished
+ *  window, so a long-running daemon's registry stays bounded. */
+TEST_F(ServeTest, TerminalRequestsAreReapedBeyondFinishedWindow)
+{
+    serve::ServerOptions options;
+    options.finishedWindow = 2;
+    startServer(options);
+    const auto client = connect();
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+        const auto submission = client->submit(sleepSpec(0));
+        ASSERT_TRUE(submission.accepted) << submission.reason;
+        const auto result = client->await(submission.id);
+        ASSERT_EQ(result.at("type").asString(), "result");
+        ids.push_back(submission.id);
+    }
+
+    // The oldest terminal request fell out of the window…
+    const auto reaped = client->status(ids.front());
+    EXPECT_EQ(reaped.at("type").asString(), "error");
+    // …while the two newest are still queryable.
+    const auto kept = client->status(ids.back());
+    ASSERT_EQ(kept.at("type").asString(), "status-report");
+    EXPECT_EQ(kept.at("state").asString(), "done");
 }
 
 /** The acceptance contract: a serve answer renders to exactly the

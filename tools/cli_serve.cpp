@@ -15,6 +15,7 @@
 
 #include "cli_commands.h"
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -36,15 +37,19 @@ namespace cli {
 
 namespace {
 
-/** The daemon being signalled; write-once before handlers install. */
-serve::ExperimentServer *activeServer = nullptr;
+/** The daemon being signalled; a lock-free atomic because the
+ *  handler reads what the main thread writes (set before the
+ *  handlers install, cleared after run() returns). */
+std::atomic<serve::ExperimentServer *> activeServer{nullptr};
 
 extern "C" void
 onTerminate(int)
 {
-    // Async-signal-safe: one write to the daemon's self-pipe.
-    if (activeServer != nullptr)
-        activeServer->notifyShutdown();
+    // Async-signal-safe: an atomic load plus one write to the
+    // daemon's self-pipe (O_NONBLOCK, so a full pipe fails instead
+    // of blocking inside the handler).
+    if (serve::ExperimentServer *server = activeServer.load())
+        server->notifyShutdown();
 }
 
 /** --server flag with the VLPSIM_SERVER environment default. */
@@ -141,11 +146,15 @@ cmdServe(int argc, char **argv)
 
     serve::ExperimentServer server(std::move(options));
     server.start();
-    activeServer = &server;
+    activeServer.store(&server);
     std::signal(SIGTERM, onTerminate);
     std::signal(SIGINT, onTerminate);
     server.run();
-    activeServer = nullptr;
+    // Default handlers back first: a late signal must not race the
+    // server's destruction.
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    activeServer.store(nullptr);
     return 0;
 }
 
