@@ -59,6 +59,10 @@ struct SubmitSpec
     std::size_t traceBytes = 8 * 1024;
     /** Worker threads for trace-suite. */
     unsigned traceJobs = 1;
+    /** Trace backend for trace-suite: "auto", "mmap", or "stdio".
+     *  Optional on the wire ("readMode"; absent = auto), so protocol
+     *  version 1 peers interoperate unchanged. */
+    std::string traceReadMode = "auto";
     /**
      * op == "sleep": hold a worker for this many milliseconds, then
      * return an empty report. Exists so tests and the CI smoke job

@@ -170,13 +170,17 @@ ExperimentContext::trace(const workload::BenchmarkSpec &spec,
     return traces_.front().source;
 }
 
-std::unique_ptr<trace::TraceSource>
+std::shared_ptr<trace::TraceSource>
 ExperimentContext::openExternal(const ExternalTrace &trace) const
 {
+    if (trace.session) {
+        trace.session->reset();
+        return trace.session;
+    }
     std::unique_ptr<trace::ByteFile> file = trace.opener
         ? trace.opener(trace.path)
         : trace::openByteFile(trace.path);
-    return std::make_unique<trace::StreamingTraceReader>(
+    return std::make_shared<trace::StreamingTraceReader>(
         std::move(file), trace.chunkRecords);
 }
 

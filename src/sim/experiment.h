@@ -83,6 +83,11 @@ struct ExternalTrace
     /** How to open the file; empty = plain stdio (tests inject
      *  fault-wrapped openers here). */
     trace::FileOpener opener;
+    /** Optional persistent open: a reader kept alive across replays
+     *  (the suite runner's single-pass ingestion parks the open it
+     *  validated and hashed here). When set, openExternal() rewinds
+     *  and returns this session instead of reopening the path. */
+    std::shared_ptr<trace::StreamingTraceReader> session;
 };
 
 /**
@@ -191,13 +196,16 @@ class ExperimentContext
                        core::PathHistoryOptions history = {});
 
     /**
-     * Open an external trace for one streaming replay. Each call
-     * returns a fresh bounded-memory reader; external traces are
-     * deliberately excluded from the in-memory trace LRU.
+     * Open an external trace for one streaming replay: the parked
+     * session rewound when the trace carries one, else a fresh
+     * bounded-memory reader. External traces are deliberately
+     * excluded from the in-memory trace LRU. Replays of a shared
+     * session must not overlap (the suite runner serializes per
+     * trace by sharding).
      * @throws util::TransientError / std::runtime_error from the
      *         underlying file
      */
-    std::unique_ptr<trace::TraceSource>
+    std::shared_ptr<trace::TraceSource>
     openExternal(const ExternalTrace &trace) const;
 
     /**

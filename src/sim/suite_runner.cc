@@ -26,8 +26,12 @@
 #include "store/artifact_store.h"
 #include "store/checkpoint.h"
 #include "store/serialize.h"
+#include "trace/content_hash.h"
+#include "trace/mmap_file.h"
+#include "trace/prefetch.h"
 #include "trace/streaming.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -49,42 +53,27 @@ constexpr const char *defaultManifestName = "pairs.txt";
 constexpr const char *profileSuffix = ".profile.vbt";
 constexpr const char *testSuffix = ".test.vbt";
 
-/**
- * Run @p fn, retrying util::TransientError with clamped exponential
- * backoff: retry r sleeps min(backoffBaseMs << r, backoffMaxMs). The
- * shift count itself is bounded, so a huge maxAttempts can never
- * reach undefined-behavior territory (shifting a 32-bit base by 32+).
- * Permanent errors and the final transient error propagate.
- */
+/** The suite's retry schedule as the shared policy (util/retry.h) —
+ *  the prefetcher applies the same schedule on read-ahead threads. */
+util::RetryPolicy
+retryPolicy(const TraceSuiteOptions &options)
+{
+    util::RetryPolicy policy;
+    policy.maxAttempts = options.maxAttempts;
+    policy.backoffBaseMs = options.backoffBaseMs;
+    policy.backoffMaxMs = options.backoffMaxMs;
+    policy.sleeper = options.sleeper;
+    policy.cancel = options.cancel;
+    return policy;
+}
+
+/** Run @p fn under the options' transient-retry schedule. */
 template <typename Fn>
 auto
 retryTransient(const TraceSuiteOptions &options, Fn &&fn)
 {
-    unsigned attempt = 0;
-    for (;;) {
-        try {
-            return fn();
-        } catch (const util::TransientError &) {
-            ++attempt;
-            if (attempt >= std::max(options.maxAttempts, 1u))
-                throw;
-            // A cancelled run must not sit out a backoff delay.
-            if (options.cancel)
-                options.cancel->throwIfCancelled();
-            const unsigned shift = std::min(attempt - 1, 31u);
-            const std::uint64_t exponential =
-                std::uint64_t{options.backoffBaseMs} << shift;
-            const unsigned delay_ms = static_cast<unsigned>(
-                std::min<std::uint64_t>(exponential,
-                                        options.backoffMaxMs));
-            if (options.sleeper) {
-                options.sleeper(delay_ms);
-            } else {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(delay_ms));
-            }
-        }
-    }
+    return util::retryTransient(retryPolicy(options),
+                                std::forward<Fn>(fn));
 }
 
 /** Per-pair working state threaded through the phases. */
@@ -266,6 +255,10 @@ quarantine(TraceWork &work, const std::string &cause)
     work.outcome.status = TraceStatus::Quarantined;
     work.outcome.cause = cause;
     work.valid = false;
+    // A quarantined pair is never replayed again: release any parked
+    // opens immediately.
+    work.profile.session.reset();
+    work.test.session.reset();
     util::warn("quarantined pair " + work.outcome.name + ": " + cause);
 }
 
@@ -837,6 +830,41 @@ TraceSuiteRunner::run()
     const unsigned cond_bits = pred::conditionalIndexBits(options_.bytes);
     const unsigned ind_bits = pred::indirectIndexBits(options_.bytes);
 
+    // Single-pass pipelined ingestion: each trace is opened exactly
+    // once per attempt through a content-hashing reader (validation,
+    // identity, and replay share the open), and a bounded prefetcher
+    // hashes upcoming traces while workers simulate earlier ones.
+    // Overlap changes throughput only — every result is still a pure
+    // function of the trace bytes and options.
+    const trace::FileOpener effective_opener = options_.opener
+        ? options_.opener
+        : trace::fastOpener(options_.readMode);
+    constexpr std::size_t no_item = ~std::size_t{0};
+    std::vector<std::string> prefetch_paths;
+    std::vector<std::size_t> profile_item(pairing.pairs.size(), no_item);
+    std::vector<std::size_t> test_item(pairing.pairs.size(), no_item);
+    for (std::size_t i = 0; i < pairing.pairs.size(); ++i) {
+        const TracePair &pair = pairing.pairs[i];
+        if (pair.profilePath.empty() || pair.testPath.empty())
+            continue; // quarantined in the worker, nothing to open
+        profile_item[i] = prefetch_paths.size();
+        prefetch_paths.push_back(pair.profilePath);
+        if (!pair.selfEval) {
+            test_item[i] = prefetch_paths.size();
+            prefetch_paths.push_back(pair.testPath);
+        }
+    }
+    trace::TracePrefetcher::Options prefetch_options;
+    prefetch_options.opener = effective_opener;
+    prefetch_options.chunkRecords = options_.chunkRecords;
+    prefetch_options.window = options_.prefetchWindow != 0
+        ? options_.prefetchWindow
+        : 2 * static_cast<std::size_t>(jobs) + 2;
+    prefetch_options.threads = jobs;
+    prefetch_options.retry = retryPolicy(options_);
+    prefetch_options.cancel = options_.cancel;
+    trace::TracePrefetcher prefetch(prefetch_paths, prefetch_options);
+
     // Phase A+B: validate both traces of each pair and collect the
     // profile trace's step-1 sweeps.
     forEachSharded(pool.get(), jobs, work.size(),
@@ -846,10 +874,6 @@ TraceSuiteRunner::run()
         if (options_.cancel)
             options_.cancel->throwIfCancelled();
         ExperimentContext &context = *contexts[worker];
-        const auto open = [&](const std::string &path) {
-            return options_.opener ? options_.opener(path)
-                                   : trace::openByteFile(path);
-        };
         try {
             if (pair.profilePath.empty()) {
                 quarantine(item, "pair manifest references '"
@@ -864,23 +888,28 @@ TraceSuiteRunner::run()
                 return;
             }
 
-            // Identity and header validation, under retry: a pair
-            // whose content cannot even be hashed is quarantined.
+            // Collect both prefetched opens before inspecting either:
+            // every published item must be consumed to free window
+            // slots, error or not. A pair whose content cannot even
+            // be hashed is quarantined (profile cause first, like the
+            // historical sequential opens).
+            trace::PrefetchedTrace profile_open =
+                prefetch.take(profile_item[i]);
+            trace::PrefetchedTrace test_open;
+            if (!pair.selfEval)
+                test_open = prefetch.take(test_item[i]);
+            if (profile_open.error)
+                std::rethrow_exception(profile_open.error);
+
             item.profile.name = pair.profileName;
             item.profile.path = pair.profilePath;
             item.profile.chunkRecords = options_.chunkRecords;
-            item.profile.opener = options_.opener;
-            item.profile.contentHash = retryTransient(options_, [&] {
-                const auto file = open(pair.profilePath);
-                return trace::hashTraceFile(*file);
-            });
-            retryTransient(options_, [&] {
-                trace::StreamingTraceReader reader(
-                    open(pair.profilePath), options_.chunkRecords);
-                item.outcome.profileFormatVersion =
-                    reader.formatVersion();
-                item.outcome.profileRecords = reader.count();
-            });
+            item.profile.opener = effective_opener;
+            item.profile.contentHash = profile_open.contentHash;
+            item.profile.session = std::move(profile_open.session);
+            item.outcome.profileFormatVersion =
+                profile_open.formatVersion;
+            item.outcome.profileRecords = profile_open.records;
 
             if (pair.selfEval) {
                 item.test = item.profile;
@@ -888,20 +917,16 @@ TraceSuiteRunner::run()
                     item.outcome.profileFormatVersion;
                 item.outcome.records = item.outcome.profileRecords;
             } else {
+                if (test_open.error)
+                    std::rethrow_exception(test_open.error);
                 item.test.name = pair.testName;
                 item.test.path = pair.testPath;
                 item.test.chunkRecords = options_.chunkRecords;
-                item.test.opener = options_.opener;
-                item.test.contentHash = retryTransient(options_, [&] {
-                    const auto file = open(pair.testPath);
-                    return trace::hashTraceFile(*file);
-                });
-                retryTransient(options_, [&] {
-                    trace::StreamingTraceReader reader(
-                        open(pair.testPath), options_.chunkRecords);
-                    item.outcome.formatVersion = reader.formatVersion();
-                    item.outcome.records = reader.count();
-                });
+                item.test.opener = effective_opener;
+                item.test.contentHash = test_open.contentHash;
+                item.test.session = std::move(test_open.session);
+                item.outcome.formatVersion = test_open.formatVersion;
+                item.outcome.records = test_open.records;
             }
             if (item.outcome.profileFormatVersion < 2) {
                 util::warn("trace " + pair.profileName
@@ -991,8 +1016,14 @@ TraceSuiteRunner::run()
     forEachSharded(pool.get(), jobs, work.size(),
                    [&](unsigned worker, std::size_t i) {
         TraceWork &item = work[i];
-        if (!item.valid)
+        if (!item.valid) {
+            // Skipped in the barrier (or quarantined without passing
+            // through quarantine's release): this pair will never be
+            // replayed, so close any parked open now.
+            item.profile.session.reset();
+            item.test.session.reset();
             return;
+        }
         if (options_.cancel)
             options_.cancel->throwIfCancelled();
         ExperimentContext &context = *contexts[worker];
@@ -1034,6 +1065,10 @@ TraceSuiteRunner::run()
         } catch (const std::exception &error) {
             quarantine(item, error.what());
         }
+        // All replays of this pair are done: close the parked opens so
+        // descriptors scale with the active shard, not the corpus.
+        item.profile.session.reset();
+        item.test.session.reset();
     });
 
     SuiteReport report;

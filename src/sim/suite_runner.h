@@ -38,6 +38,13 @@
  *    uninterrupted run — and an edited manifest can never replay a
  *    cell recorded for a different pairing.
  *
+ * Ingestion is single-pass and pipelined: every trace is opened once
+ * per attempt through a content-hashing reader (header validation, the
+ * cache identity, and replay all share that open — see
+ * trace/content_hash.h), and a bounded prefetcher opens and hashes
+ * upcoming traces while earlier ones simulate (trace/prefetch.h).
+ * Prefetching affects throughput only, never results.
+ *
  * Determinism contract: pairs are processed in sorted-name order with
  * static sharding (pair i on worker i % jobs), per-pair work is a
  * pure function of the trace bytes and options, and the report is
@@ -60,6 +67,7 @@
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "trace/byte_file.h"
+#include "trace/mmap_file.h"
 
 namespace vlp {
 namespace store {
@@ -99,8 +107,17 @@ struct TraceSuiteOptions
     /** Records buffered per streaming chunk (bounds peak memory). */
     std::size_t chunkRecords =
         trace::StreamingTraceReader::defaultChunkRecords;
-    /** File opener; empty = plain stdio (tests inject faults here). */
+    /** File opener override; empty = open via readMode (tests inject
+     *  faults here — an override wins over readMode). */
     trace::FileOpener opener;
+    /** How traces open when no opener override is given: Auto (mmap
+     *  with stdio fallback), Mmap, or Stdio. The report is
+     *  byte-identical across backends; only throughput changes. */
+    trace::ReadMode readMode = trace::ReadMode::Auto;
+    /** Max validated-but-unconsumed read-ahead opens in the ingestion
+     *  pipeline (bounds prefetch memory and descriptors); 0 = auto
+     *  (2 * jobs + 2). */
+    std::size_t prefetchWindow = 0;
     /** Optional artifact store shared by all workers. */
     std::shared_ptr<store::ArtifactStore> store;
     /**

@@ -5,6 +5,7 @@
 
 #include "trace/byte_file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -86,6 +87,48 @@ std::unique_ptr<ByteFile>
 openByteFile(const std::string &path)
 {
     return std::make_unique<StdioByteFile>(path);
+}
+
+ByteFileStreamBuf::ByteFileStreamBuf(ByteFile &file)
+    : file_(file), size_(file.size())
+{
+    file_.seek(0);
+}
+
+ByteFileStreamBuf::int_type
+ByteFileStreamBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    if (offset_ >= size_)
+        return traits_type::eof();
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(windowBytes, size_ - offset_));
+    // The get area is read-only by construction (no putback support
+    // beyond what's buffered), so serving the mapped window directly
+    // through the non-const streambuf pointers is safe.
+    if (const std::uint8_t *window = file_.view(offset_, want)) {
+        char *base =
+            const_cast<char *>(reinterpret_cast<const char *>(window));
+        setg(base, base, base + want);
+        offset_ += want;
+        return traits_type::to_int_type(*gptr());
+    }
+    buffer_.resize(windowBytes);
+    file_.seek(offset_);
+    std::size_t got = 0;
+    while (got < want) {
+        const std::size_t chunk =
+            file_.read(buffer_.data() + got, want - got);
+        if (chunk == 0)
+            break;
+        got += chunk;
+    }
+    if (got == 0)
+        return traits_type::eof();
+    setg(buffer_.data(), buffer_.data(), buffer_.data() + got);
+    offset_ += got;
+    return traits_type::to_int_type(*gptr());
 }
 
 } // namespace trace

@@ -21,10 +21,14 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <streambuf>
 #include <string>
+#include <vector>
 
 namespace vlp {
 namespace trace {
+
+class HashingByteFile;
 
 /** A seekable, read-only stream of bytes. */
 class ByteFile
@@ -49,6 +53,32 @@ class ByteFile
 
     /** Path (or other identity) for error messages. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Zero-copy window: a pointer to the file's bytes
+     * [@p offset, @p offset + @p size), or nullptr when this backend
+     * cannot serve the range without copying (the default — only
+     * mapped backends override). A returned pointer stays valid until
+     * the next view()/read()/seek() call on this file; view() does not
+     * move the read() position. Callers must always be prepared for
+     * nullptr and fall back to read().
+     */
+    virtual const std::uint8_t *view(std::uint64_t offset,
+                                     std::size_t size)
+    {
+        (void)offset;
+        (void)size;
+        return nullptr;
+    }
+
+    /**
+     * The content-hashing decorator wrapping this stream, if this
+     * *is* one (see trace/content_hash.h). Lets the streaming reader
+     * fuse its VBT2 stream checksum into the decorator's hash kernel
+     * — one pass over each chunk instead of two — without a
+     * dynamic_cast on the hot path.
+     */
+    virtual HashingByteFile *hasher() { return nullptr; }
 };
 
 /** Plain stdio-backed ByteFile. */
@@ -85,6 +115,31 @@ using FileOpener =
 
 /** Open @p path as a plain StdioByteFile. */
 std::unique_ptr<ByteFile> openByteFile(const std::string &path);
+
+/**
+ * Adapts a ByteFile to std::streambuf so istream-based consumers (the
+ * lenient text-trace importer) read through the same seam — and
+ * zero-copy when the backend is mapped: underflow() serves the
+ * backend's view() window directly as the get area when available,
+ * falling back to a buffered read() otherwise.
+ */
+class ByteFileStreamBuf : public std::streambuf
+{
+  public:
+    /** Window served per underflow, view-backed or buffered. */
+    static constexpr std::size_t windowBytes = 64 * 1024;
+
+    explicit ByteFileStreamBuf(ByteFile &file);
+
+  protected:
+    int_type underflow() override;
+
+  private:
+    ByteFile &file_;
+    std::uint64_t offset_ = 0; // file offset of the next window
+    std::uint64_t size_ = 0;
+    std::vector<char> buffer_;
+};
 
 } // namespace trace
 } // namespace vlp

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Mapped ByteFile implementation and read-mode selection.
+ */
+
+#include "trace/mmap_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace vlp {
+namespace trace {
+
+namespace {
+
+bool
+isTransientErrno(int error)
+{
+    return error == EINTR || error == EAGAIN
+#ifdef EWOULDBLOCK
+        || error == EWOULDBLOCK
+#endif
+        || error == EBUSY;
+}
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    const int error = errno;
+    const std::string message =
+        what + ": " + path + " (" + std::strerror(error) + ")";
+    if (isTransientErrno(error))
+        throw util::TransientError(message);
+    throw std::runtime_error(message);
+}
+
+std::size_t
+pageSize()
+{
+    static const std::size_t size = [] {
+        const long page = ::sysconf(_SC_PAGESIZE);
+        return page > 0 ? static_cast<std::size_t>(page)
+                        : std::size_t{4096};
+    }();
+    return size;
+}
+
+} // anonymous namespace
+
+MmapByteFile::MmapByteFile(const std::string &path,
+                           std::size_t window_bytes)
+    : path_(path),
+      windowBytes_(std::max<std::size_t>(window_bytes, pageSize()))
+{
+    // O_NONBLOCK so a FIFO without a writer is classified instead of
+    // blocking the open; regular files ignore the flag entirely.
+    fd_ = ::open(path.c_str(), O_RDONLY | O_NONBLOCK | O_CLOEXEC);
+    if (fd_ < 0) {
+        if (errno == ENXIO)
+            throw MmapUnsupported("not mmap-able: " + path);
+        throwErrno("cannot open trace file", path_);
+    }
+    struct stat info;
+    if (::fstat(fd_, &info) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throwErrno("cannot stat trace file", path_);
+    }
+    if (!S_ISREG(info.st_mode)) {
+        ::close(fd_);
+        fd_ = -1;
+        throw MmapUnsupported("not a regular file: " + path);
+    }
+    fileSize_ = static_cast<std::uint64_t>(info.st_size);
+    // Probe the first window now so an unmappable filesystem is
+    // classified at open time, where callers can still fall back.
+    if (fileSize_ > 0 && !ensureWindow(0, 1)) {
+        ::close(fd_);
+        fd_ = -1;
+        throw MmapUnsupported("mmap failed: " + path);
+    }
+}
+
+MmapByteFile::~MmapByteFile()
+{
+    unmap();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+MmapByteFile::unmap()
+{
+    if (window_ != nullptr) {
+        ::munmap(window_, windowLength_);
+        window_ = nullptr;
+        windowLength_ = 0;
+    }
+}
+
+bool
+MmapByteFile::ensureWindow(std::uint64_t offset, std::size_t size)
+{
+    if (offset + size > fileSize_)
+        return false;
+    if (window_ != nullptr && offset >= windowStart_
+        && offset + size <= windowStart_ + windowLength_) {
+        return true;
+    }
+    const std::uint64_t start = offset - (offset % pageSize());
+    const std::size_t span = static_cast<std::size_t>(offset - start)
+        + std::max(size, windowBytes_);
+    const std::size_t length = static_cast<std::size_t>(
+        std::min<std::uint64_t>(span, fileSize_ - start));
+    void *mapped = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd_,
+                          static_cast<off_t>(start));
+    if (mapped == MAP_FAILED)
+        return false;
+    unmap();
+    window_ = mapped;
+    windowStart_ = start;
+    windowLength_ = length;
+    ++remaps_;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(window_, windowLength_, MADV_SEQUENTIAL);
+#endif
+    return true;
+}
+
+const std::uint8_t *
+MmapByteFile::view(std::uint64_t offset, std::size_t size)
+{
+    if (size == 0 || offset + size > fileSize_)
+        return nullptr;
+    if (!ensureWindow(offset, size))
+        return nullptr;
+    return static_cast<const std::uint8_t *>(window_)
+        + (offset - windowStart_);
+}
+
+std::size_t
+MmapByteFile::read(void *buffer, std::size_t size)
+{
+    if (position_ >= fileSize_)
+        return 0;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(size, fileSize_ - position_));
+    const std::uint8_t *source = view(position_, want);
+    if (source == nullptr) {
+        // The window could not be re-established (address-space
+        // pressure, file shrank underneath us) — a retry is the only
+        // plausible recovery.
+        throw util::TransientError("mmap window lost: " + path_);
+    }
+    std::memcpy(buffer, source, want);
+    position_ += want;
+    return want;
+}
+
+void
+MmapByteFile::seek(std::uint64_t offset)
+{
+    position_ = offset;
+}
+
+ReadMode
+parseReadMode(const std::string &text)
+{
+    if (text == "auto")
+        return ReadMode::Auto;
+    if (text == "mmap")
+        return ReadMode::Mmap;
+    if (text == "stdio")
+        return ReadMode::Stdio;
+    throw std::runtime_error("unknown read mode '" + text
+                             + "' (expected auto, mmap, or stdio)");
+}
+
+const char *
+readModeName(ReadMode mode)
+{
+    switch (mode) {
+    case ReadMode::Auto:
+        return "auto";
+    case ReadMode::Mmap:
+        return "mmap";
+    case ReadMode::Stdio:
+        return "stdio";
+    }
+    return "auto";
+}
+
+std::unique_ptr<ByteFile>
+openByteFileFast(const std::string &path, ReadMode mode)
+{
+    if (mode != ReadMode::Stdio) {
+        try {
+            return std::make_unique<MmapByteFile>(path);
+        } catch (const MmapUnsupported &reason) {
+            if (mode == ReadMode::Mmap) {
+                util::warn(std::string("--read-mode mmap: ")
+                           + reason.what()
+                           + "; falling back to stdio");
+            }
+        }
+    }
+    return std::make_unique<StdioByteFile>(path);
+}
+
+FileOpener
+fastOpener(ReadMode mode)
+{
+    return [mode](const std::string &path) {
+        return openByteFileFast(path, mode);
+    };
+}
+
+} // namespace trace
+} // namespace vlp

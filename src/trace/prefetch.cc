@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bounded read-ahead trace opener.
+ */
+
+#include "trace/prefetch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "trace/content_hash.h"
+#include "trace/mmap_file.h"
+
+namespace vlp {
+namespace trace {
+
+namespace {
+
+/** Blocked producers and consumers re-check the cancel token at this
+ *  cadence; cancellation is the rare path, so a coarse poll keeps the
+ *  steady state free of timer churn. */
+constexpr std::chrono::milliseconds cancelPollInterval{20};
+
+} // anonymous namespace
+
+PrefetchedTrace
+TracePrefetcher::openTrace(const std::string &path,
+                           const Options &options)
+{
+    PrefetchedTrace result;
+    try {
+        if (options.cancel)
+            options.cancel->throwIfCancelled();
+        result = util::retryTransient(
+            options.retry, [&]() -> PrefetchedTrace {
+                auto raw = options.opener ? options.opener(path)
+                                          : openByteFileFast(path);
+                auto hashing =
+                    std::make_unique<HashingByteFile>(std::move(raw));
+                HashingByteFile &hasher = *hashing;
+                PrefetchedTrace open;
+                open.session = std::make_shared<StreamingTraceReader>(
+                    std::move(hashing), options.chunkRecords);
+                // Header validation passed; complete the identity in
+                // the same open (zero-copy when the file maps).
+                open.contentHash = hasher.finish();
+                open.formatVersion = open.session->formatVersion();
+                open.records = open.session->count();
+                return open;
+            });
+    } catch (...) {
+        result = PrefetchedTrace{};
+        result.error = std::current_exception();
+    }
+    return result;
+}
+
+TracePrefetcher::TracePrefetcher(std::vector<std::string> paths,
+                                 Options options)
+    : paths_(std::move(paths)), options_(std::move(options)),
+      window_(options_.window)
+{
+    if (window_ == 0 || paths_.empty())
+        return; // inline mode: take() opens synchronously
+    const std::size_t threads = std::min<std::size_t>(
+        std::max<unsigned>(options_.threads, 1u),
+        std::min(window_, paths_.size()));
+    producers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        producers_.emplace_back([this] { producerLoop(); });
+}
+
+TracePrefetcher::~TracePrefetcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    space_.notify_all();
+    ready_.notify_all();
+    for (auto &producer : producers_)
+        producer.join();
+}
+
+void
+TracePrefetcher::producerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // wait_for rather than wait: if the token fires while every
+        // thread is blocked, nobody would otherwise wake to notice.
+        space_.wait_for(lock, cancelPollInterval, [this] {
+            return stop_ || nextToStart_ >= paths_.size()
+                   || outstanding_ < window_;
+        });
+        if (stop_ || nextToStart_ >= paths_.size())
+            return;
+        if (options_.cancel && options_.cancel->cancelled())
+            return; // consumers see the token themselves
+        if (outstanding_ >= window_)
+            continue;
+        const std::size_t index = nextToStart_++;
+        ++outstanding_;
+        lock.unlock();
+        PrefetchedTrace result = openTrace(paths_[index], options_);
+        lock.lock();
+        results_.emplace(index, std::move(result));
+        ready_.notify_all();
+    }
+}
+
+PrefetchedTrace
+TracePrefetcher::take(std::size_t index)
+{
+    if (producers_.empty()) {
+        if (options_.cancel)
+            options_.cancel->throwIfCancelled();
+        return openTrace(paths_.at(index), options_);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        const auto it = results_.find(index);
+        if (it != results_.end()) {
+            PrefetchedTrace result = std::move(it->second);
+            results_.erase(it);
+            --outstanding_;
+            space_.notify_all();
+            return result;
+        }
+        if (options_.cancel && options_.cancel->cancelled())
+            throw util::CancelledError();
+        ready_.wait_for(lock, cancelPollInterval);
+    }
+}
+
+} // namespace trace
+} // namespace vlp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bounded read-ahead for trace corpora.
+ *
+ * TracePrefetcher turns a sorted list of trace paths into a pipeline:
+ * background producers open, validate, and content-hash upcoming
+ * traces (one single-pass open each — see trace/content_hash.h) while
+ * consumers simulate earlier ones, so corpus ingestion overlaps I/O,
+ * hashing, and compute. The window bounds how many validated-but-
+ * unconsumed opens may exist at once, which bounds both memory and
+ * open file descriptors regardless of corpus size.
+ *
+ * Consumption contract: take(i) blocks until item i is ready and may
+ * be called from many threads, but each consumer must take its own
+ * items in increasing index order, and every item must eventually be
+ * taken (even when an earlier item of the same unit failed) — that is
+ * what makes the bounded window deadlock-free. Failures never throw
+ * out of the producers: each item carries either a ready session or
+ * the exception (post-retry) that prevented one, so consumers apply
+ * their own quarantine policy. Results are a pure function of the
+ * trace bytes — prefetching cannot change a report.
+ */
+
+#ifndef VLPSIM_TRACE_PREFETCH_H
+#define VLPSIM_TRACE_PREFETCH_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/streaming.h"
+#include "util/cancel.h"
+#include "util/retry.h"
+
+namespace vlp {
+namespace trace {
+
+/** One validated, hash-complete single-pass trace open. */
+struct PrefetchedTrace
+{
+    /** Ready-to-replay session wrapping a HashingByteFile; null when
+     *  @ref error is set. */
+    std::shared_ptr<StreamingTraceReader> session;
+    /** 32-hex content hash (hashTraceFile-identical). */
+    std::string contentHash;
+    /** Container version from the header (1 or 2). */
+    unsigned formatVersion = 0;
+    /** Records promised by the header. */
+    std::uint64_t records = 0;
+    /** Why the open failed, after retries; null on success. */
+    std::exception_ptr error;
+};
+
+/** Pipelined opener over an ordered path list. */
+class TracePrefetcher
+{
+  public:
+    struct Options
+    {
+        /** How paths open; empty = mmap-auto fast open. */
+        FileOpener opener;
+        /** Records per streaming chunk for the sessions. */
+        std::size_t chunkRecords =
+            StreamingTraceReader::defaultChunkRecords;
+        /** Max validated-but-untaken opens; 0 = no read-ahead
+         *  (take() opens inline on the consumer thread). */
+        std::size_t window = 0;
+        /** Producer threads hashing ahead (ignored when window is
+         *  0); clamped to the window. */
+        unsigned threads = 1;
+        /** Retry schedule for each open (opener faults included). */
+        util::RetryPolicy retry;
+        /** Cooperative cancellation; producers stop promptly and
+         *  take() throws util::CancelledError. */
+        std::shared_ptr<const util::CancelToken> cancel;
+    };
+
+    TracePrefetcher(std::vector<std::string> paths, Options options);
+
+    TracePrefetcher(const TracePrefetcher &) = delete;
+    TracePrefetcher &operator=(const TracePrefetcher &) = delete;
+
+    /** Stops producers, joins them, and drops untaken sessions. */
+    ~TracePrefetcher();
+
+    /**
+     * The prefetched open of paths[index]; blocks until ready. Each
+     * index may be taken exactly once.
+     * @throws util::CancelledError once the token fires
+     */
+    PrefetchedTrace take(std::size_t index);
+
+    /**
+     * One synchronous single-pass open: open via @p options.opener,
+     * wrap in a HashingByteFile, validate the header, finish the
+     * hash — all under the retry policy. Never throws; failures land
+     * in PrefetchedTrace::error. (The building block producers run;
+     * exposed for inline mode, tools, and benchmarks.)
+     */
+    static PrefetchedTrace openTrace(const std::string &path,
+                                     const Options &options);
+
+  private:
+    void producerLoop();
+
+    const std::vector<std::string> paths_;
+    const Options options_;
+    const std::size_t window_;
+
+    std::mutex mutex_;
+    std::condition_variable ready_; // a result landed
+    std::condition_variable space_; // window freed / shutdown
+    std::map<std::size_t, PrefetchedTrace> results_;
+    std::size_t nextToStart_ = 0;
+    std::size_t outstanding_ = 0; // started and not yet taken
+    bool stop_ = false;
+    std::vector<std::thread> producers_;
+};
+
+} // namespace trace
+} // namespace vlp
+
+#endif // VLPSIM_TRACE_PREFETCH_H

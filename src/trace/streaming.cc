@@ -5,6 +5,7 @@
 
 #include "trace/streaming.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +23,9 @@ constexpr std::size_t recordBytes = 1 + 1 + 8 + 8;
 constexpr std::uint64_t headerBytesV1 = 12;
 constexpr std::uint64_t headerBytesV2 = 20;
 
+/** Block size for whole-file hashing (mapped and buffered paths). */
+constexpr std::size_t hashBlockBytes = 64 * 1024;
+
 std::uint64_t
 getU64(const std::uint8_t *buffer)
 {
@@ -35,7 +39,7 @@ getU64(const std::uint8_t *buffer)
 
 StreamingTraceReader::StreamingTraceReader(std::unique_ptr<ByteFile> file,
                                            std::size_t chunk_records)
-    : file_(std::move(file)),
+    : file_(std::move(file)), hashing_(file_->hasher()),
       chunkRecords_(chunk_records > 0 ? chunk_records : 1)
 {
     std::uint8_t header[headerBytesV2];
@@ -67,7 +71,6 @@ StreamingTraceReader::StreamingTraceReader(std::unique_ptr<ByteFile> file,
                     + " bytes, file has " + std::to_string(actual)
                     + ")");
     }
-    buffer_.reserve(chunkRecords_ * recordBytes);
 }
 
 StreamingTraceReader::StreamingTraceReader(const std::string &path,
@@ -86,6 +89,7 @@ StreamingTraceReader::readFully(std::uint8_t *buffer, std::size_t size)
         if (chunk == 0)
             util::fatal("truncated trace file: " + file_->name());
         got += chunk;
+        filePos_ += chunk;
     }
 }
 
@@ -95,12 +99,55 @@ StreamingTraceReader::refill()
     const std::uint64_t remaining = count_ - read_;
     const std::size_t records = static_cast<std::size_t>(
         remaining < chunkRecords_ ? remaining : chunkRecords_);
-    buffer_.resize(records * recordBytes);
-    readFully(buffer_.data(), buffer_.size());
+    const std::size_t bytes = records * recordBytes;
+    const std::uint64_t offset = headerBytes_ + read_ * recordBytes;
+
+    // Zero-copy fast path: decode straight out of the mapping. With a
+    // hashing decorator underneath, the VBT2 chunk checksum is fused
+    // into the content-hash kernel — one pass over the chunk for all
+    // three FNV chains plus the decode.
+    const std::uint8_t *window = nullptr;
+    if (formatVersion_ >= 2 && hashing_ != nullptr) {
+        window = hashing_->viewHashing(offset, bytes, checksum_);
+    } else {
+        window = file_->view(offset, bytes);
+        if (window != nullptr && formatVersion_ >= 2)
+            checksum_.update(window, bytes);
+    }
+    if (window != nullptr) {
+        chunk_ = window;
+        bufferPos_ = 0;
+        bufferBytes_ = bytes;
+        return;
+    }
+
+    // Buffered path: identical read sequence to the historical reader
+    // (the lazy seek fires only when something else moved the
+    // cursor), so deterministic fault-injection schedules hold.
+    buffer_.resize(bytes);
+    if (filePos_ != offset) {
+        file_->seek(offset);
+        filePos_ = offset;
+    }
+    std::size_t got = 0;
+    while (got < bytes) {
+        const std::size_t piece = (formatVersion_ >= 2
+                                   && hashing_ != nullptr)
+            ? hashing_->readHashing(buffer_.data() + got, bytes - got,
+                                    checksum_)
+            : file_->read(buffer_.data() + got, bytes - got);
+        if (piece == 0)
+            util::fatal("truncated trace file: " + file_->name());
+        got += piece;
+        filePos_ += piece;
+    }
+    if (formatVersion_ >= 2 && hashing_ == nullptr)
+        checksum_.update(buffer_.data(), bytes);
+    chunk_ = buffer_.data();
     bufferPos_ = 0;
-    bufferBytes_ = buffer_.size();
-    if (bufferBytes_ > peakBufferBytes_)
-        peakBufferBytes_ = bufferBytes_;
+    bufferBytes_ = bytes;
+    if (bytes > peakBufferBytes_)
+        peakBufferBytes_ = bytes;
 }
 
 bool
@@ -110,7 +157,7 @@ StreamingTraceReader::next(BranchRecord &record)
         return false;
     if (bufferPos_ >= bufferBytes_)
         refill();
-    const std::uint8_t *bytes = buffer_.data() + bufferPos_;
+    const std::uint8_t *bytes = chunk_ + bufferPos_;
     if (bytes[0] >= numBranchKinds)
         util::fatal("corrupt trace record: bad branch kind");
     if (bytes[1] > 1)
@@ -119,13 +166,10 @@ StreamingTraceReader::next(BranchRecord &record)
     record.taken = bytes[1] != 0;
     record.pc = getU64(bytes + 2);
     record.nextPc = getU64(bytes + 10);
-    if (formatVersion_ >= 2) {
-        checksum_.update(bytes, recordBytes);
-        if (read_ + 1 == count_
-            && checksum_.digest() != expectedChecksum_) {
-            util::fatal("corrupt trace file: checksum mismatch: "
-                        + file_->name());
-        }
+    if (formatVersion_ >= 2 && read_ + 1 == count_
+        && checksum_.digest() != expectedChecksum_) {
+        util::fatal("corrupt trace file: checksum mismatch: "
+                    + file_->name());
     }
     bufferPos_ += recordBytes;
     ++read_;
@@ -136,7 +180,9 @@ void
 StreamingTraceReader::reset()
 {
     file_->seek(headerBytes_);
+    filePos_ = headerBytes_;
     read_ = 0;
+    chunk_ = nullptr;
     bufferPos_ = 0;
     bufferBytes_ = 0;
     checksum_.reset();
@@ -148,23 +194,35 @@ hashTraceFile(ByteFile &file)
     // Two independently seeded 64-bit FNV-1a streams give the 128-bit
     // identity; seeds match nothing else in the repository so trace
     // hashes never collide with cache-key hashes by construction.
-    util::Fnv1a low(util::Fnv1a::offsetBasis);
-    util::Fnv1a high(util::Fnv1a::offsetBasis
-                     ^ 0x9e3779b97f4a7c15ULL);
+    // ContentHasher fuses the streams into one loop and the mapped
+    // view path skips the copies — the digest is byte-identical to
+    // the historical two-pass stdio computation (locked by tests).
+    ContentHasher hasher;
     file.seek(0);
-    std::array<std::uint8_t, 65536> buffer;
-    for (;;) {
-        const std::size_t got = file.read(buffer.data(), buffer.size());
-        if (got == 0)
+    const std::uint64_t total = file.size();
+    std::uint64_t offset = 0;
+    while (offset < total) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(hashBlockBytes, total - offset));
+        const std::uint8_t *window = file.view(offset, want);
+        if (window == nullptr)
             break;
-        low.update(buffer.data(), got);
-        high.update(buffer.data(), got);
+        hasher.update(window, want);
+        offset += want;
     }
-    char text[33];
-    std::snprintf(text, sizeof(text), "%016llx%016llx",
-                  static_cast<unsigned long long>(high.digest()),
-                  static_cast<unsigned long long>(low.digest()));
-    return text;
+    if (offset < total || total == 0) {
+        if (offset > 0)
+            file.seek(offset);
+        std::array<std::uint8_t, hashBlockBytes> buffer;
+        for (;;) {
+            const std::size_t got =
+                file.read(buffer.data(), buffer.size());
+            if (got == 0)
+                break;
+            hasher.update(buffer.data(), got);
+        }
+    }
+    return hasher.digest();
 }
 
 std::string

@@ -2,18 +2,25 @@
  * @file
  * Bounded-memory streaming replay of .vbt trace files.
  *
- * StreamingTraceReader refills a fixed-size chunk of decoded records
- * from a ByteFile, so replaying a multi-gigabyte external trace holds
+ * StreamingTraceReader serves decoded records chunk by chunk from a
+ * ByteFile. When the backing file exposes a contiguous mapped window
+ * (ByteFile::view()), records are decoded directly from the mapping —
+ * zero copies, zero syscalls per chunk, and peakBufferBytes() stays 0
+ * because no buffer is ever grown. Otherwise it refills a fixed-size
+ * chunk buffer, so replaying a multi-gigabyte external trace holds
  * peak trace-buffer memory at chunkRecords * 18 bytes regardless of
  * file size — the property the external-trace suite runner relies on.
- * peakBufferBytes() reports the high-water mark so tests can hold the
- * cap.
  *
  * Validation matches trace_io.h's TraceReader: magic and header-vs-
  * file-size checks at open (truncated files fail before any record is
  * served), per-record kind/taken checks, and — for VBT2 — a
- * stream checksum verified when the final record is consumed.
- * formatVersion() lets callers warn on unchecksummed VBT1 inputs.
+ * stream checksum verified when the final record is consumed. The
+ * checksum is accumulated per refilled chunk (same bytes, same order,
+ * same digest as the historical per-record accumulation); when the
+ * file is wrapped in a HashingByteFile the checksum chain is fused
+ * into the content-hash kernel, so hash, checksum, and decode touch
+ * each byte exactly once. formatVersion() lets callers warn on
+ * unchecksummed VBT1 inputs.
  */
 
 #ifndef VLPSIM_TRACE_STREAMING_H
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "trace/byte_file.h"
+#include "trace/content_hash.h"
 #include "trace/trace_source.h"
 #include "util/checksum.h"
 
@@ -67,17 +75,27 @@ class StreamingTraceReader : public TraceSource
     /** .vbt format version: 1 (no checksum) or 2. */
     unsigned formatVersion() const { return formatVersion_; }
 
-    /** High-water mark of the record buffer, in bytes. */
+    /** High-water mark of the record buffer, in bytes; stays 0 on the
+     *  zero-copy (mapped) path. */
     std::size_t peakBufferBytes() const { return peakBufferBytes_; }
 
+    /** The content-hashing decorator this reader streams through, or
+     *  nullptr. finish() on it completes the single-pass identity. */
+    HashingByteFile *hashingFile() const { return hashing_; }
+
+    /** The underlying ByteFile (tests assert on backend selection). */
+    ByteFile &file() const { return *file_; }
+
   private:
-    /** Refill the chunk buffer from the file. */
+    /** Load the next chunk: mapped view when available, else a
+     *  buffered read; accumulates the VBT2 chunk checksum. */
     void refill();
 
     /** Read exactly @p size bytes, looping over short reads. */
     void readFully(std::uint8_t *buffer, std::size_t size);
 
     std::unique_ptr<ByteFile> file_;
+    HashingByteFile *hashing_ = nullptr;
     std::size_t chunkRecords_;
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
@@ -86,9 +104,14 @@ class StreamingTraceReader : public TraceSource
     std::uint64_t headerBytes_ = 0;
     util::Fnv1a checksum_;
 
+    /** Current decode window: either into buffer_ or into a mapping. */
+    const std::uint8_t *chunk_ = nullptr;
+    /** Where the underlying stream's read cursor is (the reader seeks
+     *  lazily, so interleaved hashing never desyncs the positions). */
+    std::uint64_t filePos_ = 0;
     std::vector<std::uint8_t> buffer_;
     std::size_t bufferPos_ = 0;   // byte offset of the next record
-    std::size_t bufferBytes_ = 0; // valid bytes in buffer_
+    std::size_t bufferBytes_ = 0; // valid bytes in the chunk window
     std::size_t peakBufferBytes_ = 0;
 };
 
@@ -97,6 +120,8 @@ class StreamingTraceReader : public TraceSource
  * streaming the raw bytes (header included) through two independently
  * seeded FNV-1a hashes — the identity external traces are cached
  * under, replacing the synthetic workloads' generator version.
+ * Zero-copy when the file maps; digests are byte-identical across
+ * backends (locked by tests).
  */
 std::string hashTraceFile(ByteFile &file);
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared retry policy for transient I/O failures.
+ *
+ * retryTransient() runs a callable, retrying util::TransientError with
+ * clamped exponential backoff — the policy the suite runner has always
+ * applied, extracted here so the ingestion prefetcher (which hashes and
+ * validates traces on read-ahead threads) retries with exactly the
+ * same schedule. Permanent errors and the final transient error
+ * propagate unchanged.
+ */
+
+#ifndef VLPSIM_UTIL_RETRY_H
+#define VLPSIM_UTIL_RETRY_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "util/cancel.h"
+#include "util/logging.h"
+
+namespace vlp {
+namespace util {
+
+/** How transient failures are retried. */
+struct RetryPolicy
+{
+    /** Total attempts (1 = no retries). */
+    unsigned maxAttempts = 4;
+    /** Backoff before retry r (0-based) is backoffBaseMs << r,
+     *  clamped to backoffMaxMs. */
+    unsigned backoffBaseMs = 10;
+    /** Ceiling on any single backoff delay; also keeps the shift
+     *  count well-defined for arbitrary maxAttempts. */
+    unsigned backoffMaxMs = 10'000;
+    /** Backoff sleep hook (milliseconds); empty = real sleep. Tests
+     *  replace it to observe retries without wall-clock delays. */
+    std::function<void(unsigned)> sleeper;
+    /** Cancellation token checked before each backoff; null = never
+     *  cancelled. A cancelled run must not sit out a delay. */
+    std::shared_ptr<const CancelToken> cancel;
+};
+
+/**
+ * Run @p fn, retrying TransientError per @p policy: retry r sleeps
+ * min(backoffBaseMs << r, backoffMaxMs). The shift count itself is
+ * bounded, so a huge maxAttempts can never reach undefined-behavior
+ * territory (shifting a 32-bit base by 32+).
+ */
+template <typename Fn>
+auto
+retryTransient(const RetryPolicy &policy, Fn &&fn)
+{
+    unsigned attempt = 0;
+    for (;;) {
+        try {
+            return fn();
+        } catch (const TransientError &) {
+            ++attempt;
+            if (attempt >= std::max(policy.maxAttempts, 1u))
+                throw;
+            if (policy.cancel)
+                policy.cancel->throwIfCancelled();
+            const unsigned shift = std::min(attempt - 1, 31u);
+            const std::uint64_t exponential =
+                std::uint64_t{policy.backoffBaseMs} << shift;
+            const unsigned delay_ms = static_cast<unsigned>(
+                std::min<std::uint64_t>(exponential,
+                                        policy.backoffMaxMs));
+            if (policy.sleeper) {
+                policy.sleeper(delay_ms);
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+            }
+        }
+    }
+}
+
+} // namespace util
+} // namespace vlp
+
+#endif // VLPSIM_UTIL_RETRY_H

@@ -10,13 +10,19 @@
  * honest train-vs-test numbers instead of self-evaluation.
  */
 
+#include <sys/stat.h>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/suite_runner.h"
@@ -24,10 +30,15 @@
 #include "store/checkpoint.h"
 #include "store/fault_injection.h"
 #include "trace/byte_file.h"
+#include "trace/content_hash.h"
 #include "trace/fault_injection.h"
+#include "trace/mmap_file.h"
+#include "trace/prefetch.h"
 #include "trace/streaming.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
+#include "util/cancel.h"
+#include "util/checksum.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -1113,6 +1124,406 @@ TEST_F(IngestHarness, GoldenPairedAsciiReport)
         "\n"
         "lone.test.vbt: orphaned (test trace without a matching "
         "lone.profile.vbt)\n");
+}
+
+// --- zero-copy fast path ----------------------------------------------
+
+/** All file bytes via read() on @p file. */
+std::vector<std::uint8_t>
+slurp(trace::ByteFile &file)
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buffer[4096];
+    file.seek(0);
+    for (;;) {
+        const std::size_t got = file.read(buffer, sizeof(buffer));
+        if (got == 0)
+            break;
+        bytes.insert(bytes.end(), buffer, buffer + got);
+    }
+    return bytes;
+}
+
+/** Drain @p reader into a vector for record-level comparison. */
+std::vector<trace::BranchRecord>
+drainRecords(trace::TraceSource &reader)
+{
+    std::vector<trace::BranchRecord> records;
+    trace::BranchRecord record;
+    while (reader.next(record))
+        records.push_back(record);
+    return records;
+}
+
+/**
+ * The content-hash contract, locked as a known answer: the fused
+ * ContentHasher kernel, the fused-triple updateWith() kernel, and
+ * hashTraceFile() must all reproduce what two *sequential* FNV-1a
+ * streams (the pre-fusion implementation) produce.
+ */
+TEST_F(IngestHarness, FusedHashMatchesSequentialTwoStreamReference)
+{
+    trace::saveTrace(makeTrace(29, 700), path("h.vbt"));
+    std::ifstream in(path("h.vbt"), std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    ASSERT_GT(bytes.size(), 100u);
+
+    // Reference: two independent sequential chains, split across
+    // deliberately ragged update sizes.
+    util::Fnv1a low;
+    util::Fnv1a high(util::Fnv1a::offsetBasis
+                     ^ trace::ContentHasher::highSeedXor);
+    trace::ContentHasher fused;
+    trace::ContentHasher fused_triple;
+    util::Fnv1a companion;
+    util::Fnv1a companion_reference;
+    std::size_t offset = 0;
+    std::size_t step = 1;
+    while (offset < bytes.size()) {
+        const std::size_t take =
+            std::min(step, bytes.size() - offset);
+        low.update(bytes.data() + offset, take);
+        high.update(bytes.data() + offset, take);
+        fused.update(bytes.data() + offset, take);
+        fused_triple.updateWith(bytes.data() + offset, take,
+                                companion);
+        companion_reference.update(bytes.data() + offset, take);
+        offset += take;
+        step = step * 3 + 1; // 1, 4, 13, ... exercises odd sizes
+    }
+    char reference[33];
+    std::snprintf(reference, sizeof(reference), "%016llx%016llx",
+                  static_cast<unsigned long long>(high.digest()),
+                  static_cast<unsigned long long>(low.digest()));
+
+    EXPECT_EQ(fused.digest(), reference);
+    EXPECT_EQ(fused_triple.digest(), reference);
+    // The companion chain fused into the triple kernel sees exactly
+    // the bytes a standalone chain would.
+    EXPECT_EQ(companion.digest(), companion_reference.digest());
+    // And the public entry points agree, over both backends.
+    EXPECT_EQ(trace::hashTraceFile(path("h.vbt")), reference);
+    const auto mapped =
+        trace::openByteFileFast(path("h.vbt"), trace::ReadMode::Mmap);
+    EXPECT_EQ(trace::hashTraceFile(*mapped), reference);
+}
+
+TEST_F(IngestHarness, HashingByteFileFrontierNeverDoubleHashes)
+{
+    trace::saveTrace(makeTrace(31, 400), path("f.vbt"));
+    const std::string expected = trace::hashTraceFile(path("f.vbt"));
+
+    trace::HashingByteFile hashing(trace::openByteFile(path("f.vbt")));
+    std::uint8_t buffer[1000];
+    // Partial sequential read advances the frontier...
+    ASSERT_EQ(hashing.read(buffer, 1000), 1000u);
+    EXPECT_EQ(hashing.hashedBytes(), 1000u);
+    // ...a replay behind the frontier must not re-hash...
+    hashing.seek(0);
+    ASSERT_EQ(hashing.read(buffer, 500), 500u);
+    EXPECT_EQ(hashing.hashedBytes(), 1000u);
+    // ...and finish() hashes the tail without disturbing the cursor.
+    EXPECT_EQ(hashing.finish(), expected);
+    EXPECT_TRUE(hashing.complete());
+    ASSERT_EQ(hashing.read(buffer, 500), 500u);
+    EXPECT_EQ(hashing.finish(), expected); // idempotent once complete
+
+    // Same digest when the frontier advances through views (mmap).
+    trace::HashingByteFile mapped(
+        trace::openByteFileFast(path("f.vbt"), trace::ReadMode::Mmap));
+    util::Fnv1a companion;
+    ASSERT_NE(mapped.viewHashing(0, 64, companion), nullptr);
+    EXPECT_EQ(mapped.hashedBytes(), 64u);
+    ASSERT_NE(mapped.viewHashing(0, 64, companion), nullptr);
+    EXPECT_EQ(mapped.hashedBytes(), 64u); // replayed view, no advance
+    EXPECT_EQ(mapped.finish(), expected);
+}
+
+TEST_F(IngestHarness, MmapAndStdioBackendsServeIdenticalBytes)
+{
+    trace::saveTrace(makeTrace(37, 2000), path("b.vbt"));
+    const auto stdio_file = trace::openByteFile(path("b.vbt"));
+    const auto mapped =
+        trace::openByteFileFast(path("b.vbt"), trace::ReadMode::Mmap);
+    ASSERT_NE(mapped->view(0, 16), nullptr) << "expected a mapping";
+    EXPECT_EQ(slurp(*stdio_file), slurp(*mapped));
+    EXPECT_EQ(stdio_file->size(), mapped->size());
+}
+
+TEST_F(IngestHarness, MmapWindowRemapsAcrossLargeFiles)
+{
+    trace::saveTrace(makeTrace(41, 3000), path("w.vbt")); // ~54 KB
+    trace::MmapByteFile small_window(path("w.vbt"), 4096);
+    const auto stdio_file = trace::openByteFile(path("w.vbt"));
+    EXPECT_EQ(slurp(*stdio_file), slurp(small_window));
+    EXPECT_GT(small_window.remaps(), 1u);
+
+    // A view wider than the window still succeeds (window grows).
+    trace::MmapByteFile wide(path("w.vbt"), 4096);
+    EXPECT_NE(wide.view(0, 20000), nullptr);
+}
+
+TEST_F(IngestHarness, FifoFallsBackToStdioUnderAutoMode)
+{
+    const std::string fifo = path("pipe.fifo");
+    ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+    const std::string payload = "fifo bytes reach the reader";
+    std::thread writer([&] {
+        std::ofstream out(fifo, std::ios::binary);
+        out << payload;
+    });
+    auto file = trace::openByteFileFast(fifo, trace::ReadMode::Auto);
+    std::string got(payload.size(), '\0');
+    std::size_t filled = 0;
+    while (filled < got.size()) {
+        const std::size_t n =
+            file->read(got.data() + filled, got.size() - filled);
+        if (n == 0)
+            break;
+        filled += n;
+    }
+    writer.join();
+    EXPECT_EQ(got, payload);
+    // And asking for mmap explicitly must throw, not fall back
+    // silently to a broken mapping.
+    EXPECT_THROW(trace::MmapByteFile{fifo}, trace::MmapUnsupported);
+}
+
+TEST_F(IngestHarness, StreamBufServesIdenticalTextOverBothBackends)
+{
+    std::string text;
+    for (int i = 0; i < 4000; ++i)
+        text += "line " + std::to_string(i) + "\n";
+    std::ofstream(path("t.txt"), std::ios::binary) << text;
+
+    for (const trace::ReadMode mode :
+         {trace::ReadMode::Stdio, trace::ReadMode::Mmap}) {
+        auto file = trace::openByteFileFast(path("t.txt"), mode);
+        trace::ByteFileStreamBuf buffer(*file);
+        std::istream in(&buffer);
+        std::string got{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+        EXPECT_EQ(got, text) << trace::readModeName(mode);
+    }
+}
+
+/** Chunk-refill edges, exercised over both backends. */
+TEST_F(IngestHarness, RefillEdgesDecodeIdenticallyOnBothBackends)
+{
+    // 1000 % 7 != 0: the last chunk is ragged. 994 = 7 * 142: the
+    // final record lands exactly on a chunk edge. And zero records.
+    const struct
+    {
+        const char *name;
+        std::size_t records;
+        std::size_t chunk;
+    } cases[] = {{"ragged.vbt", 1000, 7},
+                 {"edge.vbt", 994, 7},
+                 {"empty.vbt", 0, 7}};
+    for (const auto &c : cases) {
+        const auto trace = makeTrace(43, c.records);
+        trace::saveTrace(trace, path(c.name));
+        const auto expected = [&] {
+            trace::VectorTraceSource replay = trace;
+            return drainRecords(replay);
+        }();
+        for (const trace::ReadMode mode :
+             {trace::ReadMode::Stdio, trace::ReadMode::Mmap}) {
+            trace::StreamingTraceReader reader(
+                trace::openByteFileFast(path(c.name), mode), c.chunk);
+            const auto got = drainRecords(reader);
+            ASSERT_EQ(got.size(), c.records)
+                << c.name << " via " << trace::readModeName(mode);
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                ASSERT_EQ(got[i].pc, expected[i].pc) << c.name;
+                ASSERT_EQ(got[i].taken, expected[i].taken) << c.name;
+                ASSERT_EQ(got[i].nextPc, expected[i].nextPc) << c.name;
+            }
+            // reset() replays cleanly across the same edges.
+            trace::BranchRecord record;
+            reader.reset();
+            std::size_t replayed = 0;
+            while (reader.next(record))
+                ++replayed;
+            EXPECT_EQ(replayed, c.records);
+        }
+    }
+}
+
+TEST_F(IngestHarness, ChecksumFailureDetectedOnBothBackends)
+{
+    trace::saveTrace(makeTrace(47, 200), path("c.vbt"));
+    flipBit(path("c.vbt"), 20 + 18 * 100 + 5);
+    for (const trace::ReadMode mode :
+         {trace::ReadMode::Stdio, trace::ReadMode::Mmap}) {
+        trace::StreamingTraceReader reader(
+            trace::openByteFileFast(path("c.vbt"), mode));
+        trace::BranchRecord record;
+        EXPECT_THROW(
+            {
+                while (reader.next(record)) {
+                }
+            },
+            std::runtime_error)
+            << trace::readModeName(mode);
+    }
+}
+
+// --- prefetcher -------------------------------------------------------
+
+TEST_F(IngestHarness, PrefetcherDeliversFailuresInBandAndInOrder)
+{
+    trace::saveTrace(makeTrace(53, 300), path("ok1.vbt"));
+    std::ofstream(path("junk.vbt"), std::ios::binary) << "not a trace";
+    trace::saveTrace(makeTrace(54, 300), path("ok2.vbt"));
+
+    trace::TracePrefetcher::Options options;
+    options.window = 2;
+    options.threads = 2;
+    options.retry.sleeper = [](unsigned) {};
+    trace::TracePrefetcher prefetch(
+        {path("ok1.vbt"), path("junk.vbt"), path("ok2.vbt")}, options);
+
+    auto first = prefetch.take(0);
+    ASSERT_FALSE(first.error);
+    EXPECT_EQ(first.contentHash, trace::hashTraceFile(path("ok1.vbt")));
+    EXPECT_EQ(first.records, 300u);
+    first.session->reset();
+    EXPECT_EQ(drainRecords(*first.session).size(), 300u);
+
+    auto second = prefetch.take(1);
+    ASSERT_TRUE(second.error);
+    EXPECT_FALSE(second.session);
+    EXPECT_THROW(std::rethrow_exception(second.error),
+                 std::runtime_error);
+
+    auto third = prefetch.take(2);
+    ASSERT_FALSE(third.error);
+    EXPECT_EQ(third.records, 300u);
+}
+
+TEST_F(IngestHarness, PrefetcherTakeUnblocksOnCancellation)
+{
+    trace::saveTrace(makeTrace(59, 100), path("one.vbt"));
+    auto cancel = std::make_shared<util::CancelToken>();
+    trace::TracePrefetcher::Options options;
+    options.window = 1;
+    options.cancel = cancel;
+    trace::TracePrefetcher prefetch({path("one.vbt")}, options);
+    cancel->cancel();
+    // The poll loop notices the token within its interval; take()
+    // either surfaces the already-finished open or throws.
+    try {
+        auto item = prefetch.take(0);
+        EXPECT_TRUE(item.session || item.error);
+    } catch (const util::CancelledError &) {
+        // Equally acceptable: cancellation won the race.
+    }
+}
+
+// --- suite runner over the fast path ----------------------------------
+
+/** A FileOpener decorator counting opens per path. */
+class CountingOpener
+{
+  public:
+    explicit CountingOpener(trace::FileOpener inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    trace::FileOpener opener()
+    {
+        return [this](const std::string &path) {
+            {
+                const std::lock_guard<std::mutex> hold(mutex_);
+                ++opens_[fs::path(path).filename().string()];
+            }
+            return inner_(path);
+        };
+    }
+
+    std::map<std::string, std::uint64_t> opens() const
+    {
+        const std::lock_guard<std::mutex> hold(mutex_);
+        return opens_;
+    }
+
+  private:
+    trace::FileOpener inner_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::uint64_t> opens_;
+};
+
+TEST_F(SuiteHarness, EveryTraceIsOpenedExactlyOncePerAttempt)
+{
+    // The single-pass contract: validation, hashing, and replay all
+    // ride one open. A second open of any path would mean the old
+    // hash-then-reopen double read is back.
+    CountingOpener counting(trace::fastOpener(trace::ReadMode::Auto));
+    auto options = baseOptions();
+    options.opener = counting.opener();
+    sim::TraceSuiteRunner runner(std::move(options));
+    const sim::SuiteReport report = runner.run();
+    EXPECT_EQ(report.okCount(), 3u);
+
+    const auto opens = counting.opens();
+    ASSERT_EQ(opens.size(), 5u);
+    for (const auto &[name, count] : opens)
+        EXPECT_EQ(count, 1u) << name << " opened " << count
+                             << " times; single-pass open regressed";
+}
+
+TEST_F(SuiteHarness, ReportIsByteIdenticalAcrossBackendsAndJobs)
+{
+    const std::string reference =
+        render(sim::TraceSuiteRunner(baseOptions()).run());
+    for (const trace::ReadMode mode :
+         {trace::ReadMode::Stdio, trace::ReadMode::Mmap}) {
+        for (const unsigned jobs : {1u, 4u}) {
+            auto options = baseOptions();
+            options.readMode = mode;
+            options.jobs = jobs;
+            sim::TraceSuiteRunner runner(std::move(options));
+            EXPECT_EQ(render(runner.run()), reference)
+                << trace::readModeName(mode) << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST_F(SuiteHarness, ReportIsIdenticalAcrossPrefetchWindows)
+{
+    const std::string reference =
+        render(sim::TraceSuiteRunner(baseOptions()).run());
+    for (const std::size_t window : {std::size_t{1}, std::size_t{8}}) {
+        auto options = baseOptions();
+        options.prefetchWindow = window;
+        sim::TraceSuiteRunner runner(std::move(options));
+        EXPECT_EQ(render(runner.run()), reference)
+            << "window=" << window;
+    }
+}
+
+TEST_F(SuiteHarness, TransientFaultsAreRetriedToSuccessUnderMmap)
+{
+    trace::FaultPlan plan;
+    plan.transientOpens = 1;
+    plan.transientReads = 1;
+    trace::FaultInjector injector(plan);
+
+    auto options = baseOptions();
+    // Faults injected *over the mmap fast path*: FaultyFile exposes no
+    // view(), so the reader must degrade to buffered reads and still
+    // produce the clean report.
+    options.opener =
+        injector.opener(trace::fastOpener(trace::ReadMode::Mmap));
+    sim::TraceSuiteRunner faulty(std::move(options));
+    const std::string faulty_report = render(faulty.run());
+
+    EXPECT_GT(injector.counters().transientOpens, 0u);
+    sim::TraceSuiteRunner clean(baseOptions());
+    EXPECT_EQ(faulty_report, render(clean.run()));
 }
 
 } // anonymous namespace
