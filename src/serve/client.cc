@@ -11,9 +11,12 @@
 namespace vlp {
 namespace serve {
 
-ServeClient::ServeClient(const util::net::Endpoint &endpoint)
+ServeClient::ServeClient(const util::net::Endpoint &endpoint,
+                         unsigned recv_timeout_ms)
     : socket_(util::net::Socket::connect(endpoint)), reader_(socket_)
 {
+    if (recv_timeout_ms != 0)
+        socket_.setRecvTimeout(recv_timeout_ms);
     hello_ = readFrame();
     const util::Json *type = hello_.find("type");
     if (type == nullptr || !type->isString()

@@ -47,12 +47,18 @@ class ServeClient
     };
 
     /**
-     * Connect and consume the hello frame.
+     * Connect and consume the hello frame. A non-zero
+     * @p recv_timeout_ms bounds every receive (including the hello):
+     * a daemon that accepts but never speaks makes reads throw
+     * util::net::TimeoutError instead of hanging the client forever.
+     * @throws util::net::TimeoutError when the receive timeout
+     *         expires waiting on the daemon
      * @throws std::runtime_error when the endpoint is unreachable,
      *         the greeting is malformed, or the protocol version
      *         does not match
      */
-    explicit ServeClient(const util::net::Endpoint &endpoint);
+    explicit ServeClient(const util::net::Endpoint &endpoint,
+                         unsigned recv_timeout_ms = 0);
 
     ServeClient(const ServeClient &) = delete;
     ServeClient &operator=(const ServeClient &) = delete;

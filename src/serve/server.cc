@@ -45,6 +45,10 @@ class HeartbeatGuard
                         [this] { return done_; })) {
                     break;
                 }
+                // Chaos: the heartbeat thread stalls for one period —
+                // clients must tolerate a silent-but-healthy request.
+                if (CHAOS_SECTION("serve.heartbeat.stall"))
+                    continue;
                 beat(++sequence);
             }
         });
@@ -85,7 +89,18 @@ ExperimentServer::Connection::sendLineLocked(
     if (!alive)
         return;
     try {
-        socket.sendAll(frame + "\n");
+        const std::string data = frame + "\n";
+        // Chaos: the kernel takes the frame in two short writes with
+        // a stall between them — clients reassemble off the stream,
+        // so a split must never corrupt framing.
+        if (data.size() > 1 && CHAOS_SECTION("serve.send.slow")) {
+            const std::size_t half = data.size() / 2;
+            socket.sendAll(data.substr(0, half));
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            socket.sendAll(data.substr(half));
+        } else {
+            socket.sendAll(data);
+        }
     } catch (const std::exception &error) {
         // The peer vanished (or timed out a send without reading);
         // the request itself keeps running — its artifacts still
@@ -134,6 +149,11 @@ ExperimentServer::start()
         if (started_)
             return;
         started_ = true;
+    }
+    if (options_.chaos.enabled) {
+        util::chaos::configure(options_.chaos);
+        util::inform("serve: chaos enabled (seed "
+                     + std::to_string(options_.chaos.seed) + ")");
     }
     if (::pipe(shutdownPipe_) != 0)
         throw std::runtime_error("serve: cannot create shutdown pipe");
@@ -289,6 +309,12 @@ ExperimentServer::acceptLoop()
         }
         if (!client)
             return; // woken by the shutdown pipe
+        // Chaos: the connection dies right after accept (EMFILE-class
+        // fallout); the peer sees an immediate close and must retry.
+        if (CHAOS_SECTION("serve.accept.drop")) {
+            util::warn("serve: chaos dropped an accepted connection");
+            continue;
+        }
         if (options_.sendTimeoutMs != 0) {
             try {
                 client->setSendTimeout(options_.sendTimeoutMs);
@@ -426,7 +452,14 @@ ExperimentServer::handleSubmit(
         // its result frame blocks on this mutex, so the accepted
         // frame is always first on the wire for this request.
         std::lock_guard<std::mutex> write(connection->writeMutex);
-        admission = queue_.push(std::move(item));
+        // Chaos: admission control reports a full queue — the client
+        // must treat the 429 as a clean terminal answer and retry.
+        if (CHAOS_SECTION("serve.admission.queue-full",
+                          request->spec.op)) {
+            admission = Admission::QueueFull;
+        } else {
+            admission = queue_.push(std::move(item));
+        }
         if (admission == Admission::Accepted) {
             {
                 std::lock_guard<std::mutex> lock(registryMutex_);
@@ -609,6 +642,11 @@ ExperimentServer::runOperation(
     };
     const sim::ProgressFn progress =
         [&request](const sim::ServiceProgress &tick) {
+            // Chaos: cancellation lands exactly at a step boundary —
+            // the request must unwind to a clean cancelled frame from
+            // any stage.
+            if (CHAOS_SECTION("serve.cancel.step", request.spec.op))
+                request.cancel->cancel();
             request.connection->sendLine(
                 progressFrame(request.id, tick.stage, tick.completed,
                               tick.total));

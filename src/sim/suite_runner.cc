@@ -27,9 +27,11 @@
 #include "store/checkpoint.h"
 #include "store/serialize.h"
 #include "trace/content_hash.h"
+#include "trace/fault_injection.h"
 #include "trace/mmap_file.h"
 #include "trace/prefetch.h"
 #include "trace/streaming.h"
+#include "util/chaos.h"
 #include "util/logging.h"
 #include "util/retry.h"
 #include "util/stats.h"
@@ -62,6 +64,7 @@ retryPolicy(const TraceSuiteOptions &options)
     policy.maxAttempts = options.maxAttempts;
     policy.backoffBaseMs = options.backoffBaseMs;
     policy.backoffMaxMs = options.backoffMaxMs;
+    policy.jitterSeed = options.retryJitterSeed;
     policy.sleeper = options.sleeper;
     policy.cancel = options.cancel;
     return policy;
@@ -836,9 +839,15 @@ TraceSuiteRunner::run()
     // hashes upcoming traces while workers simulate earlier ones.
     // Overlap changes throughput only — every result is still a pure
     // function of the trace bytes and options.
-    const trace::FileOpener effective_opener = options_.opener
+    trace::FileOpener effective_opener = options_.opener
         ? options_.opener
         : trace::fastOpener(options_.readMode);
+    // Under an active chaos campaign every open and read goes through
+    // the fault-injecting wrapper, so ingestion hazards (transient
+    // opens, short reads, refused views) are exercised on the same
+    // code paths production uses.
+    if (util::chaos::enabled())
+        effective_opener = trace::chaosOpener(effective_opener);
     constexpr std::size_t no_item = ~std::size_t{0};
     std::vector<std::string> prefetch_paths;
     std::vector<std::size_t> profile_item(pairing.pairs.size(), no_item);
@@ -1007,6 +1016,14 @@ TraceSuiteRunner::run()
             rate /= static_cast<double>(ind_counted);
         global_ind = argminLength(ind_average);
     }
+    // Pinned globals (the chaos campaign's masked baseline): replay
+    // rows are pure functions of the pair's traces plus these two
+    // lengths, so pinning them lets a chaos-off rerun be compared
+    // pair-by-pair even when a quarantine changed the suite average.
+    if (options_.forceGlobalConditionalLength)
+        global_cond = *options_.forceGlobalConditionalLength;
+    if (options_.forceGlobalIndirectLength)
+        global_ind = *options_.forceGlobalIndirectLength;
 
     // Phase C: comparison rows per surviving pair — the train row
     // replays the profile trace, the test row replays the test trace,

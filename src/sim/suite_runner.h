@@ -104,6 +104,9 @@ struct TraceSuiteOptions
     /** Ceiling on any single backoff delay; also keeps the shift
      *  above well-defined for arbitrary maxAttempts. */
     unsigned backoffMaxMs = 10'000;
+    /** Full-jitter seed for retry backoff (util::RetryPolicy
+     *  ::jitterSeed); 0 keeps the exact exponential schedule. */
+    std::uint64_t retryJitterSeed = 0;
     /** Records buffered per streaming chunk (bounds peak memory). */
     std::size_t chunkRecords =
         trace::StreamingTraceReader::defaultChunkRecords;
@@ -120,6 +123,17 @@ struct TraceSuiteOptions
     std::size_t prefetchWindow = 0;
     /** Optional artifact store shared by all workers. */
     std::shared_ptr<store::ArtifactStore> store;
+    /**
+     * Pin the suite-wide global history lengths instead of deriving
+     * them from the profiled pairs (nullopt = derive; an explicit 0
+     * pins "no evaluation for this class"). Per-pair rows are a pure
+     * function of the pair's traces and the global lengths, so
+     * pinning lets a reference run be compared pair-by-pair against a
+     * run whose pair set differed (the chaos campaign's
+     * quarantine-tolerant baseline).
+     */
+    std::optional<unsigned> forceGlobalConditionalLength;
+    std::optional<unsigned> forceGlobalIndirectLength;
     /**
      * Backoff sleep hook (milliseconds); empty = real sleep. Tests
      * replace it to observe retries without wall-clock delays.

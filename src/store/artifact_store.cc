@@ -14,6 +14,7 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "util/chaos.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 
@@ -213,6 +214,13 @@ ArtifactStore::fetch(const CacheKey &key)
         corrupt = true;
         entry.reset();
     }
+    // Chaos: the entry rotted on disk after it was written — must
+    // degrade to an evict-and-miss, never a wrong artifact.
+    if (entry
+        && CHAOS_SECTION("store.fetch.checksum-mismatch", key.text())) {
+        corrupt = true;
+        entry.reset();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (corrupt) {
         removeQuietly(path);
@@ -255,7 +263,12 @@ ArtifactStore::insert(const CacheKey &key,
            + std::to_string(static_cast<long>(getpid())) + "."
            + std::to_string(temp_id));
 
-    const std::vector<std::uint8_t> entry = buildEntry(key, payload);
+    std::vector<std::uint8_t> entry = buildEntry(key, payload);
+    // Chaos: the process dies mid-write and the torn temp file gets
+    // published anyway (a crashed rename-based writer's worst case).
+    // fetch() must classify the remnant as corrupt and recompute.
+    if (CHAOS_SECTION("store.insert.torn-rename", key.text()))
+        entry.resize(entry.size() / 2);
     std::FILE *file = std::fopen(temp.string().c_str(), "wb");
     if (file == nullptr) {
         util::warn("cache insert failed (open): " + temp.string());
@@ -298,6 +311,15 @@ ArtifactStore::collectGarbage()
     std::uint64_t total = 0;
     std::error_code error;
     for (const fs::path &path : entryFiles(directory_)) {
+        // Chaos: a racing reader (or another GC) removed this entry
+        // between the directory scan and the stat — the sweep must
+        // carry on over vanished files.
+        // (The filename, not the full path, is the chaos identity:
+        // entry names are content-derived, so a seeded campaign makes
+        // the same decisions whatever directory the store lives in.)
+        if (CHAOS_SECTION("store.gc.reader-race",
+                          path.filename().string()))
+            continue;
         Aged entry;
         entry.path = path;
         entry.bytes = fs::file_size(path, error);

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "util/chaos.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 
@@ -186,6 +187,20 @@ CheckpointJournal::record(const std::string &key,
     checksum.update(payload.data(), payload.size());
     std::uint8_t trailer[8];
     putU64(trailer, checksum.digest());
+
+    // Chaos: the process dies mid-append, leaving a torn entry at the
+    // tail. The cell is not remembered in memory either — exactly the
+    // state a crashed run leaves behind — so later lookups recompute
+    // and reload truncates the tail.
+    if (CHAOS_SECTION("store.journal.torn-tail", key)) {
+        const std::size_t torn = 8 + key.size() / 2;
+        bool wrote = std::fwrite(lengths, 1, 8, file_) == 8;
+        wrote = wrote
+            && std::fwrite(key.data(), 1, torn - 8, file_) == torn - 8;
+        if (!wrote || std::fflush(file_) != 0)
+            util::warn("failed to journal checkpoint cell: " + path_);
+        return;
+    }
 
     // One torn entry at the tail is tolerated on reload; a flush per
     // cell keeps the window to the entry being appended.

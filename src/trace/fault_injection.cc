@@ -6,7 +6,9 @@
 #include "trace/fault_injection.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "util/chaos.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 
@@ -137,5 +139,110 @@ FaultyFile::size()
     return effectiveSize();
 }
 
+const std::uint8_t *
+FaultyFile::view(std::uint64_t offset, std::size_t size)
+{
+    const FaultPlan &plan = injector_.plan();
+    if (!plan.serveViews || size == 0
+        || offset + size > effectiveSize()) {
+        return nullptr;
+    }
+    if (rng_.nextBool(plan.shortViewProbability)) {
+        injector_.count(&FaultCounters::shortViews);
+        return nullptr;
+    }
+    viewBuffer_.resize(size);
+    if (const std::uint8_t *direct = inner_->view(offset, size)) {
+        std::memcpy(viewBuffer_.data(), direct, size);
+    } else {
+        // Buffer through read(); the view contract says view() must
+        // not move the read position, so restore it afterwards.
+        inner_->seek(offset);
+        std::size_t got = 0;
+        while (got < size) {
+            const std::size_t n =
+                inner_->read(viewBuffer_.data() + got, size - got);
+            if (n == 0) {
+                inner_->seek(position_);
+                return nullptr;
+            }
+            got += n;
+        }
+        inner_->seek(position_);
+    }
+    if (rng_.nextBool(plan.viewBitFlipProbability)) {
+        viewBuffer_[rng_.nextBelow(size)] ^=
+            std::uint8_t{1} << rng_.nextBelow(8);
+        injector_.count(&FaultCounters::viewBitFlips);
+    }
+    return viewBuffer_.data();
+}
+
+namespace {
+
+/** ByteFile decorator driven by the global chaos switchboard. */
+class ChaosFile : public ByteFile
+{
+  public:
+    explicit ChaosFile(std::unique_ptr<ByteFile> inner)
+        : inner_(std::move(inner)),
+          key_(util::chaos::pathKey(inner_->name()))
+    {}
+
+    std::size_t read(void *buffer, std::size_t size) override
+    {
+        if (CHAOS_SECTION("trace.read.transient", key_)) {
+            throw util::TransientError(
+                "chaos: transient read failure: " + inner_->name());
+        }
+        std::size_t want = size;
+        if (want > 1 && CHAOS_SECTION("trace.read.short", key_)) {
+            want = 1 + want / 2;
+        }
+        return inner_->read(buffer, want);
+    }
+
+    const std::uint8_t *view(std::uint64_t offset,
+                             std::size_t size) override
+    {
+        if (CHAOS_SECTION("trace.view.refuse", key_))
+            return nullptr;
+        return inner_->view(offset, size);
+    }
+
+    void seek(std::uint64_t offset) override { inner_->seek(offset); }
+    std::uint64_t size() override { return inner_->size(); }
+    const std::string &name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<ByteFile> inner_;
+    /** Chaos identity: the file's final path component, so decisions
+     *  replay no matter where the corpus lives. */
+    std::string key_;
+};
+
+} // anonymous namespace
+
+FileOpener
+chaosOpener(FileOpener inner)
+{
+    if (!inner)
+        inner = [](const std::string &path) {
+            return openByteFile(path);
+        };
+    return [inner](const std::string &path)
+        -> std::unique_ptr<ByteFile> {
+        if (!util::chaos::enabled())
+            return inner(path);
+        if (CHAOS_SECTION("trace.open.transient",
+                          util::chaos::pathKey(path))) {
+            throw util::TransientError(
+                "chaos: transient open failure: " + path);
+        }
+        return std::make_unique<ChaosFile>(inner(path));
+    };
+}
+
 } // namespace trace
 } // namespace vlp
+

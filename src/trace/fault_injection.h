@@ -53,6 +53,20 @@ struct FaultPlan
     double bitFlipProbability = 0.0;
     /** Bytes beyond this offset appear to not exist. */
     std::uint64_t truncateAt = noTruncation;
+    /**
+     * Serve view() from a faultable buffer instead of refusing it.
+     * Off, FaultyFile rejects every view, so consumers silently take
+     * their stdio fallback and the in-place (mmap) decode path runs
+     * fault-free; on, views are served — and can be refused or
+     * bit-flipped per the probabilities below — so the zero-copy
+     * path faces the same hostility as read().
+     */
+    bool serveViews = false;
+    /** Probability a view() is refused (nullptr), forcing the
+     *  caller's buffered fallback mid-stream. */
+    double shortViewProbability = 0.0;
+    /** Probability a served view carries one flipped bit. */
+    double viewBitFlipProbability = 0.0;
 };
 
 /** How often each fault class fired (across all files). */
@@ -63,6 +77,8 @@ struct FaultCounters
     std::uint64_t shortReads = 0;
     std::uint64_t bitFlips = 0;
     std::uint64_t truncations = 0;
+    std::uint64_t shortViews = 0;
+    std::uint64_t viewBitFlips = 0;
 };
 
 /**
@@ -121,6 +137,16 @@ class FaultyFile : public ByteFile
     std::uint64_t size() override;
     const std::string &name() const override { return inner_->name(); }
 
+    /**
+     * When the plan enables serveViews: the requested window, served
+     * from an internal buffer (copied from the inner backend) so
+     * injected bit flips never write through to a shared mapping.
+     * Refused (nullptr) with shortViewProbability, and always when
+     * serveViews is off or the window crosses the truncation point.
+     */
+    const std::uint8_t *view(std::uint64_t offset,
+                             std::size_t size) override;
+
   private:
     std::uint64_t effectiveSize();
 
@@ -128,7 +154,18 @@ class FaultyFile : public ByteFile
     FaultInjector &injector_;
     std::uint64_t position_ = 0;
     util::Rng rng_;
+    std::vector<std::uint8_t> viewBuffer_;
 };
+
+/**
+ * Wrap @p inner so every open and every ByteFile it yields consults
+ * the global chaos switchboard (util/chaos.h): sections
+ * trace.open.transient / trace.read.transient (throw TransientError),
+ * trace.read.short (serve a prefix), and trace.view.refuse (return
+ * nullptr, forcing the buffered fallback). Pass-through — zero
+ * overhead and zero wrapping — while chaos is disabled at open time.
+ */
+FileOpener chaosOpener(FileOpener inner);
 
 } // namespace trace
 } // namespace vlp

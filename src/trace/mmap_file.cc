@@ -14,6 +14,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "util/chaos.h"
 #include "util/logging.h"
 
 namespace vlp {
@@ -203,6 +204,12 @@ openByteFileFast(const std::string &path, ReadMode mode)
 {
     if (mode != ReadMode::Stdio) {
         try {
+            // Chaos: the mapping fails (address-space pressure, an
+            // unmappable filesystem) and the open degrades to stdio —
+            // reports are backend-agnostic, so this must be invisible.
+            if (CHAOS_SECTION("trace.mmap.stdio-fallback",
+                              util::chaos::pathKey(path)))
+                throw MmapUnsupported("chaos: mmap refused: " + path);
             return std::make_unique<MmapByteFile>(path);
         } catch (const MmapUnsupported &reason) {
             if (mode == ReadMode::Mmap) {

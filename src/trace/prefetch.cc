@@ -11,6 +11,7 @@
 
 #include "trace/content_hash.h"
 #include "trace/mmap_file.h"
+#include "util/chaos.h"
 
 namespace vlp {
 namespace trace {
@@ -67,6 +68,7 @@ TracePrefetcher::TracePrefetcher(std::vector<std::string> paths,
         std::max<unsigned>(options_.threads, 1u),
         std::min(window_, paths_.size()));
     producers_.reserve(threads);
+    producersAlive_ = threads;
     for (std::size_t i = 0; i < threads; ++i)
         producers_.emplace_back([this] { producerLoop(); });
 }
@@ -102,6 +104,17 @@ TracePrefetcher::producerLoop()
             continue;
         const std::size_t index = nextToStart_++;
         ++outstanding_;
+        // Chaos: this producer dies after claiming an item. The claim
+        // is marked abandoned so the consumer opens it inline — the
+        // deadlock-freedom contract must survive losing any producer.
+        if (util::chaos::enabled()
+            && CHAOS_SECTION("trace.prefetch.producer-death",
+                             util::chaos::pathKey(paths_[index]))) {
+            abandoned_.insert(index);
+            --producersAlive_;
+            ready_.notify_all();
+            return;
+        }
         lock.unlock();
         PrefetchedTrace result = openTrace(paths_[index], options_);
         lock.lock();
@@ -127,6 +140,18 @@ TracePrefetcher::take(std::size_t index)
             --outstanding_;
             space_.notify_all();
             return result;
+        }
+        // A dead producer's claim, or an item no surviving producer
+        // will ever claim: open it inline on this consumer thread.
+        if (abandoned_.erase(index) > 0) {
+            --outstanding_;
+            space_.notify_all();
+            lock.unlock();
+            return openTrace(paths_.at(index), options_);
+        }
+        if (index >= nextToStart_ && producersAlive_ == 0) {
+            lock.unlock();
+            return openTrace(paths_.at(index), options_);
         }
         if (options_.cancel && options_.cancel->cancelled())
             throw util::CancelledError();

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,8 +118,14 @@ class TracePrefetcher
     std::condition_variable ready_; // a result landed
     std::condition_variable space_; // window freed / shutdown
     std::map<std::size_t, PrefetchedTrace> results_;
+    /** Items claimed by a producer that died (chaos) before opening;
+     *  take() opens them inline so the pipeline stays deadlock-free. */
+    std::set<std::size_t> abandoned_;
     std::size_t nextToStart_ = 0;
     std::size_t outstanding_ = 0; // started and not yet taken
+    /** Producers that have not died; when 0, take() stops waiting for
+     *  unclaimed items and opens them inline. */
+    std::size_t producersAlive_ = 0;
     bool stop_ = false;
     std::vector<std::thread> producers_;
 };

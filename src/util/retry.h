@@ -21,7 +21,9 @@
 #include <thread>
 
 #include "util/cancel.h"
+#include "util/chaos.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace vlp {
 namespace util {
@@ -37,6 +39,15 @@ struct RetryPolicy
     /** Ceiling on any single backoff delay; also keeps the shift
      *  count well-defined for arbitrary maxAttempts. */
     unsigned backoffMaxMs = 10'000;
+    /**
+     * Full-jitter seed: when non-zero, retry r sleeps a uniform draw
+     * from [0, min(backoffBaseMs << r, backoffMaxMs)] instead of the
+     * exponential itself, so shards sharing a transient do not retry
+     * in lockstep. The draw depends only on (seed, r) — deterministic
+     * per attempt for a fixed seed. 0 keeps the legacy un-jittered
+     * schedule.
+     */
+    std::uint64_t jitterSeed = 0;
     /** Backoff sleep hook (milliseconds); empty = real sleep. Tests
      *  replace it to observe retries without wall-clock delays. */
     std::function<void(unsigned)> sleeper;
@@ -56,21 +67,41 @@ auto
 retryTransient(const RetryPolicy &policy, Fn &&fn)
 {
     unsigned attempt = 0;
+    // Chaos: fail the first attempt synthetically. The budget grows
+    // by one so a real fault chain keeps its full retry allowance —
+    // the injection exercises the backoff machinery without ever
+    // converting a would-succeed call into a quarantine.
+    unsigned max_attempts = std::max(policy.maxAttempts, 1u);
+    bool synthetic = chaos::fire("retry.transient");
+    if (synthetic)
+        ++max_attempts;
     for (;;) {
         try {
+            if (synthetic) {
+                synthetic = false;
+                throw TransientError(
+                    "chaos: synthetic transient failure");
+            }
             return fn();
         } catch (const TransientError &) {
             ++attempt;
-            if (attempt >= std::max(policy.maxAttempts, 1u))
+            if (attempt >= max_attempts)
                 throw;
             if (policy.cancel)
                 policy.cancel->throwIfCancelled();
             const unsigned shift = std::min(attempt - 1, 31u);
             const std::uint64_t exponential =
                 std::uint64_t{policy.backoffBaseMs} << shift;
-            const unsigned delay_ms = static_cast<unsigned>(
+            unsigned delay_ms = static_cast<unsigned>(
                 std::min<std::uint64_t>(exponential,
                                         policy.backoffMaxMs));
+            if (policy.jitterSeed != 0) {
+                Rng jitter(policy.jitterSeed
+                           ^ (std::uint64_t{attempt}
+                              * 0x9e3779b97f4a7c15ULL));
+                delay_ms = static_cast<unsigned>(
+                    jitter.nextBelow(std::uint64_t{delay_ms} + 1));
+            }
             if (policy.sleeper) {
                 policy.sleeper(delay_ms);
             } else {

@@ -191,6 +191,18 @@ Socket::setSendTimeout(unsigned ms)
     }
 }
 
+void
+Socket::setRecvTimeout(unsigned ms)
+{
+    timeval timeout{};
+    timeout.tv_sec = ms / 1000;
+    timeout.tv_usec = static_cast<long>(ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout)) != 0) {
+        failErrno("setsockopt(SO_RCVTIMEO)");
+    }
+}
+
 std::size_t
 Socket::receive(char *buffer, std::size_t capacity)
 {
@@ -200,6 +212,11 @@ Socket::receive(char *buffer, std::size_t capacity)
             return static_cast<std::size_t>(n);
         if (errno == EINTR)
             continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // SO_RCVTIMEO expired: the peer is alive at the TCP layer
+            // but sent nothing within the bound.
+            throw TimeoutError("recv timed out: no data from peer");
+        }
         failErrno("recv");
     }
 }

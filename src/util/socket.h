@@ -17,11 +17,24 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 namespace vlp {
 namespace util {
 namespace net {
+
+/**
+ * A receive timeout (setRecvTimeout()) expired with no data from the
+ * peer. Distinct from the generic socket error so callers can exit
+ * with a dedicated status ("the daemon is wedged") instead of the
+ * catch-all failure path.
+ */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** A parsed listen/connect address: TCP host:port or Unix path. */
 struct Endpoint
@@ -85,7 +98,17 @@ class Socket
     void setSendTimeout(unsigned ms);
 
     /**
+     * Bound every subsequent receive: if the peer sends nothing for
+     * @p ms milliseconds, receive() throws TimeoutError instead of
+     * blocking forever (a wedged daemon must not wedge its clients).
+     * 0 restores unbounded blocking receives.
+     */
+    void setRecvTimeout(unsigned ms);
+
+    /**
      * Read up to @p capacity bytes. 0 = orderly peer shutdown.
+     * @throws TimeoutError when a receive timeout (setRecvTimeout())
+     *         expires with no data
      * @throws std::runtime_error on socket errors
      */
     std::size_t receive(char *buffer, std::size_t capacity);

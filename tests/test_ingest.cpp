@@ -332,6 +332,65 @@ TEST_F(IngestHarness, InjectedTruncationIsCaughtByHeaderCheck)
                  std::runtime_error);
 }
 
+TEST_F(IngestHarness, ServedViewBitFlipIsCaughtByChecksum)
+{
+    trace::saveTrace(makeTrace(23, 2000), path("v.vbt"));
+
+    // With views served and every served view carrying a flipped bit,
+    // the zero-copy decode path must fail the stream checksum — the
+    // same guarantee the read() path already proves.
+    trace::FaultPlan plan;
+    plan.seed = 5;
+    plan.serveViews = true;
+    plan.viewBitFlipProbability = 1.0;
+    trace::FaultInjector injector(plan);
+
+    trace::StreamingTraceReader reader(
+        injector.opener()(path("v.vbt")), 64);
+    trace::BranchRecord record;
+    EXPECT_THROW(
+        {
+            while (reader.next(record)) {
+            }
+        },
+        std::runtime_error);
+    EXPECT_GT(injector.counters().viewBitFlips, 0u);
+
+    // The flip lived in the injector's buffer, never in the file:
+    // a clean open replays the trace intact.
+    trace::StreamingTraceReader clean(path("v.vbt"), 64);
+    std::size_t records = 0;
+    while (clean.next(record))
+        ++records;
+    EXPECT_EQ(records, 2000u);
+}
+
+TEST_F(IngestHarness, RefusedViewsFallBackToBufferedReads)
+{
+    trace::saveTrace(makeTrace(29, 1500), path("r.vbt"));
+
+    // Every view refused mid-stream: the reader must silently fall
+    // back to read() and still decode the identical record sequence.
+    trace::FaultPlan plan;
+    plan.seed = 6;
+    plan.serveViews = true;
+    plan.shortViewProbability = 1.0;
+    trace::FaultInjector injector(plan);
+
+    trace::StreamingTraceReader faulty(
+        injector.opener()(path("r.vbt")), 64);
+    trace::StreamingTraceReader clean(path("r.vbt"), 64);
+    trace::BranchRecord got, want;
+    for (;;) {
+        const bool more = faulty.next(got);
+        ASSERT_EQ(more, clean.next(want));
+        if (!more)
+            break;
+        ASSERT_EQ(got, want);
+    }
+    EXPECT_GT(injector.counters().shortViews, 0u);
+}
+
 // --- on-disk corpus corruption ---------------------------------------
 
 TEST_F(IngestHarness, FaultyDirIsDeterministicAndCoversAllFaults)

@@ -159,6 +159,38 @@ TEST(LineReader, CapsRunawayUnterminatedLines)
     writer.join();
 }
 
+TEST(ReceiveTimeout, SilentDaemonTripsTimeoutInsteadOfHanging)
+{
+    // Accept-but-never-speak: the connection lands in the backlog and
+    // the hello never arrives. A client with a receive timeout must
+    // surface TimeoutError (the CLI maps it to exit code 3) instead
+    // of blocking forever.
+    auto listener = util::net::ListenSocket::listen(
+        util::net::Endpoint::parse("127.0.0.1:0"));
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(serve::ServeClient client(listener.local(), 100),
+                 util::net::TimeoutError);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // It waited for the timeout, not for a connect failure.
+    EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+}
+
+TEST(ReceiveTimeout, RawSocketReceiveThrowsTypedError)
+{
+    auto listener = util::net::ListenSocket::listen(
+        util::net::Endpoint::parse("127.0.0.1:0"));
+    auto socket = util::net::Socket::connect(listener.local());
+    socket.setRecvTimeout(50);
+    char buffer[16];
+    try {
+        socket.receive(buffer, sizeof(buffer));
+        FAIL() << "receive returned with no peer data";
+    } catch (const util::net::TimeoutError &) {
+        // TimeoutError derives from runtime_error so existing generic
+        // handlers still catch it; the CLI distinguishes it by type.
+    }
+}
+
 // --- compact JSON (the wire encoding) -------------------------------
 
 TEST(CompactJson, RoundTripsFramesByteExactly)

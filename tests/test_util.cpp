@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for counters, history registers, RNG, statistics, tables,
- * and logging helpers.
+ * the retry policy (exponential schedule and seeded full jitter), and
+ * logging helpers.
  */
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "util/history_register.h"
 #include "util/logging.h"
 #include "util/packed_counter_table.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/saturating_counter.h"
 #include "util/stats.h"
@@ -501,6 +503,82 @@ TEST(ArgParserDeathTest, MalformedValueExitsTwo)
         parser.parse(static_cast<int>(argv.size()) - 1, argv.data());
     };
     EXPECT_EXIT(run(), ::testing::ExitedWithCode(2), "--jobs");
+}
+
+// --- retry policy ----------------------------------------------------
+
+/** Run retryTransient with @p failures leading TransientErrors and
+ *  capture the backoff schedule the sleeper observes. */
+std::vector<unsigned>
+backoffSchedule(RetryPolicy policy, unsigned failures)
+{
+    std::vector<unsigned> delays;
+    policy.sleeper = [&delays](unsigned ms) { delays.push_back(ms); };
+    unsigned remaining = failures;
+    retryTransient(policy, [&remaining] {
+        if (remaining > 0) {
+            --remaining;
+            throw vlp::util::TransientError("induced");
+        }
+        return 0;
+    });
+    return delays;
+}
+
+TEST(RetryPolicy, UnjitteredScheduleIsExactExponential)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.backoffBaseMs = 10;
+    EXPECT_EQ(backoffSchedule(policy, 3),
+              (std::vector<unsigned>{10, 20, 40}));
+}
+
+TEST(RetryPolicy, ScheduleClampsAtBackoffMax)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 6;
+    policy.backoffBaseMs = 10;
+    policy.backoffMaxMs = 25;
+    EXPECT_EQ(backoffSchedule(policy, 5),
+              (std::vector<unsigned>{10, 20, 25, 25, 25}));
+}
+
+TEST(RetryPolicy, JitterSeedGivesRepeatableBoundedSchedule)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 8;
+    policy.backoffBaseMs = 10;
+    policy.backoffMaxMs = 200;
+    policy.jitterSeed = 0xfeedULL;
+
+    const auto first = backoffSchedule(policy, 7);
+    ASSERT_EQ(first.size(), 7u);
+    for (std::size_t r = 0; r < first.size(); ++r) {
+        const unsigned ceiling = std::min<unsigned>(
+            policy.backoffMaxMs, 10u << std::min<std::size_t>(r, 31));
+        EXPECT_LE(first[r], ceiling) << "retry " << r;
+    }
+
+    // The draw depends only on (seed, attempt): exact replay.
+    EXPECT_EQ(backoffSchedule(policy, 7), first);
+
+    // A different seed decorrelates the shards.
+    policy.jitterSeed = 0xbeefULL;
+    EXPECT_NE(backoffSchedule(policy, 7), first);
+
+    // And jitter never changes *whether* retries happen: the budget
+    // still runs out on a persistent fault.
+    unsigned attempts = 0;
+    policy.sleeper = [](unsigned) {};
+    EXPECT_THROW(retryTransient(policy,
+                                [&attempts]() -> int {
+                                    ++attempts;
+                                    throw vlp::util::TransientError(
+                                        "persistent");
+                                }),
+                 vlp::util::TransientError);
+    EXPECT_EQ(attempts, policy.maxAttempts);
 }
 
 TEST(ArgParserDeathTest, MissingRequiredPositionalExitsTwo)

@@ -38,6 +38,10 @@ int cmdServeStatus(int argc, char **argv);
 int cmdServeCancel(int argc, char **argv);
 int cmdServeShutdown(int argc, char **argv);
 
+// Chaos campaign driver (tools/cli_chaos.cpp): seeded soak across
+// the suite and serve paths with invariant checking.
+int cmdChaos(int argc, char **argv);
+
 } // namespace cli
 } // namespace vlp
 

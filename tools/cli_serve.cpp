@@ -82,6 +82,19 @@ registerLogLevel(util::ArgParser &parser)
                      });
 }
 
+/** --timeout flag shared by the client verbs: bounds every receive
+ *  so a wedged daemon cannot hang the client; expiry surfaces as
+ *  util::net::TimeoutError, which the CLI maps to exit code 3. */
+void
+registerRecvTimeout(util::ArgParser &parser, std::uint64_t *timeout_ms)
+{
+    parser.addUint("--timeout", "MS",
+                   "receive timeout per read; a silent daemon makes "
+                   "the command exit with code 3 (default 0 = wait "
+                   "forever)",
+                   timeout_ms, 3'600'000);
+}
+
 } // anonymous namespace
 
 int
@@ -99,6 +112,10 @@ cmdServe(int argc, char **argv)
     std::uint64_t max_inflight = 64u << 20;
     std::uint64_t max_jobs = 0;
     std::uint64_t heartbeat_ms = 1000;
+    bool chaos_enabled = false;
+    std::uint64_t chaos_seed = 1;
+    double chaos_activate = 0.25;
+    double chaos_fire = 0.25;
     parser.addString("--listen", "EP",
                      "listen endpoint: host:port, :port, or a Unix "
                      "socket path (default 127.0.0.1:7711; port 0 "
@@ -123,6 +140,34 @@ cmdServe(int argc, char **argv)
                    "heartbeat period for running requests "
                    "(default 1000; 0 disables)",
                    &heartbeat_ms, 3'600'000);
+    parser.addSwitch("--chaos",
+                     "arm the fault-injection switchboard for this "
+                     "daemon (DESIGN.md §16)",
+                     &chaos_enabled);
+    parser.addOption("--chaos-seed", "N",
+                     "chaos campaign seed (default 1; implies "
+                     "--chaos)",
+                     [&](const std::string &value) {
+                         chaos_enabled = true;
+                         chaos_seed =
+                             std::strtoull(value.c_str(), nullptr, 0);
+                     });
+    parser.addOption("--chaos-activate", "P",
+                     "per-run section activation probability "
+                     "(default 0.25; implies --chaos)",
+                     [&](const std::string &value) {
+                         chaos_enabled = true;
+                         chaos_activate =
+                             std::strtod(value.c_str(), nullptr);
+                     });
+    parser.addOption("--chaos-fire", "P",
+                     "per-reach fire probability for activated "
+                     "sections (default 0.25; implies --chaos)",
+                     [&](const std::string &value) {
+                         chaos_enabled = true;
+                         chaos_fire =
+                             std::strtod(value.c_str(), nullptr);
+                     });
     registerLogLevel(parser);
     sim::RunOptions run;
     run.registerCacheFlags(parser);
@@ -143,6 +188,12 @@ cmdServe(int argc, char **argv)
     if (run.cacheEnabled()) {
         options.cacheDirectory = run.cacheDirectory;
         options.cacheMaxBytes = run.cacheMaxBytes;
+    }
+    if (chaos_enabled) {
+        options.chaos.enabled = true;
+        options.chaos.seed = chaos_seed;
+        options.chaos.activateProbability = chaos_activate;
+        options.chaos.fireProbability = chaos_fire;
     }
 
     serve::ExperimentServer server(std::move(options));
@@ -327,12 +378,15 @@ cmdSubmit(int argc, char **argv)
                      &bench_out);
     parser.addSwitch("--quiet", "suppress progress on stderr",
                      &quiet);
+    std::uint64_t timeout_ms = 0;
+    registerRecvTimeout(parser, &timeout_ms);
     registerLogLevel(parser);
     parser.parse(argc, argv, 2);
     if (repeat == 0)
         repeat = 1;
 
-    serve::ServeClient client(requireEndpoint(parser, flags.server));
+    serve::ServeClient client(requireEndpoint(parser, flags.server),
+                              static_cast<unsigned>(timeout_ms));
     const serve::SubmitSpec spec = flags.toSpec(parser);
 
     const auto start = std::chrono::steady_clock::now();
@@ -412,9 +466,12 @@ cmdServeStatus(int argc, char **argv)
                      &server);
     parser.addPositional("id", "request id (omit for server-wide)",
                          false);
+    std::uint64_t timeout_ms = 0;
+    registerRecvTimeout(parser, &timeout_ms);
     const auto args = parser.parse(argc, argv, 2);
 
-    serve::ServeClient client(requireEndpoint(parser, server));
+    serve::ServeClient client(requireEndpoint(parser, server),
+                              static_cast<unsigned>(timeout_ms));
     const std::uint64_t id =
         args.empty() ? 0 : std::strtoull(args[0].c_str(), nullptr, 0);
     std::cout << util::toCompactJson(client.status(id)) << "\n";
@@ -433,9 +490,12 @@ cmdServeCancel(int argc, char **argv)
                      "daemon endpoint (default: VLPSIM_SERVER)",
                      &server);
     parser.addPositional("id", "request id");
+    std::uint64_t timeout_ms = 0;
+    registerRecvTimeout(parser, &timeout_ms);
     const auto args = parser.parse(argc, argv, 2);
 
-    serve::ServeClient client(requireEndpoint(parser, server));
+    serve::ServeClient client(requireEndpoint(parser, server),
+                              static_cast<unsigned>(timeout_ms));
     const std::uint64_t id =
         std::strtoull(args[0].c_str(), nullptr, 0);
     const util::Json ack = client.cancel(id);
@@ -453,9 +513,12 @@ cmdServeShutdown(int argc, char **argv)
     parser.addString("--server", "EP",
                      "daemon endpoint (default: VLPSIM_SERVER)",
                      &server);
+    std::uint64_t timeout_ms = 0;
+    registerRecvTimeout(parser, &timeout_ms);
     parser.parse(argc, argv, 2);
 
-    serve::ServeClient client(requireEndpoint(parser, server));
+    serve::ServeClient client(requireEndpoint(parser, server),
+                              static_cast<unsigned>(timeout_ms));
     client.shutdownServer();
     std::cout << "shutdown acknowledged\n";
     return 0;

@@ -80,8 +80,18 @@
  *       cancellation, and warm answers from the artifact cache. Wire
  *       protocol in docs/FORMATS.md.
  *
+ *   chaos --seed S [--suite DIR] [--serve] [--requests N]
+ *       Seeded fault-injection soak campaign (tools/cli_chaos.cpp):
+ *       runs the suite and/or serve paths with the util::chaos
+ *       switchboard armed and verifies the robustness invariants —
+ *       no hang, every request terminal, quarantines carry causes,
+ *       reports replay byte-identically for the same seed.
+ *
  * Global flags: --help, --version (build stamp + schema/protocol
- * versions), --log-level LEVEL (also VLPSIM_LOG_LEVEL). The
+ * versions), --log-level LEVEL (also VLPSIM_LOG_LEVEL), and the
+ * chaos switchboard knobs --chaos / --chaos-seed N /
+ * --chaos-activate P / --chaos-fire P (DESIGN.md §16), which arm
+ * fault injection process-wide before the subcommand runs. The
  * subcommand table below generates the top-level help.
  */
 
@@ -119,8 +129,10 @@
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
 #include "util/args.h"
+#include "util/chaos.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/socket.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/version.h"
@@ -520,6 +532,19 @@ cmdSuiteTraces(int argc, char **argv)
         report.setMeta("cacheMisses", counters.misses);
         report.setMeta("cacheInserts", counters.inserts);
     }
+    // Under an armed chaos switchboard the export carries per-section
+    // injection counters (docs/FORMATS.md), so a soak artifact records
+    // exactly which faults this run exercised.
+    if (util::chaos::enabled()) {
+        for (const auto &[section, stats] : util::chaos::counters()) {
+            report.setMeta(
+                "chaos:" + section,
+                "activated=" + std::to_string(stats.activated ? 1 : 0)
+                    + " reached=" + std::to_string(stats.reached)
+                    + " fired=" + std::to_string(stats.fired)
+                    + " skipped=" + std::to_string(stats.skipped));
+        }
+    }
     output.write(report);
     // Exit codes distinguish the three failure shapes: 2 = the corpus
     // had no .vbt traces at all (empty or mistyped directory), 1 =
@@ -784,6 +809,9 @@ const cli::Command commandTable[] = {
      "cancel a queued or running request", cli::cmdServeCancel},
     {"shutdown", "--server EP",
      "ask a serve daemon to drain and stop", cli::cmdServeShutdown},
+    {"chaos", "--seed S [--suite DIR] [--serve] [--requests N]",
+     "run a seeded fault-injection soak campaign and verify the "
+     "robustness invariants", cli::cmdChaos},
 };
 
 void
@@ -826,6 +854,7 @@ main(int argc, char **argv)
 {
     // Global flags sit before the subcommand; the handlers re-parse
     // from their own argv[1].
+    util::chaos::Config chaos_config;
     while (argc >= 2 && argv[1][0] == '-') {
         const std::string flag = argv[1];
         if (flag == "--help" || flag == "-h") {
@@ -846,8 +875,38 @@ main(int argc, char **argv)
             argc -= 2;
             continue;
         }
+        if (flag == "--chaos") {
+            chaos_config.enabled = true;
+            argv += 1;
+            argc -= 1;
+            continue;
+        }
+        if (flag == "--chaos-seed" && argc >= 3) {
+            chaos_config.enabled = true;
+            chaos_config.seed = std::strtoull(argv[2], nullptr, 0);
+            argv += 2;
+            argc -= 2;
+            continue;
+        }
+        if (flag == "--chaos-activate" && argc >= 3) {
+            chaos_config.enabled = true;
+            chaos_config.activateProbability =
+                std::strtod(argv[2], nullptr);
+            argv += 2;
+            argc -= 2;
+            continue;
+        }
+        if (flag == "--chaos-fire" && argc >= 3) {
+            chaos_config.enabled = true;
+            chaos_config.fireProbability = std::strtod(argv[2], nullptr);
+            argv += 2;
+            argc -= 2;
+            continue;
+        }
         return usage();
     }
+    if (chaos_config.enabled)
+        util::chaos::configure(chaos_config);
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
@@ -856,6 +915,11 @@ main(int argc, char **argv)
             if (command == entry.name)
                 return entry.handler(argc, argv);
         }
+    } catch (const util::net::TimeoutError &error) {
+        // Distinct exit code so scripts can tell "the daemon went
+        // silent" from every other failure.
+        std::cerr << "error: " << error.what() << "\n";
+        return 3;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
