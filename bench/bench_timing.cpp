@@ -9,6 +9,8 @@
 
 #include "bench_common.h"
 
+#include <stdexcept>
+
 #include "core/hfnt.h"
 #include "core/path_predictor.h"
 #include "core/profiler.h"
@@ -25,12 +27,42 @@ main(int argc, char **argv)
 
     bench::Driver driver(
         "bench_timing", "Front-end timing projection",
-        "16K byte conditional predictors; 10-cycle flush, "
-        "1-cycle HFNT re-predict bubble, 4-wide fetch");
-    return driver.run(argc, argv, [](sim::ParallelRunner &runner,
-                                     sim::Report &report) {
+        "16K byte conditional predictors; configurable fetch width, "
+        "flush penalty, and HFNT re-predict bubble");
+
+    sim::TimingParameters parameters;
+    const auto add_double = [&driver](const std::string &flag,
+                                      const std::string &help,
+                                      double *out) {
+        driver.parser().addOption(
+            flag, "X", help, [flag, out](const std::string &text) {
+                std::size_t consumed = 0;
+                double value = 0.0;
+                try {
+                    value = std::stod(text, &consumed);
+                } catch (const std::exception &) {
+                    consumed = 0;
+                }
+                if (consumed != text.size() || !(value >= 0.0))
+                    throw std::runtime_error(
+                        flag + " expects a non-negative number");
+                *out = value;
+            });
+    };
+    add_double("--fetch-width",
+               "instructions fetched per cycle (default 4)",
+               &parameters.fetchWidth);
+    add_double("--mispredict-penalty",
+               "flush cycles per misprediction (default 10)",
+               &parameters.mispredictPenaltyCycles);
+    add_double("--repredict-penalty",
+               "bubble cycles per HFNT mismatch (default 1)",
+               &parameters.repredictPenaltyCycles);
+
+    return driver.run(argc, argv, [&parameters](
+                                      sim::ParallelRunner &runner,
+                                      sim::Report &report) {
         constexpr std::size_t bytes = 16384;
-        sim::TimingParameters parameters;
 
         sim::Section &section = report.addSection("timing");
         section.columns = {{"benchmark"},

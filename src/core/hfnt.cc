@@ -36,10 +36,62 @@ void
 HashFunctionNumberTable::update(std::uint64_t pc,
                                 unsigned actual_number)
 {
-    std::uint8_t &entry = table_[index(pc)];
+    const std::size_t slot = index(pc);
+    std::uint8_t &entry = table_[slot];
+    if (outstanding_ > 0)
+        journal_.emplace_back(static_cast<std::uint32_t>(slot), entry);
     if (entry != actual_number)
         ++mismatches_;
     entry = static_cast<std::uint8_t>(actual_number);
+}
+
+HashFunctionNumberTable::Checkpoint
+HashFunctionNumberTable::checkpoint()
+{
+    ++outstanding_;
+    return {lookups_, mismatches_, journal_.size()};
+}
+
+void
+HashFunctionNumberTable::restore(const Checkpoint &checkpoint)
+{
+    if (outstanding_ == 0 || checkpoint.journalMark > journal_.size())
+        util::fatal("HFNT checkpoint restore without a matching "
+                    "outstanding checkpoint");
+    // Unwind newest-first so overlapping writes land on their oldest
+    // (pre-checkpoint) values.
+    while (journal_.size() > checkpoint.journalMark) {
+        const auto &[slot, value] = journal_.back();
+        table_[slot] = value;
+        journal_.pop_back();
+    }
+    lookups_ = checkpoint.lookups;
+    mismatches_ = checkpoint.mismatches;
+    --outstanding_;
+}
+
+void
+HashFunctionNumberTable::discard(const Checkpoint &checkpoint)
+{
+    if (outstanding_ == 0 || checkpoint.journalMark > journal_.size())
+        util::fatal("HFNT checkpoint discard without a matching "
+                    "outstanding checkpoint");
+    --outstanding_;
+    // Entries after the discarded mark may still be needed by an
+    // outer open checkpoint, so the journal can only be dropped once
+    // no checkpoint remains open.
+    if (outstanding_ == 0)
+        journal_.clear();
+}
+
+void
+HashFunctionNumberTable::setBanks(unsigned banks)
+{
+    if (banks == 0 || (banks & (banks - 1)) != 0
+        || banks > table_.size())
+        util::fatal("HFNT bank count must be a power of two between 1 "
+                    "and the entry count");
+    banks_ = banks;
 }
 
 double
@@ -65,6 +117,8 @@ HashFunctionNumberTable::restore(std::vector<std::uint8_t> table,
     table_ = std::move(table);
     lookups_ = lookups;
     mismatches_ = mismatches;
+    journal_.clear();
+    outstanding_ = 0;
 }
 
 } // namespace core

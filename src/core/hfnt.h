@@ -18,6 +18,7 @@
 #define VLPSIM_CORE_HFNT_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/stats.h"
@@ -65,12 +66,56 @@ class HashFunctionNumberTable
 
     /**
      * Adopt previously captured contents and counters (the inverse of
-     * rawTable()/lookups()/mismatches()).
+     * rawTable()/lookups()/mismatches()). Drops any outstanding
+     * speculative checkpoints.
      * @throws std::runtime_error if the table size does not match
      *         this table's index width
      */
     void restore(std::vector<std::uint8_t> table, std::uint64_t lookups,
                  std::uint64_t mismatches);
+
+    /**
+     * Speculative checkpoint (DESIGN.md §17): a journal mark plus the
+     * statistics counters. While any checkpoint is outstanding,
+     * update() logs the old value of each overwritten entry, so
+     * restoring costs O(writes since the checkpoint) — never a
+     * full-table copy. Checkpoints are LIFO: release each one with
+     * restore() or discard(), newest first.
+     */
+    struct Checkpoint
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t mismatches = 0;
+        std::size_t journalMark = 0;
+    };
+
+    /** Open a checkpoint and start journaling writes. */
+    Checkpoint checkpoint();
+
+    /** Unwind the journal back to @p checkpoint and release it. */
+    void restore(const Checkpoint &checkpoint);
+
+    /** Release @p checkpoint, keeping the writes made since. */
+    void discard(const Checkpoint &checkpoint);
+
+    /**
+     * Model the table as @p banks independent single-ported banks
+     * (bank = low entry-index bits) for the fetch-bundle front end.
+     * Must be a power of two between 1 and the entry count; 1 (the
+     * default) means an ideally multiported table — the front end
+     * models conflicts only when banks > 1.
+     */
+    void setBanks(unsigned banks);
+
+    /** Configured bank count. */
+    unsigned banks() const { return banks_; }
+
+    /** Bank serving the entry for @p pc. */
+    unsigned
+    bankOf(std::uint64_t pc) const
+    {
+        return static_cast<unsigned>(index(pc)) & (banks_ - 1);
+    }
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -79,6 +124,12 @@ class HashFunctionNumberTable
     std::vector<std::uint8_t> table_;
     std::uint64_t lookups_ = 0;
     std::uint64_t mismatches_ = 0;
+    unsigned banks_ = 1;
+    /** Undo log: (entry index, value before the write), oldest
+     *  first. Populated only while checkpoints are outstanding. */
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> journal_;
+    /** Number of open checkpoints (LIFO). */
+    unsigned outstanding_ = 0;
 };
 
 } // namespace core

@@ -5,8 +5,32 @@
 
 #include "core/path_predictor.h"
 
+#include <memory>
+
+#include "util/logging.h"
+
 namespace vlp {
 namespace core {
+
+namespace {
+
+/** Shared checkpoint type: the first-level history snapshot. */
+struct PathCheckpoint final : pred::Checkpoint
+{
+    PathIndexBank::HistoryCheckpoint history;
+};
+
+/** Validate a bank count against a table of @p table_size entries. */
+void
+validateBanks(unsigned banks, std::size_t table_size)
+{
+    if (banks != 0
+        && ((banks & (banks - 1)) != 0 || banks > table_size))
+        util::fatal("predictor bank count must be 0 or a power of two "
+                    "no larger than the table size");
+}
+
+} // anonymous namespace
 
 PathConditionalPredictor::PathConditionalPredictor(
         unsigned index_bits, unsigned fixed_length,
@@ -53,6 +77,36 @@ void
 PathConditionalPredictor::observe(const trace::BranchRecord &record)
 {
     bank_.observe(record);
+}
+
+pred::CheckpointPtr
+PathConditionalPredictor::checkpoint() const
+{
+    auto snapshot = std::make_unique<PathCheckpoint>();
+    snapshot->history = bank_.checkpoint();
+    return snapshot;
+}
+
+void
+PathConditionalPredictor::restore(const pred::Checkpoint &checkpoint)
+{
+    bank_.restore(
+        dynamic_cast<const PathCheckpoint &>(checkpoint).history);
+}
+
+void
+PathConditionalPredictor::setBanks(unsigned banks)
+{
+    validateBanks(banks, table_.size());
+    banks_ = banks;
+}
+
+unsigned
+PathConditionalPredictor::bankOf(const trace::BranchRecord &record) const
+{
+    return banks_ == 0
+        ? 0
+        : static_cast<unsigned>(tableIndex(record.pc)) & (banks_ - 1);
 }
 
 std::string
@@ -113,6 +167,36 @@ void
 PathIndirectPredictor::observe(const trace::BranchRecord &record)
 {
     bank_.observe(record);
+}
+
+pred::CheckpointPtr
+PathIndirectPredictor::checkpoint() const
+{
+    auto snapshot = std::make_unique<PathCheckpoint>();
+    snapshot->history = bank_.checkpoint();
+    return snapshot;
+}
+
+void
+PathIndirectPredictor::restore(const pred::Checkpoint &checkpoint)
+{
+    bank_.restore(
+        dynamic_cast<const PathCheckpoint &>(checkpoint).history);
+}
+
+void
+PathIndirectPredictor::setBanks(unsigned banks)
+{
+    validateBanks(banks, table_.size());
+    banks_ = banks;
+}
+
+unsigned
+PathIndirectPredictor::bankOf(const trace::BranchRecord &record) const
+{
+    return banks_ == 0
+        ? 0
+        : static_cast<unsigned>(tableIndex(record.pc)) & (banks_ - 1);
 }
 
 std::string

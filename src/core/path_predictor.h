@@ -50,6 +50,25 @@ class PathConditionalPredictor : public pred::ConditionalPredictor
 
     void observe(const trace::BranchRecord &record) override;
 
+    /** Snapshot of the first-level history (THB + sum rings); the
+     *  counter table is retirement state and is never captured. */
+    pred::CheckpointPtr checkpoint() const override;
+
+    /** Rewind the first-level history. */
+    void restore(const pred::Checkpoint &checkpoint) override;
+
+    /**
+     * Model the counter table as @p banks independent single-ported
+     * banks (bank = low table-index bits) for the fetch-bundle front
+     * end. Power of two between 1 and the table size; 0 restores the
+     * unbanked (ideally multiported) default.
+     */
+    void setBanks(unsigned banks);
+
+    unsigned bankCount() const override { return banks_; }
+
+    unsigned bankOf(const trace::BranchRecord &record) const override;
+
     std::string name() const override;
 
     std::size_t sizeBytes() const override;
@@ -70,6 +89,7 @@ class PathConditionalPredictor : public pred::ConditionalPredictor
     HashAssignment assignment_;
     bool variable_;
     util::PackedCounterTable table_;
+    unsigned banks_ = 0;
 };
 
 /**
@@ -95,6 +115,20 @@ class PathIndirectPredictor : public pred::IndirectPredictor
 
     void observe(const trace::BranchRecord &record) override;
 
+    /** Snapshot of the first-level history (THB + sum rings); the
+     *  target table is retirement state and is never captured. */
+    pred::CheckpointPtr checkpoint() const override;
+
+    /** Rewind the first-level history. */
+    void restore(const pred::Checkpoint &checkpoint) override;
+
+    /** See PathConditionalPredictor::setBanks(). */
+    void setBanks(unsigned banks);
+
+    unsigned bankCount() const override { return banks_; }
+
+    unsigned bankOf(const trace::BranchRecord &record) const override;
+
     std::string name() const override;
 
     std::size_t sizeBytes() const override;
@@ -115,6 +149,7 @@ class PathIndirectPredictor : public pred::IndirectPredictor
     HashAssignment assignment_;
     bool variable_;
     std::vector<std::uint32_t> table_;
+    unsigned banks_ = 0;
 };
 
 } // namespace core

@@ -38,6 +38,15 @@ class GsharePredictor : public ConditionalPredictor
 
     void observe(const trace::BranchRecord &record) override;
 
+    // speculate() is inherited: pushing the *predicted* outcome is
+    // exactly observe() of a record carrying it.
+
+    /** Snapshot the global history register. */
+    CheckpointPtr checkpoint() const override;
+
+    /** Rewind the global history register. */
+    void restore(const Checkpoint &checkpoint) override;
+
     std::string name() const override { return "gshare"; }
 
     std::size_t sizeBytes() const override;

@@ -1,35 +1,30 @@
 /**
  * @file
- * Timing model implementation.
+ * Closed-form timing model implementation. TimingEstimate is
+ * sim/frontend.h's FrontendResult, so totalCycles()/ipc() live there;
+ * this file only fills the ledger from aggregate counts.
  */
 
 #include "sim/timing.h"
 
-#include <cassert>
-
 namespace vlp {
 namespace sim {
-
-double
-TimingEstimate::totalCycles() const
-{
-    return baseCycles + mispredictCycles + repredictCycles;
-}
-
-double
-TimingEstimate::ipc(double instructions) const
-{
-    const double cycles = totalCycles();
-    return cycles > 0.0 ? instructions / cycles : 0.0;
-}
 
 TimingEstimate
 estimateTiming(const TimingParameters &parameters,
                std::uint64_t branches, std::uint64_t mispredictions,
                std::uint64_t repredict_events)
 {
-    assert(parameters.fetchWidth > 0.0);
     TimingEstimate estimate;
+    estimate.branches = branches;
+    estimate.mispredictions = mispredictions;
+    estimate.repredictEvents = repredict_events;
+    // Explicit zero-result semantics: an empty stream or a degenerate
+    // (zero, negative, or NaN) fetch width estimates zero cycles
+    // rather than dividing. The negated comparison keeps NaN on the
+    // zero path.
+    if (branches == 0 || !(parameters.fetchWidth > 0.0))
+        return estimate;
     const double instructions =
         static_cast<double>(branches) * parameters.instructionsPerBranch;
     estimate.baseCycles = instructions / parameters.fetchWidth;

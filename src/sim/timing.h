@@ -8,9 +8,10 @@
  * introduces a re-predict bubble whenever the HFNT guesses the wrong
  * hash function number. This model turns the simulator's misprediction
  * counts into estimated front-end cycles so those effects can be
- * compared in one number. It is deliberately simple — a fetch-engine
- * abstraction, not a microarchitectural simulator — and is used by
- * bench_timing.
+ * compared in one number. It is deliberately simple — the closed-form
+ * fallback over the FrontendResult ledger that sim/frontend.h's
+ * FetchEngine fills by actually simulating fetch bundles — and is
+ * used by bench_timing.
  */
 
 #ifndef VLPSIM_SIM_TIMING_H
@@ -19,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/frontend.h"
 #include "sim/simulator.h"
 
 namespace vlp {
@@ -40,26 +42,18 @@ struct TimingParameters
     double repredictPenaltyCycles = 1.0;
 };
 
-/** Estimated front-end cost for one predictor configuration. */
-struct TimingEstimate
-{
-    /** Cycles spent fetching useful instructions. */
-    double baseCycles = 0.0;
-    /** Cycles lost to branch mispredictions. */
-    double mispredictCycles = 0.0;
-    /** Cycles lost to HFNT re-predictions (VLP only; else 0). */
-    double repredictCycles = 0.0;
-
-    /** Total front-end cycles. */
-    double totalCycles() const;
-
-    /** Effective instructions per cycle. */
-    double ipc(double instructions) const;
-};
+/**
+ * Estimated front-end cost for one predictor configuration — the same
+ * ledger the FetchEngine measures, filled closed-form here (the
+ * bundle/conflict counters stay 0). All derived rates are NaN-free
+ * with explicit zero-result semantics.
+ */
+using TimingEstimate = FrontendResult;
 
 /**
  * Estimate the front-end cost of running @p branches dynamic branches
- * with @p mispredictions of them mispredicted.
+ * with @p mispredictions of them mispredicted. branches == 0 or a
+ * non-positive (or NaN) fetchWidth yields the all-zero estimate.
  *
  * @param parameters       front-end parameters
  * @param branches         dynamic branch count

@@ -187,6 +187,51 @@ TEST(Timing, SpeedupOrdering)
     EXPECT_GT(speedup(bad, good_taxed), 1.0);
 }
 
+TEST(Timing, ZeroBranchesYieldZeroEstimate)
+{
+    // branches == 0 used to divide 0/0 into the rates; the estimate
+    // must instead be the explicit all-zero result.
+    TimingParameters parameters;
+    const auto estimate = estimateTiming(parameters, 0, 0);
+    EXPECT_DOUBLE_EQ(estimate.baseCycles, 0.0);
+    EXPECT_DOUBLE_EQ(estimate.totalCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(estimate.ipc(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(estimate.ipc(5000.0), 0.0);
+    EXPECT_DOUBLE_EQ(estimate.branchesPerCycle(), 0.0);
+}
+
+TEST(Timing, DegenerateFetchWidthYieldsZeroEstimate)
+{
+    TimingParameters parameters;
+    parameters.fetchWidth = 0.0;
+    const auto zero = estimateTiming(parameters, 1000, 50, 10);
+    EXPECT_DOUBLE_EQ(zero.totalCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.ipc(5000.0), 0.0);
+    EXPECT_EQ(zero.branches, 1000u);
+    EXPECT_EQ(zero.mispredictions, 50u);
+
+    parameters.fetchWidth = std::nan("");
+    const auto nan_width = estimateTiming(parameters, 1000, 50, 10);
+    EXPECT_DOUBLE_EQ(nan_width.totalCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(nan_width.ipc(5000.0), 0.0);
+}
+
+TEST(Timing, RatesNeverProduceNanOrInfinity)
+{
+    TimingParameters parameters;
+    const auto estimate = estimateTiming(parameters, 1000, 50);
+    // Zero instructions over real cycles is 0, not 0/x ambiguity.
+    EXPECT_DOUBLE_EQ(estimate.ipc(0.0), 0.0);
+    // NaN instructions must not leak through the division.
+    EXPECT_DOUBLE_EQ(estimate.ipc(std::nan("")), 0.0);
+    EXPECT_TRUE(std::isfinite(estimate.branchesPerCycle()));
+
+    TimingEstimate blank;
+    EXPECT_DOUBLE_EQ(blank.totalCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(blank.ipc(5000.0), 0.0);
+    EXPECT_DOUBLE_EQ(blank.branchesPerCycle(), 0.0);
+}
+
 TEST(Timing, FromPredictorResult)
 {
     TimingParameters parameters;
